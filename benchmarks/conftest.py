@@ -1,0 +1,86 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  The underlying
+workloads (synthetic dataset + trained DNN) and the expensive nine-scheme
+sweep are cached at session scope so that Table 1, Fig. 3 and Fig. 4 — which
+the paper derives from the *same* simulations — also share them here.
+
+Each benchmark writes the rendered table/series to
+``benchmarks/results/<name>.txt`` so the output survives the pytest run and
+can be pasted into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict
+
+import pytest
+
+from repro.core.pipeline import AggregatedRun
+from repro.experiments.sweep import run_all_schemes
+from repro.experiments.workloads import Workload, cifar10_workload, mnist_workload
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: benchmark-scale knobs (small enough for a laptop, big enough for the
+#: paper's qualitative shapes); override via environment variables, e.g.
+#: ``REPRO_BENCH_TIME_STEPS=400 pytest benchmarks/``.
+BENCH_TIME_STEPS = int(os.environ.get("REPRO_BENCH_TIME_STEPS", "150"))
+BENCH_NUM_IMAGES = int(os.environ.get("REPRO_BENCH_NUM_IMAGES", "24"))
+BENCH_SAMPLES_PER_CLASS = int(os.environ.get("REPRO_BENCH_SAMPLES_PER_CLASS", "30"))
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def save_result(results_dir):
+    """Callable fixture writing a rendered experiment output to disk."""
+
+    def _save(name: str, text: str) -> Path:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+        return path
+
+    return _save
+
+
+@pytest.fixture(scope="session")
+def cifar10_vgg_workload() -> Workload:
+    """The CIFAR-10-like VGG workload used by Table 1 / Fig. 3 / Fig. 4 / Table 2."""
+    return cifar10_workload(samples_per_class=BENCH_SAMPLES_PER_CLASS, epochs=15, seed=0)
+
+
+@pytest.fixture(scope="session")
+def mnist_cnn_workload() -> Workload:
+    """The MNIST-like CNN workload used by Fig. 2 / Fig. 5 / Table 2."""
+    return mnist_workload(samples_per_class=BENCH_SAMPLES_PER_CLASS, epochs=12, seed=0)
+
+
+_SWEEP_CACHE: Dict[str, Dict[str, AggregatedRun]] = {}
+
+
+@pytest.fixture(scope="session")
+def scheme_sweep(cifar10_vgg_workload) -> Dict[str, AggregatedRun]:
+    """The nine-scheme sweep shared by Table 1, Fig. 3 and Fig. 4.
+
+    The paper evaluates one trained VGG-16 under every coding combination and
+    reads Table 1 and both figures off those runs; we cache the equivalent
+    sweep so the three benchmarks measure their own analysis/reporting cost
+    without repeating ~1 minute of simulation three times.
+    """
+    if "cifar10" not in _SWEEP_CACHE:
+        _SWEEP_CACHE["cifar10"] = run_all_schemes(
+            cifar10_vgg_workload,
+            time_steps=BENCH_TIME_STEPS,
+            num_images=BENCH_NUM_IMAGES,
+            v_th=0.125,
+            seed=0,
+        )
+    return _SWEEP_CACHE["cifar10"]

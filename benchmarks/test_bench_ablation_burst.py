@@ -1,0 +1,96 @@
+"""Ablation bench: the burst coding hyper-parameters.
+
+Two sweeps on the MNIST-like CNN workload under phase-burst coding:
+
+* the precision / spike-count trade-off of the base threshold ``v_th``
+  (Table 2 evaluates v_th = 0.125 and 0.0625: smaller v_th → more precise and
+  usually faster, but more spikes), and
+* the burst constant β (Eq. 8; the paper uses β = 2) including a capped
+  burst length, showing that the speed-up indeed comes from letting the
+  effective weight grow during a burst.
+"""
+
+from repro.core.hybrid import HybridCodingScheme
+from repro.core.pipeline import PipelineConfig, SNNInferencePipeline
+from repro.utils.tables import Table
+
+
+def _pipeline(workload, time_steps=120, num_images=16):
+    config = PipelineConfig(
+        time_steps=time_steps, batch_size=16, max_test_images=num_images, seed=0
+    )
+    return SNNInferencePipeline(workload.model, workload.data, config)
+
+
+def test_bench_ablation_burst_v_th(benchmark, save_result, mnist_cnn_workload):
+    v_th_values = (0.5, 0.25, 0.125, 0.0625)
+
+    def run_sweep():
+        pipeline = _pipeline(mnist_cnn_workload)
+        return {
+            v_th: pipeline.run_scheme(HybridCodingScheme.from_notation("phase-burst", v_th=v_th))
+            for v_th in v_th_values
+        }
+
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    table = Table(
+        ["v_th", "accuracy_%", "latency_to_99%dnn", "spikes/image"],
+        title="Ablation — burst precision v_th (phase-burst coding)",
+    )
+    rows = {}
+    for v_th, run in results.items():
+        metrics = run.metrics(target_accuracy=run.dnn_accuracy * 0.99)
+        rows[v_th] = metrics
+        table.add_row(
+            {
+                "v_th": v_th,
+                "accuracy_%": round(run.accuracy * 100, 2),
+                "latency_to_99%dnn": metrics.latency if metrics.latency else f">{run.time_steps}",
+                "spikes/image": round(run.spikes_per_image, 1),
+            }
+        )
+    save_result("ablation_burst_v_th", table.render())
+
+    # finer precision (smaller v_th) never hurts accuracy on this workload
+    assert results[0.0625].accuracy >= results[0.5].accuracy - 0.05
+    # and costs more spikes than the coarsest setting (the paper's trade-off)
+    assert results[0.0625].spikes_per_image >= results[0.5].spikes_per_image
+
+
+def test_bench_ablation_burst_beta(benchmark, save_result, mnist_cnn_workload):
+    configurations = {
+        "beta=2 (paper)": {"v_th": 0.125, "beta": 2.0},
+        "beta=4": {"v_th": 0.125, "beta": 4.0},
+        "beta=2, burst<=2": {"v_th": 0.125, "beta": 2.0, "max_burst_length": 2},
+    }
+
+    def run_sweep():
+        pipeline = _pipeline(mnist_cnn_workload)
+        return {
+            name: pipeline.run_scheme(HybridCodingScheme.from_notation("phase-burst", **kwargs))
+            for name, kwargs in configurations.items()
+        }
+
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    table = Table(
+        ["configuration", "accuracy_%", "dnn_%", "spikes/image"],
+        title="Ablation — burst constant beta and burst-length cap",
+    )
+    for name, run in results.items():
+        table.add_row(
+            {
+                "configuration": name,
+                "accuracy_%": round(run.accuracy * 100, 2),
+                "dnn_%": round(run.dnn_accuracy * 100, 2),
+                "spikes/image": round(run.spikes_per_image, 1),
+            }
+        )
+    save_result("ablation_burst_beta", table.render())
+
+    # every configuration still classifies well above chance
+    for run in results.values():
+        assert run.accuracy > 0.3
+    # the paper's beta=2 configuration reaches the DNN accuracy
+    assert results["beta=2 (paper)"].accuracy >= results["beta=2 (paper)"].dnn_accuracy - 0.1

@@ -1,0 +1,61 @@
+"""Ablation bench: weight-normalisation method.
+
+Compares data-based max normalisation (Diehl et al. [11]), the outlier-robust
+percentile variant (Rueckauer et al. [12, 13]) and the data-free model-based
+bound, under the proposed phase-burst coding.  Expected shape: the data-based
+variants track the DNN accuracy; the model-based bound is far more
+conservative (slower convergence / fewer spikes per step), which is exactly
+why the literature moved to data-based normalisation.
+"""
+
+from repro.conversion.converter import ConversionConfig
+from repro.core.hybrid import HybridCodingScheme
+from repro.core.pipeline import PipelineConfig, SNNInferencePipeline
+from repro.utils.tables import Table
+
+
+def _run(workload, normalization, percentile=99.5, time_steps=120, num_images=16):
+    config = PipelineConfig(
+        time_steps=time_steps,
+        batch_size=16,
+        max_test_images=num_images,
+        conversion=ConversionConfig(normalization=normalization, percentile=percentile),
+        seed=0,
+    )
+    pipeline = SNNInferencePipeline(workload.model, workload.data, config)
+    return pipeline.run_scheme(HybridCodingScheme.from_notation("phase-burst"))
+
+
+def test_bench_ablation_normalization(benchmark, save_result, mnist_cnn_workload):
+    def run_ablation():
+        return {
+            "data (max)": _run(mnist_cnn_workload, "data"),
+            "robust (99.5th pct)": _run(mnist_cnn_workload, "robust"),
+            "model-based bound": _run(mnist_cnn_workload, "model"),
+        }
+
+    results = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+
+    table = Table(
+        ["normalisation", "accuracy_%", "dnn_%", "spikes/image"],
+        title="Ablation — weight normalisation method (phase-burst coding)",
+    )
+    for name, run in results.items():
+        table.add_row(
+            {
+                "normalisation": name,
+                "accuracy_%": round(run.accuracy * 100, 2),
+                "dnn_%": round(run.dnn_accuracy * 100, 2),
+                "spikes/image": round(run.spikes_per_image, 1),
+            }
+        )
+    save_result("ablation_normalization", table.render())
+
+    # data-based and robust normalisation both track the DNN accuracy
+    assert results["data (max)"].accuracy >= results["data (max)"].dnn_accuracy - 0.1
+    assert results["robust (99.5th pct)"].accuracy >= results["robust (99.5th pct)"].dnn_accuracy - 0.1
+    # the conservative model-based bound suppresses activity (fewer spikes)
+    assert (
+        results["model-based bound"].spikes_per_image
+        <= results["data (max)"].spikes_per_image * 1.05
+    )

@@ -1,0 +1,76 @@
+"""Micro-benchmarks of the simulator's hot paths.
+
+Unlike the table/figure benches (which run once and print the reproduced
+table), these use pytest-benchmark's statistical timing to track the
+throughput of the per-time-step kernels: the spiking dense / conv layer
+step, the input encoders and the ANN convolution forward pass.  They guard
+against performance regressions in the code every experiment depends on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ann.layers import Conv2D
+from repro.snn.encoding import PhaseEncoder, RateEncoder
+from repro.snn.layers import SpikingConv2D, SpikingDense
+from repro.snn.thresholds import BurstThreshold, ConstantThreshold
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestSpikingLayerThroughput:
+    def test_bench_spiking_dense_step(self, benchmark, rng):
+        layer = SpikingDense(
+            rng.normal(size=(512, 256)) * 0.05, None, ConstantThreshold(1.0)
+        )
+        layer.reset(batch_size=32)
+        incoming = rng.uniform(0, 0.2, size=(32, 512))
+        counter = iter(range(10**9))
+        benchmark(lambda: layer.step(incoming, next(counter)))
+
+    def test_bench_spiking_dense_burst_step(self, benchmark, rng):
+        layer = SpikingDense(
+            rng.normal(size=(512, 256)) * 0.05, None, BurstThreshold(v_th=0.125, beta=2.0)
+        )
+        layer.reset(batch_size=32)
+        incoming = rng.uniform(0, 0.2, size=(32, 512))
+        counter = iter(range(10**9))
+        benchmark(lambda: layer.step(incoming, next(counter)))
+
+    def test_bench_spiking_conv_step(self, benchmark, rng):
+        layer = SpikingConv2D(
+            rng.normal(size=(16, 8, 3, 3)) * 0.05,
+            None,
+            BurstThreshold(v_th=0.125),
+            stride=1,
+            padding=1,
+            input_shape=(8, 16, 16),
+        )
+        layer.reset(batch_size=8)
+        incoming = rng.uniform(0, 0.2, size=(8, 8, 16, 16))
+        counter = iter(range(10**9))
+        benchmark(lambda: layer.step(incoming, next(counter)))
+
+
+class TestEncoderThroughput:
+    def test_bench_rate_encoder_step(self, benchmark, rng):
+        encoder = RateEncoder()
+        encoder.reset(rng.uniform(size=(32, 3, 32, 32)))
+        counter = iter(range(10**9))
+        benchmark(lambda: encoder.step(next(counter)))
+
+    def test_bench_phase_encoder_step(self, benchmark, rng):
+        encoder = PhaseEncoder(period=8)
+        encoder.reset(rng.uniform(size=(32, 3, 32, 32)))
+        counter = iter(range(10**9))
+        benchmark(lambda: encoder.step(next(counter)))
+
+
+class TestAnnThroughput:
+    def test_bench_conv2d_forward(self, benchmark, rng):
+        layer = Conv2D(8, 16, kernel_size=3, padding=1, seed=0)
+        x = rng.uniform(size=(8, 8, 16, 16))
+        benchmark(lambda: layer.forward(x))

@@ -1,0 +1,26 @@
+"""Benchmark regenerating Fig. 1: single-neuron spike train / PSP / ISIH per
+coding scheme.
+
+Paper shape to reproduce: rate coding produces evenly spaced unit spikes
+(no ISI-1 mass), phase coding produces densely packed weighted spikes, and
+burst coding produces groups of consecutive spikes with growing amplitudes
+(a clear ISI-1 peak that rate coding lacks).
+"""
+
+from repro.experiments.fig1 import format_fig1, run_fig1
+
+
+def test_bench_fig1(benchmark, save_result):
+    traces = benchmark.pedantic(
+        lambda: run_fig1(drive=0.3, time_steps=500, burst_v_th=0.125),
+        rounds=1,
+        iterations=1,
+    )
+    text = format_fig1(traces)
+    save_result("fig1_single_neuron", text)
+
+    # qualitative checks mirroring Fig. 1
+    assert traces["burst"].short_isi_fraction > traces["rate"].short_isi_fraction
+    assert traces["phase"].short_isi_fraction >= traces["burst"].short_isi_fraction
+    burst_amplitudes = traces["burst"].amplitudes[traces["burst"].spike_train]
+    assert burst_amplitudes.max() > burst_amplitudes.min()

@@ -1,0 +1,31 @@
+"""Benchmark regenerating Fig. 2: percentage of burst spikes (and their
+composition by burst length) as the burst threshold v_th is swept over
+{0.5, 0.25, 0.125, 0.0625, 0.03125}.
+
+Paper shape to reproduce: the burst fraction grows monotonically as v_th
+decreases, and longer bursts appear at the smaller thresholds.
+"""
+
+from repro.experiments.fig2 import FIG2_V_TH_VALUES, format_fig2, run_fig2
+
+
+def test_bench_fig2(benchmark, save_result, mnist_cnn_workload):
+    points = benchmark.pedantic(
+        lambda: run_fig2(
+            workload=mnist_cnn_workload,
+            v_th_values=FIG2_V_TH_VALUES,
+            time_steps=100,
+            num_images=8,
+            input_coding="phase",
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("fig2_burst_composition", format_fig2(points))
+
+    fractions = [point.statistics.burst_fraction for point in points]
+    # burst fraction increases as v_th decreases (the sweep is ordered 0.5 -> 0.03125)
+    assert fractions[-1] > fractions[0]
+    assert all(later >= earlier - 0.02 for earlier, later in zip(fractions, fractions[1:]))
+    # longer bursts appear at the smallest threshold
+    assert points[-1].statistics.composition["3"] > 0.0

@@ -1,0 +1,40 @@
+"""Benchmark regenerating Fig. 3: latency and number of spikes needed to reach
+three target accuracies, per coding combination.
+
+Paper shape to reproduce: burst coding in the hidden layers reaches the
+targets the fastest, and ``phase-burst`` needs among the fewest spikes; the
+configurations that fail a target are reported as "not reached".
+"""
+
+from collections import defaultdict
+
+from repro.experiments.fig3 import FIG3_TARGET_FRACTIONS, format_fig3, run_fig3
+
+
+def test_bench_fig3(benchmark, save_result, scheme_sweep):
+    entries = benchmark.pedantic(
+        lambda: run_fig3(runs=scheme_sweep, target_fractions=FIG3_TARGET_FRACTIONS),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("fig3_latency_and_spikes_to_target", format_fig3(entries))
+
+    # organise by target fraction
+    by_target = defaultdict(dict)
+    for entry in entries:
+        by_target[entry.target_fraction][entry.scheme] = entry
+
+    # for the loosest target, burst hidden coding reaches it and is at least
+    # as fast as rate hidden coding with the same input
+    loose = by_target[min(FIG3_TARGET_FRACTIONS)]
+    for input_coding in ("real", "phase"):
+        burst = loose[f"{input_coding}-burst"]
+        rate = loose[f"{input_coding}-rate"]
+        assert burst.reached
+        if rate.reached:
+            assert burst.latency <= rate.latency * 1.5
+
+    # the proposed phase-burst scheme uses fewer spikes to reach the loose
+    # target than the phase-phase baseline (Kim et al.)
+    if loose["phase-phase"].reached and loose["phase-burst"].reached:
+        assert loose["phase-burst"].spikes <= loose["phase-phase"].spikes

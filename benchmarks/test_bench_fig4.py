@@ -1,0 +1,36 @@
+"""Benchmark regenerating Fig. 4: accuracy-vs-time-step inference curves per
+coding combination.
+
+Paper shape to reproduce: rate input coding converges slowly; burst coding in
+the hidden layers converges fastest (largest area under the curve among
+hidden codings); ``rate-phase`` is the worst curve.
+"""
+
+from repro.experiments.fig4 import format_fig4, run_fig4
+
+
+def test_bench_fig4(benchmark, save_result, scheme_sweep):
+    curves = benchmark.pedantic(
+        lambda: run_fig4(runs=scheme_sweep), rounds=1, iterations=1
+    )
+    save_result("fig4_inference_curves", format_fig4(curves, max_points=12))
+
+    by_scheme = {curve.scheme: curve for curve in curves}
+
+    # burst hidden coding converges at least as fast as phase hidden coding
+    # for real and phase input (area under the inference curve)
+    for input_coding in ("real", "phase"):
+        burst_auc = by_scheme[f"{input_coding}-burst"].area_under_curve()
+        phase_auc = by_scheme[f"{input_coding}-phase"].area_under_curve()
+        assert burst_auc >= phase_auc * 0.95
+
+    # rate-phase is the worst configuration by final accuracy (paper Fig. 4)
+    finals = {scheme: curve.final_accuracy for scheme, curve in by_scheme.items()}
+    assert finals["rate-phase"] <= max(finals.values()) - 0.05
+
+    # rate input coding is slower than real input coding with the same hidden
+    # coding (Poisson input is the information bottleneck)
+    assert (
+        by_scheme["real-burst"].area_under_curve()
+        >= by_scheme["rate-burst"].area_under_curve() * 0.95
+    )

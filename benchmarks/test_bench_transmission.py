@@ -1,0 +1,81 @@
+"""Extension bench: quantitative information-transmission efficiency.
+
+The paper argues qualitatively (Section 2.2 / Fig. 1) that rate coding needs
+``2^k`` time steps for ``k``-bit precision while burst coding adapts its spike
+budget to the value being transmitted.  This bench states that argument
+quantitatively on a single neuron: for a set of activation values it measures
+the number of steps and spikes each coding needs to transmit the value to a
+fixed precision, and the effective bits-per-spike.
+
+All codings use the same spike quantum (v_th = 0.125), which is the
+apples-to-apples setting of Section 3.1.  Expected shape: rate coding's
+throughput is capped at v_th per step, so it cannot transmit values above the
+cap to the target precision; phase coding's per-period budget caps it even
+lower; burst coding transmits every value, with more bits per spike than rate
+coding for the large values.
+"""
+
+from repro.analysis.information import compare_codings
+from repro.utils.tables import Table
+
+VALUES = (0.1, 0.3, 0.6, 0.9)
+TARGET_ERROR = 1 / 64  # ~6-bit precision
+TIME_STEPS = 512
+V_TH = 0.125
+
+
+def test_bench_transmission_efficiency(benchmark, save_result):
+    table_data = benchmark.pedantic(
+        lambda: compare_codings(
+            VALUES,
+            codings=("rate", "phase", "burst"),
+            time_steps=TIME_STEPS,
+            target_error=TARGET_ERROR,
+            v_th=V_TH,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    table = Table(
+        ["coding", "value", "steps to 6-bit", "spikes to 6-bit", "total spikes", "bits/spike"],
+        title="Single-neuron transmission efficiency (extension of Fig. 1)",
+    )
+    for coding, per_value in table_data.items():
+        for value, summary in per_value.items():
+            table.add_row(
+                {
+                    "coding": coding,
+                    "value": value,
+                    "steps to 6-bit": summary.steps_to_target
+                    if summary.steps_to_target is not None
+                    else f">{TIME_STEPS}",
+                    "spikes to 6-bit": summary.spikes_to_target
+                    if summary.spikes_to_target is not None
+                    else "-",
+                    "total spikes": summary.total_spikes,
+                    "bits/spike": round(summary.bits_per_spike, 3),
+                }
+            )
+    save_result("transmission_efficiency", table.render())
+
+    # burst coding transmits every value to the target precision
+    for value in VALUES:
+        assert table_data["burst"][value].steps_to_target is not None
+
+    # rate coding's bounded throughput (v_th per step) cannot transmit the
+    # values above the cap, and phase coding's per-period budget is lower still
+    for value in (0.3, 0.6, 0.9):
+        assert table_data["rate"][value].steps_to_target is None
+        assert table_data["phase"][value].steps_to_target is None
+        # burst reaches the precision with strictly better bits-per-spike
+        assert (
+            table_data["burst"][value].bits_per_spike
+            > table_data["rate"][value].bits_per_spike
+        )
+
+    # for a value below the cap, rate coding works too but needs at least as
+    # many spikes as burst coding
+    below_cap = table_data["rate"][0.1]
+    assert below_cap.steps_to_target is not None
+    assert table_data["burst"][0.1].total_spikes <= below_cap.total_spikes * 1.1

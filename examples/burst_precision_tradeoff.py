@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""The burst-coding precision / efficiency trade-off (Fig. 2 and the v_th rows
+of Table 2).
+
+Burst coding transmits a membrane backlog with geometrically growing spike
+amplitudes; the base threshold ``v_th`` sets the transmission precision.  The
+script sweeps ``v_th`` over the paper's values and reports, per setting,
+
+* the share of spikes that are part of a burst and the burst-length mix
+  (Fig. 2), and
+* the accuracy / latency / spike-count consequences (Table 2's two "Ours"
+  rows per dataset).
+
+Run with:  python examples/burst_precision_tradeoff.py
+Runtime:   ~1 minute.
+"""
+
+from repro import HybridCodingScheme, PipelineConfig, SNNInferencePipeline
+from repro.analysis.burst_stats import BURST_LENGTH_LABELS, burst_statistics
+from repro.experiments.fig2 import hidden_spike_trains
+from repro.experiments.workloads import mnist_workload
+from repro.utils.tables import Table
+
+V_TH_VALUES = (0.5, 0.25, 0.125, 0.0625, 0.03125)
+
+
+def main() -> None:
+    workload = mnist_workload()
+    print(f"workload: {workload.name}, DNN test accuracy {workload.dnn_test_accuracy:.3f}\n")
+
+    table = Table(
+        ["v_th", "SNN acc %", "latency", "spikes/image", "burst %", *(f"len {l} %" for l in BURST_LENGTH_LABELS)],
+        title="Burst precision sweep (Fig. 2 + Table 2 'Ours' rows)",
+    )
+
+    for v_th in V_TH_VALUES:
+        pipeline = SNNInferencePipeline(
+            workload.model,
+            workload.data,
+            PipelineConfig(
+                time_steps=100,
+                batch_size=8,
+                max_test_images=8,
+                record_trains=True,
+                sample_fraction=0.1,
+            ),
+        )
+        scheme = HybridCodingScheme.from_notation("phase-burst", v_th=v_th)
+        run = pipeline.run_scheme(scheme, keep_batch_results=True)
+        metrics = run.metrics(target_accuracy=run.dnn_accuracy)
+        stats = burst_statistics(hidden_spike_trains(run))
+        row = {
+            "v_th": v_th,
+            "SNN acc %": round(run.accuracy * 100, 2),
+            "latency": metrics.latency if metrics.latency else f">{run.time_steps}",
+            "spikes/image": round(run.spikes_per_image, 1),
+            "burst %": round(stats.burst_fraction * 100, 2),
+        }
+        for label in BURST_LENGTH_LABELS:
+            row[f"len {label} %"] = round(stats.composition[label] * 100, 2)
+        table.add_row(row)
+
+    print(table.render())
+    print(
+        "\nReading the table: smaller v_th = finer transmission precision -> "
+        "more (and longer) bursts and more spikes, the trade-off the paper "
+        "describes in Section 3.1."
+    )
+
+
+if __name__ == "__main__":
+    main()

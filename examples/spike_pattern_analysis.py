@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Spike-pattern analysis of the different neural codings (Fig. 1 and Fig. 5).
+
+Part 1 reproduces Fig. 1 on a single neuron: the same constant input is
+encoded with rate, phase and burst coding, and the script prints the spike
+count, the transmitted amplitude range and the head of the ISI histogram for
+each — showing the ISI-1 peak and growing amplitudes that characterise bursts.
+
+Part 2 reproduces Fig. 5 on a converted network: for a few coding
+combinations it records sampled spike trains, computes the firing rate
+(Eq. 11) and firing regularity (Eq. 12) of each neuron and prints the
+population averages — showing that phase hidden coding always fires fast
+(inflexible) while burst hidden coding adapts to the input coding.
+
+Run with:  python examples/spike_pattern_analysis.py
+Runtime:   ~30 seconds.
+"""
+
+from repro.experiments.fig1 import format_fig1, run_fig1
+from repro.experiments.fig5 import format_fig5, run_fig5
+from repro.core.hybrid import HybridCodingScheme
+from repro.experiments.workloads import mnist_workload
+
+
+def main() -> None:
+    print("Part 1 — single-neuron spike patterns (Fig. 1)")
+    traces = run_fig1(drive=0.3, time_steps=400, burst_v_th=0.125)
+    print(format_fig1(traces))
+    burst = traces["burst"]
+    amplitudes = burst.amplitudes[burst.spike_train]
+    print(
+        f"  burst amplitudes grow within a burst: "
+        f"{amplitudes.min():.3f} -> {amplitudes.max():.3f} "
+        f"(effective weight potentiation, Eq. 10)\n"
+    )
+
+    print("Part 2 — firing rate vs regularity on a converted CNN (Fig. 5)")
+    workload = mnist_workload()
+    schemes = [
+        HybridCodingScheme.from_notation(notation)
+        for notation in ("real-rate", "real-phase", "real-burst", "phase-phase", "phase-burst")
+    ]
+    points = run_fig5(workload=workload, schemes=schemes, time_steps=120, num_images=6)
+    print(format_fig5(points))
+    print(
+        "\nReading the table: the phase-coded hidden layers sit at the highest "
+        "firing rates regardless of the input coding, while burst coding's "
+        "firing statistics move with the input coding — the flexibility "
+        "argument of Section 5."
+    )
+
+
+if __name__ == "__main__":
+    main()

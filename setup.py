@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical build configuration lives in ``pyproject.toml``; this file only
+exists so that ``pip install -e . --no-build-isolation --no-use-pep517`` works
+on offline machines that lack the ``wheel`` package required by PEP 517
+editable installs.
+"""
+
+from setuptools import setup
+
+setup()

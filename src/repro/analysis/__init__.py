@@ -1,0 +1,71 @@
+"""Spike-train and inference analysis.
+
+Implements every quantitative analysis the paper reports:
+
+* inter-spike-interval histograms (Fig. 1 C1–C3) — :mod:`repro.analysis.isi`
+* burst detection and burst-length composition vs ``v_th`` (Fig. 2) —
+  :mod:`repro.analysis.burst_stats`
+* firing rate (Eq. 11) and firing regularity (Eq. 12) scatter (Fig. 5) —
+  :mod:`repro.analysis.firing`
+* spiking density (Table 2) — :mod:`repro.analysis.density`
+* inference curves, latency-to-target-accuracy and spikes-to-target
+  (Fig. 3, Fig. 4, Table 1) — :mod:`repro.analysis.curves`
+* consolidated per-run metrics — :mod:`repro.analysis.metrics`
+"""
+
+from repro.analysis.isi import inter_spike_intervals, isi_histogram, isi_per_neuron
+from repro.analysis.burst_stats import (
+    BurstStatistics,
+    burst_lengths,
+    burst_statistics,
+    burst_composition,
+)
+from repro.analysis.firing import (
+    FiringStatistics,
+    firing_rate,
+    firing_regularity,
+    firing_statistics,
+    mean_log_firing_rate,
+)
+from repro.analysis.density import spiking_density
+from repro.analysis.curves import (
+    latency_to_target,
+    spikes_to_target,
+    target_accuracies,
+)
+from repro.analysis.metrics import InferenceMetrics, compute_inference_metrics
+from repro.analysis.information import (
+    TransmissionSummary,
+    TransmissionTrace,
+    compare_codings,
+    reconstruction_error,
+    transmission_efficiency,
+    transmission_trace,
+)
+
+__all__ = [
+    "TransmissionSummary",
+    "TransmissionTrace",
+    "compare_codings",
+    "reconstruction_error",
+    "transmission_efficiency",
+    "transmission_trace",
+    "inter_spike_intervals",
+    "isi_histogram",
+    "isi_per_neuron",
+    "BurstStatistics",
+    "burst_lengths",
+    "burst_statistics",
+    "burst_composition",
+    "FiringStatistics",
+    "firing_rate",
+    "firing_regularity",
+    "firing_statistics",
+    "mean_log_firing_rate",
+    "spiking_density",
+    "latency_to_target",
+    "spikes_to_target",
+    "target_accuracies",
+    "InferenceMetrics",
+    "compute_inference_metrics",
+]

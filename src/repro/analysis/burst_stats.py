@@ -1,0 +1,113 @@
+"""Burst detection and burst-length composition (Fig. 2).
+
+A burst is a group of spikes separated by the shortest possible ISI.  In a
+discrete-time simulation the shortest ISI is one time step, so a burst is a
+maximal run of consecutive time steps in which the neuron fired, and the burst
+length is the number of spikes in the run.  Fig. 2 of the paper reports, for a
+sweep of ``v_th``, the percentage of all spikes that belong to a burst
+(length ≥ 2) broken down by burst length (2, 3, 4, 5, > 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+
+def burst_lengths(trains: np.ndarray, min_length: int = 1) -> np.ndarray:
+    """Lengths of all maximal runs of consecutive spikes in ``trains``.
+
+    Parameters
+    ----------
+    trains:
+        Boolean spike trains of shape ``(T, neurons)`` or ``(T,)``.
+    min_length:
+        Only runs of at least this many spikes are returned (1 returns every
+        run including isolated spikes).
+    """
+    trains = np.asarray(trains)
+    if trains.ndim == 1:
+        trains = trains[:, None]
+    if trains.ndim != 2:
+        raise ValueError(f"spike trains must be (T, neurons), got shape {trains.shape}")
+    if min_length < 1:
+        raise ValueError(f"min_length must be >= 1, got {min_length}")
+    trains = trains.astype(bool)
+
+    lengths: List[int] = []
+    for neuron in range(trains.shape[1]):
+        column = trains[:, neuron]
+        if not column.any():
+            continue
+        # Find run boundaries by diffing the padded boolean sequence.
+        padded = np.concatenate(([False], column, [False]))
+        changes = np.flatnonzero(np.diff(padded.astype(np.int8)))
+        starts, ends = changes[0::2], changes[1::2]
+        lengths.extend((ends - starts).tolist())
+    lengths_array = np.asarray(lengths, dtype=np.int64)
+    if lengths_array.size == 0:
+        return lengths_array
+    return lengths_array[lengths_array >= min_length]
+
+
+@dataclass
+class BurstStatistics:
+    """Summary of burst activity in a set of spike trains.
+
+    Attributes
+    ----------
+    total_spikes:
+        Number of spikes analysed.
+    burst_spikes:
+        Spikes that are part of a burst (run length ≥ 2).
+    burst_fraction:
+        ``burst_spikes / total_spikes`` (the y-axis of Fig. 2).
+    composition:
+        Mapping burst-length label → fraction of *all* spikes contributed by
+        bursts of that length.  Labels are ``"2"``–``"5"`` and ``">5"``,
+        matching the paper's legend.
+    mean_burst_length:
+        Average length of bursts (runs of length ≥ 2); 0 when there are none.
+    """
+
+    total_spikes: int
+    burst_spikes: int
+    burst_fraction: float
+    composition: Dict[str, float] = field(default_factory=dict)
+    mean_burst_length: float = 0.0
+
+
+#: burst-length buckets used by Fig. 2
+BURST_LENGTH_LABELS = ("2", "3", "4", "5", ">5")
+
+
+def burst_statistics(trains: np.ndarray) -> BurstStatistics:
+    """Compute the burst statistics of Fig. 2 for the given spike trains."""
+    all_runs = burst_lengths(trains, min_length=1)
+    total_spikes = int(all_runs.sum())
+    burst_runs = all_runs[all_runs >= 2]
+    burst_spikes = int(burst_runs.sum())
+    fraction = burst_spikes / total_spikes if total_spikes else 0.0
+
+    composition: Dict[str, float] = {label: 0.0 for label in BURST_LENGTH_LABELS}
+    if total_spikes:
+        for label in BURST_LENGTH_LABELS[:-1]:
+            length = int(label)
+            composition[label] = float(burst_runs[burst_runs == length].sum() / total_spikes)
+        composition[">5"] = float(burst_runs[burst_runs > 5].sum() / total_spikes)
+
+    mean_length = float(burst_runs.mean()) if burst_runs.size else 0.0
+    return BurstStatistics(
+        total_spikes=total_spikes,
+        burst_spikes=burst_spikes,
+        burst_fraction=fraction,
+        composition=composition,
+        mean_burst_length=mean_length,
+    )
+
+
+def burst_composition(trains: np.ndarray) -> Dict[str, float]:
+    """Shorthand for :func:`burst_statistics` returning only the composition."""
+    return burst_statistics(trains).composition

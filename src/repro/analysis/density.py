@@ -1,0 +1,33 @@
+"""Spiking density (Table 2).
+
+The paper defines spiking density as the expected number of spikes a neuron
+generates per time step::
+
+    density = spikes_per_image / (num_neurons * latency)
+
+It is the fair-comparison metric the paper introduces because raw spike counts
+grow with latency.
+"""
+
+from __future__ import annotations
+
+
+def spiking_density(spikes_per_image: float, num_neurons: int, latency: int) -> float:
+    """Spiking density as defined in Table 2 (footnote a).
+
+    Parameters
+    ----------
+    spikes_per_image:
+        Average number of spikes the network emits per classified image.
+    num_neurons:
+        Total number of spiking neurons in the network.
+    latency:
+        Number of simulation time steps used for the classification.
+    """
+    if num_neurons <= 0:
+        raise ValueError(f"num_neurons must be positive, got {num_neurons}")
+    if latency <= 0:
+        raise ValueError(f"latency must be positive, got {latency}")
+    if spikes_per_image < 0:
+        raise ValueError(f"spikes_per_image must be non-negative, got {spikes_per_image}")
+    return float(spikes_per_image) / (float(num_neurons) * float(latency))

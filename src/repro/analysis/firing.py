@@ -1,0 +1,124 @@
+"""Firing rate and firing regularity (Eq. 11–12, Fig. 5).
+
+The paper characterises each coding scheme's spike patterns by two numbers
+averaged over sampled neurons:
+
+* firing rate ``λ = n / Σ ISI`` where ``n`` is the number of ISIs (Eq. 11),
+* firing regularity ``κ = std(ISI) / mean(ISI)``, the coefficient of
+  variation of the ISIs (Eq. 12).
+
+Fig. 5 plots ``<log λ>`` against ``<κ>`` for every input-hidden coding
+combination; the cluster structure of that scatter is the paper's evidence
+that burst coding in hidden layers adapts to the input coding while phase
+coding does not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.analysis.isi import isi_per_neuron
+
+
+def firing_rate(isis: np.ndarray) -> float:
+    """Firing rate of one neuron from its ISIs (Eq. 11).
+
+    ``λ = n / Σ_i I_i`` where ``I_i`` is the duration of the i-th ISI.
+    Returns 0 when the neuron has fewer than two spikes (no ISIs).
+    """
+    isis = np.asarray(isis, dtype=np.float64)
+    if isis.size == 0:
+        return 0.0
+    total = float(isis.sum())
+    if total <= 0:
+        return 0.0
+    return float(isis.size / total)
+
+
+def firing_regularity(isis: np.ndarray) -> float:
+    """Firing regularity of one neuron (Eq. 12): the CV of its ISIs.
+
+    ``κ = std(I) / mean(I)``.  Returns 0 for neurons with fewer than two ISIs
+    (a single interval has zero standard deviation).
+    """
+    isis = np.asarray(isis, dtype=np.float64)
+    if isis.size == 0:
+        return 0.0
+    mean = float(isis.mean())
+    if mean <= 0:
+        return 0.0
+    return float(isis.std() / mean)
+
+
+@dataclass
+class FiringStatistics:
+    """Population-level firing characteristics (one point of Fig. 5).
+
+    Attributes
+    ----------
+    mean_log_rate:
+        ``<log λ>`` averaged over neurons with at least two spikes (natural
+        logarithm, as the paper's axis spans roughly -6 … 0).
+    mean_regularity:
+        ``<κ>`` averaged over the same neurons.
+    num_neurons:
+        Number of neurons included in the averages.
+    rates, regularities:
+        The per-neuron values (useful for richer plots and tests).
+    """
+
+    mean_log_rate: float
+    mean_regularity: float
+    num_neurons: int
+    rates: np.ndarray
+    regularities: np.ndarray
+
+
+def firing_statistics(trains: np.ndarray, min_spikes: int = 2) -> FiringStatistics:
+    """Compute per-neuron firing rate / regularity and their population means.
+
+    Parameters
+    ----------
+    trains:
+        Boolean spike trains of shape ``(T, neurons)``.
+    min_spikes:
+        Neurons with fewer spikes than this are excluded (they have no defined
+        ISI statistics), mirroring the paper's sampling of active neurons.
+    """
+    if min_spikes < 2:
+        raise ValueError(f"min_spikes must be >= 2 to define ISIs, got {min_spikes}")
+    per_neuron = isi_per_neuron(trains)
+    rates: List[float] = []
+    regularities: List[float] = []
+    for isis in per_neuron:
+        if isis.size < min_spikes - 1:
+            continue
+        rates.append(firing_rate(isis))
+        regularities.append(firing_regularity(isis))
+    rates_array = np.asarray(rates, dtype=np.float64)
+    regularity_array = np.asarray(regularities, dtype=np.float64)
+    if rates_array.size == 0:
+        return FiringStatistics(
+            mean_log_rate=float("nan"),
+            mean_regularity=float("nan"),
+            num_neurons=0,
+            rates=rates_array,
+            regularities=regularity_array,
+        )
+    positive = rates_array[rates_array > 0]
+    mean_log = float(np.mean(np.log(positive))) if positive.size else float("nan")
+    return FiringStatistics(
+        mean_log_rate=mean_log,
+        mean_regularity=float(regularity_array.mean()),
+        num_neurons=int(rates_array.size),
+        rates=rates_array,
+        regularities=regularity_array,
+    )
+
+
+def mean_log_firing_rate(trains: np.ndarray) -> float:
+    """Convenience wrapper returning only ``<log λ>`` of :func:`firing_statistics`."""
+    return firing_statistics(trains).mean_log_rate

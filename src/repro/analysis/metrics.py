@@ -1,0 +1,147 @@
+"""Consolidated per-run inference metrics.
+
+One :class:`InferenceMetrics` instance corresponds to one row of Table 1 or
+Table 2: a coding scheme evaluated on a dataset with a given time budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.analysis.curves import latency_to_target, spikes_to_target
+from repro.analysis.density import spiking_density
+
+
+@dataclass
+class InferenceMetrics:
+    """Metrics of one SNN inference run (one table row).
+
+    Attributes
+    ----------
+    scheme:
+        "input-hidden" coding notation, e.g. ``"phase-burst"``.
+    accuracy:
+        Final SNN accuracy after ``time_steps`` steps.
+    dnn_accuracy:
+        Accuracy of the source DNN (the conversion target).
+    time_steps:
+        Simulated horizon.
+    latency:
+        Steps needed to reach the target accuracy (``None`` if never reached);
+        when no target is specified this equals ``time_steps``.
+    total_spikes:
+        Network-wide spike count over the whole run and all evaluated samples.
+    spikes_per_image:
+        ``total_spikes / num_images``.
+    num_neurons:
+        Spiking neurons per sample (input + hidden layers).
+    density:
+        Spiking density at the reported latency.
+    accuracy_curve / recorded_steps / cumulative_spikes:
+        The underlying curves, kept for plotting and for Fig. 3/4 harnesses.
+    extra:
+        Free-form additional values (e.g. energy estimates).
+    """
+
+    scheme: str
+    accuracy: float
+    dnn_accuracy: float
+    time_steps: int
+    latency: Optional[int]
+    total_spikes: int
+    spikes_per_image: float
+    num_neurons: int
+    density: float
+    num_images: int
+    accuracy_curve: np.ndarray = field(repr=False, default_factory=lambda: np.zeros(0))
+    recorded_steps: np.ndarray = field(repr=False, default_factory=lambda: np.zeros(0, dtype=int))
+    cumulative_spikes: np.ndarray = field(repr=False, default_factory=lambda: np.zeros(0))
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def reached_target(self) -> bool:
+        """True if the run reached its target accuracy within the horizon."""
+        return self.latency is not None
+
+    def as_row(self) -> Dict[str, object]:
+        """Row representation used by the table renderer."""
+        return {
+            "scheme": self.scheme,
+            "accuracy_%": round(self.accuracy * 100.0, 2),
+            "dnn_accuracy_%": round(self.dnn_accuracy * 100.0, 2),
+            "latency": self.latency if self.latency is not None else f">{self.time_steps}",
+            "spikes": int(self.total_spikes),
+            "spikes_per_image": round(self.spikes_per_image, 1),
+            "density": round(self.density, 5),
+            "neurons": self.num_neurons,
+            **{k: (round(v, 4) if isinstance(v, float) else v) for k, v in self.extra.items()},
+        }
+
+
+def compute_inference_metrics(
+    scheme: str,
+    accuracy_curve: np.ndarray,
+    recorded_steps: np.ndarray,
+    cumulative_spikes: np.ndarray,
+    num_neurons: int,
+    num_images: int,
+    dnn_accuracy: float,
+    time_steps: int,
+    target_accuracy: Optional[float] = None,
+) -> InferenceMetrics:
+    """Derive an :class:`InferenceMetrics` row from recorded curves.
+
+    Parameters
+    ----------
+    accuracy_curve, recorded_steps:
+        SNN accuracy at the recorded time steps (over the whole test set).
+    cumulative_spikes:
+        Cumulative network-wide spikes (summed over all test images) at every
+        simulation step (length ``time_steps``).
+    target_accuracy:
+        If given, latency and the spike count are measured at the first step
+        reaching the target; otherwise the full horizon is used.
+    """
+    accuracy_curve = np.asarray(accuracy_curve, dtype=np.float64)
+    recorded_steps = np.asarray(recorded_steps)
+    cumulative_spikes = np.asarray(cumulative_spikes, dtype=np.float64)
+    if num_images <= 0:
+        raise ValueError(f"num_images must be positive, got {num_images}")
+
+    final_accuracy = float(accuracy_curve[-1]) if accuracy_curve.size else 0.0
+    if target_accuracy is None:
+        latency: Optional[int] = int(time_steps)
+        spikes_at_latency = float(cumulative_spikes[-1]) if cumulative_spikes.size else 0.0
+    else:
+        latency = latency_to_target(accuracy_curve, recorded_steps, target_accuracy)
+        spikes = spikes_to_target(
+            accuracy_curve, recorded_steps, cumulative_spikes, target_accuracy
+        )
+        spikes_at_latency = (
+            float(spikes)
+            if spikes is not None
+            else (float(cumulative_spikes[-1]) if cumulative_spikes.size else 0.0)
+        )
+
+    effective_latency = latency if latency is not None else time_steps
+    total_spikes = float(cumulative_spikes[-1]) if cumulative_spikes.size else 0.0
+    spikes_per_image = spikes_at_latency / num_images
+    density = spiking_density(spikes_per_image, num_neurons, max(effective_latency, 1))
+
+    return InferenceMetrics(
+        scheme=scheme,
+        accuracy=final_accuracy,
+        dnn_accuracy=dnn_accuracy,
+        time_steps=time_steps,
+        latency=latency,
+        total_spikes=int(total_spikes),
+        spikes_per_image=float(total_spikes / num_images),
+        num_neurons=num_neurons,
+        density=density,
+        num_images=num_images,
+        accuracy_curve=accuracy_curve,
+        recorded_steps=recorded_steps,
+        cumulative_spikes=cumulative_spikes,
+    )

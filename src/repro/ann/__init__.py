@@ -1,0 +1,61 @@
+"""A compact, dependency-free (numpy-only) deep-learning framework.
+
+This is the substrate on which the paper's DNNs (CNN / VGG-16) are trained
+before being converted to spiking networks.  It provides the layer types the
+DNN→SNN conversion literature relies on: Dense, Conv2D, average / max pooling,
+Flatten, Dropout, BatchNorm and ReLU activations, plus cross-entropy training
+with SGD / Adam.
+
+The framework is intentionally small but complete: forward and backward passes
+for every layer, minibatch training loops, and per-layer activation capture
+(needed by the data-based weight-normalisation step of the conversion).
+"""
+
+from repro.ann.initializers import he_normal, he_uniform, xavier_uniform, zeros_init
+from repro.ann.activations import relu, relu_grad, softmax, sigmoid
+from repro.ann.layers import (
+    Layer,
+    Dense,
+    ReLU,
+    Conv2D,
+    AvgPool2D,
+    MaxPool2D,
+    Flatten,
+    Dropout,
+    BatchNorm,
+)
+from repro.ann.losses import Loss, SoftmaxCrossEntropy, MeanSquaredError
+from repro.ann.optimizers import Optimizer, SGD, Adam
+from repro.ann.model import Sequential, TrainingHistory
+from repro.ann.metrics import accuracy, top_k_accuracy, confusion_matrix
+
+__all__ = [
+    "he_normal",
+    "he_uniform",
+    "xavier_uniform",
+    "zeros_init",
+    "relu",
+    "relu_grad",
+    "softmax",
+    "sigmoid",
+    "Layer",
+    "Dense",
+    "ReLU",
+    "Conv2D",
+    "AvgPool2D",
+    "MaxPool2D",
+    "Flatten",
+    "Dropout",
+    "BatchNorm",
+    "Loss",
+    "SoftmaxCrossEntropy",
+    "MeanSquaredError",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "Sequential",
+    "TrainingHistory",
+    "accuracy",
+    "top_k_accuracy",
+    "confusion_matrix",
+]

@@ -1,0 +1,90 @@
+"""im2col / col2im utilities backing the Conv2D and pooling layers.
+
+A convolution over a channel-first batch ``(N, C, H, W)`` is expressed as a
+single matrix multiplication by unfolding every receptive field into a column.
+The same unfolding is reused by the pooling layers and by the spiking
+convolution layer in :mod:`repro.snn.layers`, which keeps the ANN forward pass
+and the SNN per-time-step pass numerically identical for the same weights.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution along one dimension."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"invalid convolution geometry: size={size}, kernel={kernel}, "
+            f"stride={stride}, padding={padding} gives non-positive output {out}"
+        )
+    return out
+
+
+def im2col(
+    x: np.ndarray, kernel_h: int, kernel_w: int, stride: int, padding: int
+) -> Tuple[np.ndarray, int, int]:
+    """Unfold ``x`` of shape (N, C, H, W) into columns.
+
+    Returns
+    -------
+    cols:
+        Array of shape ``(N * out_h * out_w, C * kernel_h * kernel_w)``.
+    out_h, out_w:
+        Spatial output dimensions.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 4:
+        raise ValueError(f"im2col expects (N, C, H, W), got shape {x.shape}")
+    n, c, h, w = x.shape
+    out_h = conv_output_size(h, kernel_h, stride, padding)
+    out_w = conv_output_size(w, kernel_w, stride, padding)
+
+    if padding > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant")
+
+    # Strided sliding-window view: (N, C, out_h, out_w, kernel_h, kernel_w)
+    stride_n, stride_c, stride_h, stride_w = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, out_h, out_w, kernel_h, kernel_w),
+        strides=(stride_n, stride_c, stride_h * stride, stride_w * stride, stride_h, stride_w),
+        writeable=False,
+    )
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n * out_h * out_w, c * kernel_h * kernel_w)
+    return np.ascontiguousarray(cols), out_h, out_w
+
+
+def col2im(
+    cols: np.ndarray,
+    input_shape: Tuple[int, int, int, int],
+    kernel_h: int,
+    kernel_w: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Fold columns back to an image batch, accumulating overlapping regions.
+
+    This is the adjoint of :func:`im2col` and is used by the convolution and
+    pooling backward passes.
+    """
+    n, c, h, w = input_shape
+    out_h = conv_output_size(h, kernel_h, stride, padding)
+    out_w = conv_output_size(w, kernel_w, stride, padding)
+    padded_h = h + 2 * padding
+    padded_w = w + 2 * padding
+
+    cols_reshaped = cols.reshape(n, out_h, out_w, c, kernel_h, kernel_w).transpose(0, 3, 4, 5, 1, 2)
+    x_padded = np.zeros((n, c, padded_h, padded_w), dtype=np.float64)
+    for ky in range(kernel_h):
+        y_max = ky + stride * out_h
+        for kx in range(kernel_w):
+            x_max = kx + stride * out_w
+            x_padded[:, :, ky:y_max:stride, kx:x_max:stride] += cols_reshaped[:, :, ky, kx, :, :]
+    if padding > 0:
+        return x_padded[:, :, padding:-padding, padding:-padding]
+    return x_padded

@@ -1,0 +1,72 @@
+"""Weight initialisers for the numpy ANN framework.
+
+ReLU networks destined for DNN→SNN conversion are normally initialised with
+He/Kaiming schemes; Xavier is provided for completeness.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_rng
+
+
+def _fan_in_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    """Compute fan-in / fan-out for dense ``(in, out)`` or conv
+    ``(out_channels, in_channels, kh, kw)`` weight shapes."""
+    if len(shape) == 2:
+        fan_in, fan_out = shape[0], shape[1]
+    elif len(shape) == 4:
+        receptive = shape[2] * shape[3]
+        fan_in = shape[1] * receptive
+        fan_out = shape[0] * receptive
+    else:
+        raise ValueError(f"unsupported weight shape {shape}")
+    return int(fan_in), int(fan_out)
+
+
+def he_normal(shape: Tuple[int, ...], seed: SeedLike = None) -> np.ndarray:
+    """He (Kaiming) normal initialisation: std = sqrt(2 / fan_in)."""
+    rng = as_rng(seed)
+    fan_in, _ = _fan_in_out(shape)
+    std = np.sqrt(2.0 / max(fan_in, 1))
+    return rng.normal(0.0, std, size=shape)
+
+
+def he_uniform(shape: Tuple[int, ...], seed: SeedLike = None) -> np.ndarray:
+    """He uniform initialisation: limit = sqrt(6 / fan_in)."""
+    rng = as_rng(seed)
+    fan_in, _ = _fan_in_out(shape)
+    limit = np.sqrt(6.0 / max(fan_in, 1))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def xavier_uniform(shape: Tuple[int, ...], seed: SeedLike = None) -> np.ndarray:
+    """Xavier/Glorot uniform initialisation: limit = sqrt(6 / (fan_in+fan_out))."""
+    rng = as_rng(seed)
+    fan_in, fan_out = _fan_in_out(shape)
+    limit = np.sqrt(6.0 / max(fan_in + fan_out, 1))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def zeros_init(shape: Tuple[int, ...], seed: SeedLike = None) -> np.ndarray:
+    """All-zero initialisation (biases)."""
+    del seed  # deterministic
+    return np.zeros(shape, dtype=np.float64)
+
+
+INITIALIZERS = {
+    "he_normal": he_normal,
+    "he_uniform": he_uniform,
+    "xavier_uniform": xavier_uniform,
+    "zeros": zeros_init,
+}
+
+
+def get_initializer(name: str):
+    """Look an initialiser up by name (raises ``ValueError`` if unknown)."""
+    if name not in INITIALIZERS:
+        raise ValueError(f"unknown initializer {name!r}; expected one of {sorted(INITIALIZERS)}")
+    return INITIALIZERS[name]

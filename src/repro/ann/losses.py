@@ -1,0 +1,67 @@
+"""Loss functions for training the convertible DNNs."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.ann.activations import softmax
+
+
+class Loss:
+    """Base class: losses return ``(value, gradient_wrt_logits)``."""
+
+    def __call__(self, logits: np.ndarray, targets: np.ndarray) -> Tuple[float, np.ndarray]:
+        raise NotImplementedError
+
+
+class SoftmaxCrossEntropy(Loss):
+    """Softmax + cross-entropy on integer or one-hot targets.
+
+    The gradient is returned with respect to the raw logits, i.e. the softmax
+    is fused with the loss for numerical stability.
+    """
+
+    def __init__(self, eps: float = 1e-12) -> None:
+        self.eps = eps
+
+    def __call__(self, logits: np.ndarray, targets: np.ndarray) -> Tuple[float, np.ndarray]:
+        logits = np.asarray(logits, dtype=np.float64)
+        if logits.ndim != 2:
+            raise ValueError(f"logits must be (N, classes), got shape {logits.shape}")
+        n, num_classes = logits.shape
+        targets = np.asarray(targets)
+        if targets.ndim == 1:
+            if targets.shape[0] != n:
+                raise ValueError("targets length must match logits batch size")
+            one_hot = np.zeros_like(logits)
+            one_hot[np.arange(n), targets.astype(int)] = 1.0
+        elif targets.shape == logits.shape:
+            one_hot = targets.astype(np.float64)
+        else:
+            raise ValueError(
+                f"targets must be (N,) class indices or one-hot of shape {logits.shape}, "
+                f"got {targets.shape}"
+            )
+        probs = softmax(logits, axis=1)
+        value = float(-(one_hot * np.log(probs + self.eps)).sum() / n)
+        grad = (probs - one_hot) / n
+        return value, grad
+
+
+class MeanSquaredError(Loss):
+    """Mean squared error (used in tests and for regression-style checks)."""
+
+    def __call__(self, predictions: np.ndarray, targets: np.ndarray) -> Tuple[float, np.ndarray]:
+        predictions = np.asarray(predictions, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64)
+        if predictions.shape != targets.shape:
+            raise ValueError(
+                f"predictions and targets must share a shape, got "
+                f"{predictions.shape} vs {targets.shape}"
+            )
+        diff = predictions - targets
+        value = float(np.mean(diff**2))
+        grad = 2.0 * diff / diff.size
+        return value, grad

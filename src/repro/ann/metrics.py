@@ -1,0 +1,59 @@
+"""Classification metrics shared by the ANN trainer and the SNN evaluator."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 accuracy.
+
+    Parameters
+    ----------
+    predictions:
+        Either logits / scores of shape ``(N, classes)`` or predicted class
+        indices of shape ``(N,)``.
+    labels:
+        Ground-truth class indices of shape ``(N,)``.
+    """
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.ndim == 2:
+        predicted = predictions.argmax(axis=1)
+    elif predictions.ndim == 1:
+        predicted = predictions
+    else:
+        raise ValueError(f"predictions must be 1-D or 2-D, got shape {predictions.shape}")
+    if predicted.shape[0] != labels.shape[0]:
+        raise ValueError("predictions and labels must have the same length")
+    if labels.size == 0:
+        return 0.0
+    return float(np.mean(predicted == labels))
+
+
+def top_k_accuracy(scores: np.ndarray, labels: np.ndarray, k: int = 5) -> float:
+    """Top-k accuracy for score matrices of shape ``(N, classes)``."""
+    scores = np.asarray(scores)
+    labels = np.asarray(labels)
+    if scores.ndim != 2:
+        raise ValueError(f"scores must be 2-D, got shape {scores.shape}")
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    k = min(k, scores.shape[1])
+    top_k = np.argsort(scores, axis=1)[:, -k:]
+    hits = (top_k == labels[:, None]).any(axis=1)
+    if labels.size == 0:
+        return 0.0
+    return float(np.mean(hits))
+
+
+def confusion_matrix(predictions: np.ndarray, labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Confusion matrix ``C[i, j]`` = count of true class ``i`` predicted as ``j``."""
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.ndim == 2:
+        predictions = predictions.argmax(axis=1)
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    for true, pred in zip(labels, predictions):
+        matrix[int(true), int(pred)] += 1
+    return matrix

@@ -1,0 +1,109 @@
+"""Gradient-descent optimizers for the numpy ANN framework."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.ann.layers import Layer
+
+
+class Optimizer:
+    """Base optimizer updating the parameters of a list of layers in place."""
+
+    def __init__(self, learning_rate: float) -> None:
+        if learning_rate <= 0:
+            raise ValueError(f"learning_rate must be positive, got {learning_rate}")
+        self.learning_rate = learning_rate
+
+    def step(self, layers: List[Layer]) -> None:
+        """Apply one update using the gradients stored on each layer."""
+        for index, layer in enumerate(layers):
+            if not layer.trainable or not layer.params:
+                continue
+            for key, param in layer.params.items():
+                grad = layer.grads.get(key)
+                if grad is None:
+                    continue
+                self._update_param(f"{index}.{layer.name}.{key}", param, grad)
+
+    def _update_param(self, key: str, param: np.ndarray, grad: np.ndarray) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(learning_rate)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        if weight_decay < 0:
+            raise ValueError(f"weight_decay must be non-negative, got {weight_decay}")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: Dict[str, np.ndarray] = {}
+
+    def _update_param(self, key: str, param: np.ndarray, grad: np.ndarray) -> None:
+        if self.weight_decay:
+            grad = grad + self.weight_decay * param
+        if self.momentum:
+            velocity = self._velocity.get(key)
+            if velocity is None:
+                velocity = np.zeros_like(param)
+            velocity = self.momentum * velocity - self.learning_rate * grad
+            self._velocity[key] = velocity
+            param += velocity
+        else:
+            param -= self.learning_rate * grad
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba, 2015)."""
+
+    def __init__(
+        self,
+        learning_rate: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(learning_rate)
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError(f"betas must be in [0, 1), got {beta1}, {beta2}")
+        if weight_decay < 0:
+            raise ValueError(f"weight_decay must be non-negative, got {weight_decay}")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m: Dict[str, np.ndarray] = {}
+        self._v: Dict[str, np.ndarray] = {}
+        self._t = 0
+
+    def step(self, layers: List[Layer]) -> None:
+        self._t += 1
+        super().step(layers)
+
+    def _update_param(self, key: str, param: np.ndarray, grad: np.ndarray) -> None:
+        if self.weight_decay:
+            grad = grad + self.weight_decay * param
+        m = self._m.get(key)
+        v = self._v.get(key)
+        if m is None:
+            m = np.zeros_like(param)
+            v = np.zeros_like(param)
+        m = self.beta1 * m + (1 - self.beta1) * grad
+        v = self.beta2 * v + (1 - self.beta2) * grad**2
+        self._m[key] = m
+        self._v[key] = v
+        m_hat = m / (1 - self.beta1**self._t)
+        v_hat = v / (1 - self.beta2**self._t)
+        param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,162 @@
+"""Command-line interface.
+
+Three subcommands cover the common workflows:
+
+* ``repro experiment <name>`` — regenerate one (or all) of the paper's tables
+  and figures and print the rendered text (optionally saving it to a file);
+* ``repro compare`` — evaluate a list of coding schemes on a workload and
+  print a Table-1-style comparison;
+* ``repro info`` — print the installed version and the available experiments,
+  datasets, models and coding schemes.
+
+The module is also the ``repro`` console-script entry point declared in
+``pyproject.toml``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro import __version__
+from repro.core.hybrid import HybridCodingScheme
+from repro.core.pipeline import PipelineConfig, SNNInferencePipeline
+from repro.experiments.runner import EXPERIMENT_NAMES, RunnerConfig, run_all, run_experiment
+from repro.experiments.workloads import build_workload
+from repro.utils.tables import Table
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Fast and Efficient Information Transmission with "
+        "Burst Spikes in Deep Spiking Neural Networks' (DAC 2019)",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    subparsers = parser.add_subparsers(dest="command")
+
+    experiment = subparsers.add_parser(
+        "experiment", help="regenerate one of the paper's tables/figures"
+    )
+    experiment.add_argument(
+        "name",
+        choices=list(EXPERIMENT_NAMES) + ["all"],
+        help="which experiment to run ('all' runs every one)",
+    )
+    experiment.add_argument("--fast", action="store_true", help="use the small/fast preset")
+    experiment.add_argument("--time-steps", type=int, default=None, help="simulation horizon")
+    experiment.add_argument("--images", type=int, default=None, help="number of test images")
+    experiment.add_argument("--seed", type=int, default=0, help="random seed")
+    experiment.add_argument(
+        "--output", type=Path, default=None, help="also write the rendered output to this file"
+    )
+
+    compare = subparsers.add_parser("compare", help="compare coding schemes on a workload")
+    compare.add_argument(
+        "--schemes",
+        nargs="+",
+        default=["real-rate", "phase-phase", "phase-burst"],
+        help="coding schemes in 'input-hidden' notation",
+    )
+    compare.add_argument("--dataset", default="cifar10", choices=["mnist", "cifar10", "cifar100"])
+    compare.add_argument("--model", default="vgg_small",
+                         choices=["mlp", "small_cnn", "cnn", "vgg_small", "vgg16"])
+    compare.add_argument("--time-steps", type=int, default=120)
+    compare.add_argument("--images", type=int, default=16)
+    compare.add_argument("--v-th", type=float, default=0.125, help="burst base threshold")
+    compare.add_argument("--seed", type=int, default=0)
+
+    subparsers.add_parser("info", help="print version and available components")
+    return parser
+
+
+def _runner_config(args: argparse.Namespace) -> RunnerConfig:
+    config = RunnerConfig.fast() if args.fast else RunnerConfig()
+    if args.time_steps is not None:
+        config.time_steps = args.time_steps
+    if args.images is not None:
+        config.num_images = args.images
+    config.seed = args.seed
+    return config
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    config = _runner_config(args)
+    if args.name == "all":
+        outputs = run_all(config)
+        text = "\n\n".join(outputs[name] for name in outputs)
+    else:
+        text = run_experiment(args.name, config)
+    print(text)
+    if args.output is not None:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(text + "\n")
+        print(f"\n[saved to {args.output}]")
+    return 0
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    workload = build_workload(dataset=args.dataset, model=args.model, seed=args.seed)
+    pipeline = SNNInferencePipeline(
+        workload.model,
+        workload.data,
+        PipelineConfig(
+            time_steps=args.time_steps,
+            batch_size=16,
+            max_test_images=args.images,
+            seed=args.seed,
+        ),
+    )
+    table = Table(
+        ["scheme", "SNN acc %", "DNN acc %", "latency", "spikes/image", "density"],
+        title=f"Coding comparison on {workload.name}",
+    )
+    for notation in args.schemes:
+        scheme = HybridCodingScheme.from_notation(
+            notation, v_th=args.v_th if notation.endswith("burst") else None
+        )
+        run = pipeline.run_scheme(scheme)
+        metrics = run.metrics(target_accuracy=run.dnn_accuracy)
+        table.add_row(
+            {
+                "scheme": notation,
+                "SNN acc %": round(run.accuracy * 100, 2),
+                "DNN acc %": round(run.dnn_accuracy * 100, 2),
+                "latency": metrics.latency if metrics.latency else f">{run.time_steps}",
+                "spikes/image": round(run.spikes_per_image, 1),
+                "density": round(metrics.density, 5),
+            }
+        )
+    print(table.render())
+    return 0
+
+
+def _command_info() -> int:
+    print(f"repro {__version__}")
+    print(f"experiments : {', '.join(EXPERIMENT_NAMES)}")
+    print("datasets    : mnist, cifar10, cifar100 (synthetic look-alikes)")
+    print("models      : mlp, small_cnn, cnn, vgg_small, vgg16")
+    print("codings     : input = real | rate | phase | burst ; hidden = rate | phase | burst")
+    print("notation    : '<input>-<hidden>', e.g. phase-burst (the paper's proposal)")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "experiment":
+        return _command_experiment(args)
+    if args.command == "compare":
+        return _command_compare(args)
+    if args.command == "info":
+        return _command_info()
+    parser.print_help()
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""DNN→SNN conversion: weight normalisation and network building.
+
+The conversion approach follows the line of work the paper builds on:
+
+* import the trained DNN weights into an SNN with the same topology
+  (Cao et al. [10]),
+* rescale weights layer-by-layer with *data-based weight normalisation* so
+  that every activation maps onto a firing rate below the threshold
+  (Diehl et al. [11]),
+* optionally use the *outlier-robust* percentile variant and reset-by-
+  subtraction neurons (Rueckauer et al. [12, 13]),
+* attach the per-layer threshold dynamics of the chosen neural coding scheme
+  (this paper's hybrid / burst coding).
+"""
+
+from repro.conversion.normalization import (
+    NormalizationResult,
+    activation_scales,
+    model_based_scales,
+    normalize_weights,
+)
+from repro.conversion.converter import ConversionConfig, convert_to_snn, fold_batch_norm
+
+__all__ = [
+    "NormalizationResult",
+    "activation_scales",
+    "model_based_scales",
+    "normalize_weights",
+    "ConversionConfig",
+    "convert_to_snn",
+    "fold_batch_norm",
+]

@@ -1,0 +1,322 @@
+"""Build a :class:`~repro.snn.network.SpikingNetwork` from a trained ANN.
+
+The converter walks the ANN layer list, replaces every Dense/Conv2D + ReLU
+pair by a spiking layer carrying the (normalised) weights, maps pooling and
+flatten layers onto their spiking counterparts, folds BatchNorm into the
+preceding weights, drops Dropout, and turns the final Dense layer into a
+non-spiking output accumulator.
+
+The neural coding of the hidden layers is injected through a
+``threshold_factory`` callback so the converter stays independent of the
+hybrid-coding logic in :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.ann.layers import (
+    AvgPool2D,
+    BatchNorm,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    Layer,
+    MaxPool2D,
+    ReLU,
+)
+from repro.ann.model import Sequential
+from repro.conversion.normalization import NormalizationResult, normalize_weights
+from repro.snn.encoding import InputEncoder
+from repro.snn.layers import (
+    OutputAccumulator,
+    SpikingAvgPool2D,
+    SpikingConv2D,
+    SpikingDense,
+    SpikingFlatten,
+    SpikingLayer,
+    SpikingMaxPool2D,
+)
+from repro.snn.network import SpikingNetwork
+from repro.snn.neurons import ResetMode
+from repro.snn.thresholds import ThresholdDynamics
+from repro.utils.config import FrozenConfig, validate_in
+
+#: signature of the callback creating hidden-layer threshold dynamics;
+#: arguments are (hidden_layer_index, layer_name).
+ThresholdFactory = Callable[[int, str], ThresholdDynamics]
+
+
+@dataclass(frozen=True)
+class ConversionConfig(FrozenConfig):
+    """Options of the DNN→SNN conversion.
+
+    Attributes
+    ----------
+    normalization:
+        ``"data"`` (max-based, Diehl et al.), ``"robust"`` (percentile,
+        Rueckauer et al.), ``"model"`` (weight bound) or ``"none"``.
+    percentile:
+        Percentile for robust normalisation (ignored otherwise).
+    reset_mode:
+        ``"subtract"`` (reset-by-subtraction, Eq. 4 — the paper's choice) or
+        ``"zero"`` (Eq. 3).
+    max_pool_policy:
+        ``"spiking"`` keeps max pooling with cumulative-evidence gating,
+        ``"average"`` replaces it with average pooling (Cao et al. [10]).
+    keep_bias:
+        Whether biases are carried into the SNN (injected each step).
+    """
+
+    normalization: str = "data"
+    percentile: float = 99.9
+    reset_mode: str = "subtract"
+    max_pool_policy: str = "spiking"
+    keep_bias: bool = True
+
+    def __post_init__(self) -> None:
+        validate_in("normalization", self.normalization, ("data", "robust", "model", "none"))
+        validate_in("reset_mode", self.reset_mode, ("subtract", "zero"))
+        validate_in("max_pool_policy", self.max_pool_policy, ("spiking", "average"))
+        if not 0.0 < self.percentile <= 100.0:
+            raise ValueError(f"percentile must be in (0, 100], got {self.percentile}")
+
+
+def fold_batch_norm(model: Sequential) -> List[Dict[str, np.ndarray]]:
+    """Fold BatchNorm layers into the preceding Dense/Conv2D weights.
+
+    Returns a weight list (same structure as ``model.get_weights()``) in which
+    each BatchNorm's inference-time affine transform (scale by
+    ``gamma / sqrt(running_var + eps)``, shift by the matching offset) has been
+    absorbed into the previous weight layer.  The folded weights are meant to
+    be used in a network *without* the BatchNorm layers — which is exactly how
+    the converter consumes them (BatchNorm layers are dropped from the SNN).
+    The BatchNorm entries of the returned list are set to identity
+    gamma/beta for bookkeeping only.
+    """
+    weights = model.get_weights()
+    previous_weight_index: Optional[int] = None
+    for index, layer in enumerate(model.layers):
+        if isinstance(layer, (Dense, Conv2D)):
+            previous_weight_index = index
+        elif isinstance(layer, BatchNorm):
+            if previous_weight_index is None:
+                raise ValueError(
+                    f"BatchNorm layer {layer.name} has no preceding Dense/Conv2D to fold into"
+                )
+            gamma = layer.params["gamma"]
+            beta = layer.params["beta"]
+            mean = layer.running_mean
+            var = layer.running_var
+            scale = gamma / np.sqrt(var + layer.eps)
+            shift = beta - mean * scale
+
+            target = weights[previous_weight_index]
+            prev_layer = model.layers[previous_weight_index]
+            if isinstance(prev_layer, Dense):
+                target["weight"] = target["weight"] * scale[None, :]
+            else:  # Conv2D: scale applies per output channel
+                target["weight"] = target["weight"] * scale[:, None, None, None]
+            bias = target.get("bias")
+            if bias is None:
+                target["bias"] = shift.copy()
+            else:
+                target["bias"] = bias * scale + shift
+            # Neutralise the BatchNorm so it becomes the identity.
+            weights[index]["gamma"] = np.ones_like(gamma)
+            weights[index]["beta"] = np.zeros_like(beta)
+    return weights
+
+
+def _contains_batch_norm(model: Sequential) -> bool:
+    return any(isinstance(layer, BatchNorm) for layer in model.layers)
+
+
+def _neutralize_batch_norm_stats(model: Sequential) -> Dict[int, Tuple[np.ndarray, np.ndarray]]:
+    """Temporarily make every BatchNorm an identity map (running stats 0 / 1).
+
+    Returns the saved statistics so :func:`_restore_batch_norm_stats` can put
+    them back.  Used while measuring activation scales on folded weights.
+    """
+    saved: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+    for index, layer in enumerate(model.layers):
+        if isinstance(layer, BatchNorm):
+            saved[index] = (layer.running_mean.copy(), layer.running_var.copy())
+            layer.running_mean = np.zeros_like(layer.running_mean)
+            layer.running_var = np.ones_like(layer.running_var) - layer.eps
+    return saved
+
+
+def _restore_batch_norm_stats(
+    model: Sequential, saved: Dict[int, Tuple[np.ndarray, np.ndarray]]
+) -> None:
+    """Undo :func:`_neutralize_batch_norm_stats`."""
+    for index, (mean, var) in saved.items():
+        layer = model.layers[index]
+        if isinstance(layer, BatchNorm):
+            layer.running_mean = mean
+            layer.running_var = var
+
+
+def convert_to_snn(
+    model: Sequential,
+    encoder: InputEncoder,
+    threshold_factory: ThresholdFactory,
+    config: Optional[ConversionConfig] = None,
+    calibration_x: Optional[np.ndarray] = None,
+    normalization_result: Optional[NormalizationResult] = None,
+    bias_scale: Optional[float] = None,
+    input_shape: Optional[Tuple[int, ...]] = None,
+    name: Optional[str] = None,
+) -> SpikingNetwork:
+    """Convert a trained ANN into a spiking network.
+
+    Parameters
+    ----------
+    model:
+        The trained :class:`~repro.ann.model.Sequential` ANN.
+    encoder:
+        Input encoder implementing the input-layer coding scheme.
+    threshold_factory:
+        Callback returning the threshold dynamics (hidden-layer coding) for
+        each hidden spiking layer; called as ``factory(hidden_index, name)``.
+    config:
+        Conversion options (defaults to :class:`ConversionConfig`).
+    calibration_x:
+        Calibration inputs for data-based / robust normalisation.  Required
+        unless ``normalization_result`` is given or normalisation is
+        ``"model"`` / ``"none"``.
+    normalization_result:
+        Pre-computed normalisation (e.g. shared across coding schemes so every
+        scheme sees identical weights).
+    bias_scale:
+        Per-step bias scaling; defaults to the encoder's throughput factor so
+        biases stay proportionate to how fast evidence arrives.
+    input_shape:
+        Per-sample input shape; defaults to ``model.input_shape``.
+    """
+    config = config or ConversionConfig()
+    input_shape = tuple(input_shape or model.input_shape or ())
+    if not input_shape:
+        raise ValueError("input_shape is required (set it on the model or pass it explicitly)")
+    if bias_scale is None:
+        bias_scale = float(encoder.throughput_factor)
+
+    # 1. fold BatchNorm, 2. normalise weights.
+    if normalization_result is None:
+        if _contains_batch_norm(model):
+            folded = fold_batch_norm(model)
+            original = model.get_weights()
+            saved_stats = _neutralize_batch_norm_stats(model)
+            model.set_weights(folded)
+            try:
+                # With folded weights and neutralised BatchNorm statistics the
+                # model's forward pass equals the BN-free folded network, so
+                # the activation scales are measured on the right activations.
+                normalization_result = normalize_weights(
+                    model,
+                    calibration_x=calibration_x,
+                    percentile=config.percentile,
+                    method=config.normalization,
+                )
+            finally:
+                model.set_weights(original)
+                _restore_batch_norm_stats(model, saved_stats)
+        else:
+            normalization_result = normalize_weights(
+                model,
+                calibration_x=calibration_x,
+                percentile=config.percentile,
+                method=config.normalization,
+            )
+    weights = normalization_result.weights
+
+    weight_layer_indices = [
+        i for i, layer in enumerate(model.layers) if isinstance(layer, (Dense, Conv2D))
+    ]
+    if not weight_layer_indices:
+        raise ValueError("model has no Dense/Conv2D layers to convert")
+    last_weight_index = weight_layer_indices[-1]
+    if not isinstance(model.layers[last_weight_index], Dense):
+        raise ValueError("the final weight layer must be Dense (the classifier head)")
+
+    reset_mode = ResetMode.from_value(config.reset_mode)
+    spiking_layers: List[SpikingLayer] = []
+    shape = input_shape
+    hidden_index = 0
+
+    for index, layer in enumerate(model.layers):
+        layer_weights = weights[index]
+        if isinstance(layer, Dense):
+            weight = layer_weights["weight"]
+            bias = layer_weights.get("bias") if config.keep_bias else None
+            if index == last_weight_index:
+                spiking_layers.append(
+                    OutputAccumulator(weight, bias, bias_scale=bias_scale, name=f"{layer.name}_out")
+                )
+            else:
+                threshold = threshold_factory(hidden_index, layer.name)
+                hidden_index += 1
+                spiking_layers.append(
+                    SpikingDense(
+                        weight,
+                        bias,
+                        threshold,
+                        reset_mode=reset_mode,
+                        bias_scale=bias_scale,
+                        name=f"{layer.name}_snn",
+                    )
+                )
+        elif isinstance(layer, Conv2D):
+            weight = layer_weights["weight"]
+            bias = layer_weights.get("bias") if config.keep_bias else None
+            threshold = threshold_factory(hidden_index, layer.name)
+            hidden_index += 1
+            spiking_layers.append(
+                SpikingConv2D(
+                    weight,
+                    bias,
+                    threshold,
+                    stride=layer.stride,
+                    padding=layer.padding,
+                    reset_mode=reset_mode,
+                    bias_scale=bias_scale,
+                    input_shape=shape,
+                    name=f"{layer.name}_snn",
+                )
+            )
+        elif isinstance(layer, AvgPool2D):
+            spiking_layers.append(
+                SpikingAvgPool2D(layer.pool_size, layer.stride, name=f"{layer.name}_snn")
+            )
+        elif isinstance(layer, MaxPool2D):
+            if config.max_pool_policy == "average":
+                spiking_layers.append(
+                    SpikingAvgPool2D(layer.pool_size, layer.stride, name=f"{layer.name}_avg")
+                )
+            else:
+                spiking_layers.append(
+                    SpikingMaxPool2D(layer.pool_size, layer.stride, name=f"{layer.name}_snn")
+                )
+        elif isinstance(layer, Flatten):
+            spiking_layers.append(SpikingFlatten(name=f"{layer.name}_snn"))
+        elif isinstance(layer, (ReLU, Dropout, BatchNorm)):
+            # ReLU is absorbed into the IF neuron, Dropout is inference-identity,
+            # BatchNorm has been folded into the preceding weights.
+            pass
+        else:
+            raise TypeError(
+                f"layer {layer.name} of type {type(layer).__name__} is not supported by the converter"
+            )
+        shape = layer.output_shape(shape)
+
+    return SpikingNetwork(
+        spiking_layers,
+        encoder=encoder,
+        input_shape=input_shape,
+        name=name or f"{model.name}-snn",
+    )

@@ -1,0 +1,31 @@
+"""The paper's primary contribution: burst coding and the hybrid coding scheme.
+
+* :mod:`repro.core.coding` — the :class:`NeuralCoding` vocabulary and the
+  per-scheme parameters (``v_th``, burst constant β, phase period k).
+* :mod:`repro.core.hybrid` — :class:`HybridCodingScheme`, the layer-wise
+  "input-hidden" coding combination (e.g. ``phase-burst``) together with the
+  factories that build the matching input encoder and hidden-layer threshold
+  dynamics.
+* :mod:`repro.core.pipeline` — :class:`SNNInferencePipeline`, the end-to-end
+  train → convert → simulate → measure workflow that every experiment and
+  benchmark uses.
+"""
+
+from repro.core.coding import NeuralCoding, CodingParams
+from repro.core.hybrid import HybridCodingScheme, standard_schemes, table1_schemes
+from repro.core.pipeline import (
+    AggregatedRun,
+    PipelineConfig,
+    SNNInferencePipeline,
+)
+
+__all__ = [
+    "NeuralCoding",
+    "CodingParams",
+    "HybridCodingScheme",
+    "standard_schemes",
+    "table1_schemes",
+    "AggregatedRun",
+    "PipelineConfig",
+    "SNNInferencePipeline",
+]

@@ -1,0 +1,85 @@
+"""Neural coding vocabulary and per-scheme parameters."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.utils.config import FrozenConfig, validate_positive
+
+
+class NeuralCoding(str, enum.Enum):
+    """The neural coding schemes discussed in the paper.
+
+    ``REAL`` is only meaningful for the input layer (it injects the analog
+    value directly); ``RATE``, ``PHASE`` and ``BURST`` can be used both as
+    input coding and as hidden-layer coding.
+    """
+
+    REAL = "real"
+    RATE = "rate"
+    PHASE = "phase"
+    BURST = "burst"
+
+    @classmethod
+    def from_value(cls, value: "NeuralCoding | str") -> "NeuralCoding":
+        if isinstance(value, NeuralCoding):
+            return value
+        try:
+            return cls(value.lower())
+        except (ValueError, AttributeError) as exc:
+            raise ValueError(
+                f"unknown neural coding {value!r}; expected one of "
+                f"{[c.value for c in cls]}"
+            ) from exc
+
+    @property
+    def valid_for_hidden(self) -> bool:
+        """Real coding cannot drive hidden layers (they receive spikes)."""
+        return self is not NeuralCoding.REAL
+
+
+@dataclass(frozen=True)
+class CodingParams(FrozenConfig):
+    """Parameters shared by the coding implementations.
+
+    Attributes
+    ----------
+    v_th:
+        Base firing threshold; ``None`` selects the per-coding default
+        (1.0 for rate/phase, 0.125 for burst — the paper's main setting).
+    beta:
+        Burst constant β > 1 of Eq. 8 (the paper uses 2).
+    phase_period:
+        Period ``k`` of the phase oscillation (Eq. 6); also the bit depth of
+        phase input coding.  The paper uses 8 (8-bit pixels).
+    max_burst_length:
+        Optional cap on consecutive burst spikes (``None`` = uncapped).
+    stochastic_input:
+        Use the Poisson variant of rate input coding (Diehl et al. [11] drive
+        the input layer with Poisson spike trains, which is what makes rate
+        input coding the slowest, noisiest choice in Table 1).  Set to False
+        for the deterministic integrate-and-fire encoder.
+    """
+
+    v_th: Optional[float] = None
+    beta: float = 2.0
+    phase_period: int = 8
+    max_burst_length: Optional[int] = None
+    stochastic_input: bool = True
+
+    def __post_init__(self) -> None:
+        if self.v_th is not None:
+            validate_positive("v_th", self.v_th)
+        if self.beta <= 1.0:
+            raise ValueError(f"beta must be > 1, got {self.beta}")
+        validate_positive("phase_period", self.phase_period)
+        if self.max_burst_length is not None:
+            validate_positive("max_burst_length", self.max_burst_length)
+
+    def resolved_v_th(self, coding: NeuralCoding) -> float:
+        """The effective threshold for ``coding`` (default if ``v_th`` unset)."""
+        if self.v_th is not None:
+            return float(self.v_th)
+        return 0.125 if coding is NeuralCoding.BURST else 1.0

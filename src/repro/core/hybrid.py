@@ -1,0 +1,179 @@
+"""The layer-wise hybrid neural coding scheme (Section 3.2).
+
+The paper's key observation is that input and hidden layers have different
+transmission requirements: the input layer must transmit a *static, bounded*
+value quickly and precisely (real or phase coding), while hidden layers must
+*adapt the transmission amount dynamically* (burst coding).  A
+:class:`HybridCodingScheme` captures one "input-hidden" combination (the
+paper's ``phase-burst`` notation), and knows how to build the matching input
+encoder and hidden-layer threshold dynamics for the converter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.coding import CodingParams, NeuralCoding
+from repro.conversion.converter import ThresholdFactory
+from repro.snn.encoding import InputEncoder, make_encoder
+from repro.snn.thresholds import ThresholdDynamics, make_threshold
+from repro.utils.config import FrozenConfig
+from repro.utils.rng import SeedLike
+
+
+@dataclass(frozen=True)
+class HybridCodingScheme(FrozenConfig):
+    """One input/hidden coding combination, e.g. ``phase-burst``.
+
+    Attributes
+    ----------
+    input_coding:
+        Coding of the input layer (``real``, ``rate``, ``phase`` or ``burst``).
+    hidden_coding:
+        Coding of every hidden layer (``rate``, ``phase`` or ``burst``).
+    input_params / hidden_params:
+        Scheme parameters (thresholds, burst constant, phase period).
+    """
+
+    input_coding: NeuralCoding = NeuralCoding.PHASE
+    hidden_coding: NeuralCoding = NeuralCoding.BURST
+    input_params: CodingParams = field(default_factory=CodingParams)
+    hidden_params: CodingParams = field(default_factory=CodingParams)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "input_coding", NeuralCoding.from_value(self.input_coding))
+        object.__setattr__(self, "hidden_coding", NeuralCoding.from_value(self.hidden_coding))
+        if not self.hidden_coding.valid_for_hidden:
+            raise ValueError(
+                "real coding delivers analog values and is only valid for the input layer"
+            )
+
+    # -- construction helpers --------------------------------------------
+    @classmethod
+    def from_notation(
+        cls,
+        notation: str,
+        v_th: Optional[float] = None,
+        beta: float = 2.0,
+        phase_period: int = 8,
+        input_v_th: Optional[float] = None,
+        max_burst_length: Optional[int] = None,
+    ) -> "HybridCodingScheme":
+        """Build a scheme from the paper's ``"input-hidden"`` notation.
+
+        Parameters
+        ----------
+        notation:
+            For example ``"phase-burst"`` or ``"real-rate"``.
+        v_th:
+            Hidden-layer base threshold (``None`` = per-coding default).
+        input_v_th:
+            Input-layer threshold / amplitude scale (``None`` = default).
+        """
+        parts = notation.lower().split("-")
+        if len(parts) != 2:
+            raise ValueError(
+                f"notation must be of the form 'input-hidden' (e.g. 'phase-burst'), got {notation!r}"
+            )
+        input_coding = NeuralCoding.from_value(parts[0])
+        hidden_coding = NeuralCoding.from_value(parts[1])
+        return cls(
+            input_coding=input_coding,
+            hidden_coding=hidden_coding,
+            input_params=CodingParams(
+                v_th=input_v_th, beta=beta, phase_period=phase_period
+            ),
+            hidden_params=CodingParams(
+                v_th=v_th,
+                beta=beta,
+                phase_period=phase_period,
+                max_burst_length=max_burst_length,
+            ),
+        )
+
+    @property
+    def notation(self) -> str:
+        """The paper's "input-hidden" notation for this scheme."""
+        return f"{self.input_coding.value}-{self.hidden_coding.value}"
+
+    # -- factories handed to the converter --------------------------------
+    def make_encoder(self, seed: SeedLike = None) -> InputEncoder:
+        """Build the input encoder implementing the input-layer coding."""
+        params = self.input_params
+        return make_encoder(
+            self.input_coding.value,
+            v_th=params.v_th,
+            phase_period=params.phase_period,
+            beta=params.beta,
+            seed=seed,
+            stochastic=params.stochastic_input,
+        )
+
+    def make_threshold_factory(self) -> ThresholdFactory:
+        """Build the callback producing hidden-layer threshold dynamics.
+
+        Each hidden layer receives its *own* dynamics object (burst adaptation
+        is per-neuron state and must not be shared across layers).
+        """
+        params = self.hidden_params
+        coding = self.hidden_coding
+
+        def factory(hidden_index: int, layer_name: str) -> ThresholdDynamics:
+            del hidden_index, layer_name
+            return make_threshold(
+                coding.value,
+                v_th=params.v_th,
+                beta=params.beta,
+                phase_period=params.phase_period,
+                max_burst_length=params.max_burst_length,
+            )
+
+        return factory
+
+    def describe(self) -> str:
+        return (
+            f"{self.notation} (hidden v_th={self.hidden_params.resolved_v_th(self.hidden_coding)}, "
+            f"beta={self.hidden_params.beta}, k={self.hidden_params.phase_period})"
+        )
+
+
+def table1_schemes(
+    v_th: Optional[float] = None,
+    beta: float = 2.0,
+    phase_period: int = 8,
+) -> List[HybridCodingScheme]:
+    """The nine coding combinations evaluated in Table 1.
+
+    Input codings: real, rate, phase; hidden codings: rate, phase, burst.
+    ``v_th`` is the *burst* base threshold (the quantity the paper sweeps);
+    rate and phase hidden layers keep their standard threshold of 1.0.
+    """
+    schemes = []
+    for input_coding in ("real", "rate", "phase"):
+        for hidden_coding in ("rate", "phase", "burst"):
+            schemes.append(
+                HybridCodingScheme.from_notation(
+                    f"{input_coding}-{hidden_coding}",
+                    v_th=v_th if hidden_coding == "burst" else None,
+                    beta=beta,
+                    phase_period=phase_period,
+                )
+            )
+    return schemes
+
+
+def standard_schemes() -> List[HybridCodingScheme]:
+    """The headline schemes compared throughout the paper.
+
+    ``phase-burst`` (the proposed hybrid), ``real-burst`` (fastest), the
+    phase-coding baseline of Kim et al. (``phase-phase``), the rate-coding
+    baselines (``rate-rate``, ``real-rate``).
+    """
+    return [
+        HybridCodingScheme.from_notation("phase-burst"),
+        HybridCodingScheme.from_notation("real-burst"),
+        HybridCodingScheme.from_notation("phase-phase"),
+        HybridCodingScheme.from_notation("real-rate"),
+        HybridCodingScheme.from_notation("rate-rate"),
+    ]

@@ -1,0 +1,284 @@
+"""End-to-end inference pipeline: train → convert → simulate → measure.
+
+Every experiment in the paper follows the same workflow:
+
+1. train a DNN on the task (or reuse a trained one),
+2. convert it to an SNN with data-based weight normalisation,
+3. attach a hybrid coding scheme (input encoder + hidden threshold dynamics),
+4. simulate the SNN over the test set for a time budget,
+5. report accuracy / latency / spike count / density / energy.
+
+:class:`SNNInferencePipeline` packages steps 2–5 so that Table 1, Table 2 and
+Figures 2–5 are all driven through one code path, with the weight
+normalisation shared across coding schemes (so every scheme sees identical
+weights, as in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.metrics import InferenceMetrics, compute_inference_metrics
+from repro.ann.model import Sequential
+from repro.conversion.converter import ConversionConfig, convert_to_snn
+from repro.conversion.normalization import NormalizationResult, normalize_weights
+from repro.core.hybrid import HybridCodingScheme
+from repro.data.dataset import DataSplit
+from repro.snn.network import SimulationConfig, SimulationResult, SpikingNetwork
+from repro.utils.config import FrozenConfig, validate_positive
+from repro.utils.logging import get_logger
+
+logger = get_logger("core.pipeline")
+
+
+@dataclass(frozen=True)
+class PipelineConfig(FrozenConfig):
+    """Configuration of one pipeline evaluation.
+
+    Attributes
+    ----------
+    time_steps:
+        Simulation horizon (the paper's latency budget, e.g. 1,500).
+    batch_size:
+        Test images simulated together (memory/speed trade-off only).
+    record_outputs_every:
+        Snapshot the output scores every N steps (1 = full inference curve).
+    record_trains:
+        Record sampled spike trains (needed by Fig. 1/2/5 analyses).
+    sample_fraction:
+        Fraction of neurons per layer whose trains are recorded (paper: 10%).
+    max_test_images:
+        Evaluate only the first N test images (None = all).
+    calibration_images:
+        Number of training images used for data-based weight normalisation.
+    conversion:
+        DNN→SNN conversion options.
+    seed:
+        Seed for neuron sampling and any stochastic encoder.
+    """
+
+    time_steps: int = 200
+    batch_size: int = 32
+    record_outputs_every: int = 1
+    record_trains: bool = False
+    sample_fraction: float = 0.1
+    max_test_images: Optional[int] = None
+    calibration_images: int = 128
+    conversion: ConversionConfig = field(default_factory=ConversionConfig)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        validate_positive("time_steps", self.time_steps)
+        validate_positive("batch_size", self.batch_size)
+        validate_positive("record_outputs_every", self.record_outputs_every)
+        validate_positive("calibration_images", self.calibration_images)
+        if self.max_test_images is not None:
+            validate_positive("max_test_images", self.max_test_images)
+
+
+@dataclass
+class AggregatedRun:
+    """Result of evaluating one coding scheme over the whole test set.
+
+    The per-batch simulation results are merged into test-set-wide curves:
+    ``accuracy_curve`` over the recorded steps and ``cumulative_spikes`` over
+    every simulation step (summed over all evaluated images).
+    """
+
+    scheme: str
+    recorded_steps: np.ndarray
+    accuracy_curve: np.ndarray
+    cumulative_spikes: np.ndarray
+    time_steps: int
+    num_images: int
+    num_neurons: int
+    dnn_accuracy: float
+    labels: np.ndarray
+    outputs_final: np.ndarray
+    batch_results: List[SimulationResult] = field(default_factory=list)
+
+    @property
+    def accuracy(self) -> float:
+        """Final SNN accuracy after the full time budget."""
+        return float(self.accuracy_curve[-1]) if self.accuracy_curve.size else 0.0
+
+    @property
+    def total_spikes(self) -> int:
+        return int(self.cumulative_spikes[-1]) if self.cumulative_spikes.size else 0
+
+    @property
+    def spikes_per_image(self) -> float:
+        return self.total_spikes / self.num_images if self.num_images else 0.0
+
+    def metrics(self, target_accuracy: Optional[float] = None) -> InferenceMetrics:
+        """Summarise the run as one table row (optionally against a target)."""
+        return compute_inference_metrics(
+            scheme=self.scheme,
+            accuracy_curve=self.accuracy_curve,
+            recorded_steps=self.recorded_steps,
+            cumulative_spikes=self.cumulative_spikes,
+            num_neurons=self.num_neurons,
+            num_images=self.num_images,
+            dnn_accuracy=self.dnn_accuracy,
+            time_steps=self.time_steps,
+            target_accuracy=target_accuracy,
+        )
+
+
+class SNNInferencePipeline:
+    """Convert a trained DNN and evaluate coding schemes on a dataset.
+
+    Parameters
+    ----------
+    model:
+        Trained :class:`~repro.ann.model.Sequential` ANN.
+    data:
+        Train/test split; the train subset provides calibration images for
+        weight normalisation, the test subset is what the SNN classifies.
+    config:
+        Pipeline configuration (see :class:`PipelineConfig`).
+    """
+
+    def __init__(
+        self,
+        model: Sequential,
+        data: DataSplit,
+        config: Optional[PipelineConfig] = None,
+    ) -> None:
+        self.model = model
+        self.data = data
+        self.config = config or PipelineConfig()
+        self._dnn_accuracy: Optional[float] = None
+        self._normalization: Optional[NormalizationResult] = None
+
+    # -- cached intermediate results --------------------------------------
+    @property
+    def dnn_accuracy(self) -> float:
+        """Accuracy of the source DNN on the evaluated test images."""
+        if self._dnn_accuracy is None:
+            x, y = self._test_arrays()
+            self._dnn_accuracy = self.model.evaluate(x, y, batch_size=self.config.batch_size)
+        return self._dnn_accuracy
+
+    @property
+    def normalization(self) -> NormalizationResult:
+        """Weight normalisation shared by every coding scheme."""
+        if self._normalization is None:
+            calibration = self.data.train.x[: self.config.calibration_images]
+            conversion = self.config.conversion
+            self._normalization = normalize_weights(
+                self.model,
+                calibration_x=calibration,
+                percentile=conversion.percentile,
+                method=conversion.normalization,
+            )
+            logger.info(
+                "weight normalisation (%s): %d layers scaled",
+                conversion.normalization,
+                len(self._normalization.scales),
+            )
+        return self._normalization
+
+    def _test_arrays(self):
+        x = self.data.test.x
+        y = self.data.test.y
+        if self.config.max_test_images is not None:
+            x = x[: self.config.max_test_images]
+            y = y[: self.config.max_test_images]
+        if x.shape[0] == 0:
+            raise ValueError("no test images to evaluate")
+        return x, y
+
+    # -- building and running ---------------------------------------------
+    def build_snn(self, scheme: HybridCodingScheme) -> SpikingNetwork:
+        """Convert the DNN into an SNN configured for ``scheme``."""
+        encoder = scheme.make_encoder(seed=self.config.seed)
+        return convert_to_snn(
+            self.model,
+            encoder=encoder,
+            threshold_factory=scheme.make_threshold_factory(),
+            config=self.config.conversion,
+            normalization_result=self.normalization,
+            name=f"{self.model.name}-{scheme.notation}",
+        )
+
+    def run_scheme(
+        self,
+        scheme: HybridCodingScheme,
+        time_steps: Optional[int] = None,
+        keep_batch_results: bool = False,
+    ) -> AggregatedRun:
+        """Simulate ``scheme`` over the test set and aggregate the curves."""
+        config = self.config
+        time_steps = time_steps or config.time_steps
+        x, y = self._test_arrays()
+        snn = self.build_snn(scheme)
+        sim_config = SimulationConfig(
+            time_steps=time_steps,
+            record_outputs_every=config.record_outputs_every,
+            record_trains=config.record_trains,
+            sample_fraction=config.sample_fraction,
+            seed=config.seed,
+        )
+
+        correct_per_step: Optional[np.ndarray] = None
+        recorded_steps: Optional[np.ndarray] = None
+        cumulative_spikes = np.zeros(time_steps, dtype=np.float64)
+        outputs_final: List[np.ndarray] = []
+        batch_results: List[SimulationResult] = []
+        total_images = 0
+
+        for start in range(0, x.shape[0], config.batch_size):
+            batch_x = x[start : start + config.batch_size]
+            batch_y = y[start : start + config.batch_size]
+            result = snn.run(batch_x, sim_config, labels=batch_y)
+            if recorded_steps is None:
+                recorded_steps = result.recorded_steps
+                correct_per_step = np.zeros(len(recorded_steps), dtype=np.float64)
+            predicted = result.output_history.argmax(axis=2)
+            correct_per_step += (predicted == batch_y[None, :]).sum(axis=1)
+            cumulative_spikes += result.record.cumulative_spikes()
+            outputs_final.append(result.final_outputs)
+            total_images += batch_x.shape[0]
+            if keep_batch_results:
+                batch_results.append(result)
+
+        assert recorded_steps is not None and correct_per_step is not None
+        accuracy_curve = correct_per_step / total_images
+        run = AggregatedRun(
+            scheme=scheme.notation,
+            recorded_steps=recorded_steps,
+            accuracy_curve=accuracy_curve,
+            cumulative_spikes=cumulative_spikes,
+            time_steps=time_steps,
+            num_images=total_images,
+            num_neurons=snn.num_neurons(),
+            dnn_accuracy=self.dnn_accuracy,
+            labels=y[:total_images],
+            outputs_final=np.concatenate(outputs_final, axis=0),
+            batch_results=batch_results,
+        )
+        logger.info(
+            "scheme %-12s accuracy=%.4f (DNN %.4f) spikes/image=%.1f",
+            scheme.notation,
+            run.accuracy,
+            self.dnn_accuracy,
+            run.spikes_per_image,
+        )
+        return run
+
+    def compare(
+        self,
+        schemes: Sequence[HybridCodingScheme],
+        target_accuracy: Optional[float] = None,
+        time_steps: Optional[int] = None,
+    ) -> Dict[str, InferenceMetrics]:
+        """Evaluate several schemes and return one metrics row per scheme."""
+        results: Dict[str, InferenceMetrics] = {}
+        for scheme in schemes:
+            run = self.run_scheme(scheme, time_steps=time_steps)
+            results[scheme.notation] = run.metrics(target_accuracy=target_accuracy)
+        return results

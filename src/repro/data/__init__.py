@@ -1,0 +1,38 @@
+"""Dataset containers and procedurally generated image-classification data.
+
+The paper evaluates on MNIST, CIFAR-10 and CIFAR-100.  Those datasets are not
+available offline in this environment, so this package generates synthetic
+image-classification tasks with the same shapes and value ranges (inputs in
+``[0, 1]``, one-hot class labels).  See DESIGN.md §2 for the substitution
+rationale: the coding-scheme comparison needs a non-trivial task with bounded
+static inputs, which the synthetic generators provide.
+"""
+
+from repro.data.dataset import Dataset, DataSplit, iterate_minibatches, one_hot, train_test_split
+from repro.data.synthetic import (
+    SyntheticImageConfig,
+    make_classification_images,
+    make_mnist_like,
+    make_cifar10_like,
+    make_cifar100_like,
+    load_dataset,
+)
+from repro.data.transforms import normalize_minmax, standardize, flatten_images, clip01
+
+__all__ = [
+    "Dataset",
+    "DataSplit",
+    "iterate_minibatches",
+    "one_hot",
+    "train_test_split",
+    "SyntheticImageConfig",
+    "make_classification_images",
+    "make_mnist_like",
+    "make_cifar10_like",
+    "make_cifar100_like",
+    "load_dataset",
+    "normalize_minmax",
+    "standardize",
+    "flatten_images",
+    "clip01",
+]

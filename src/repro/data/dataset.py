@@ -1,0 +1,228 @@
+"""Dataset containers and batching helpers used by the ANN trainer and the SNN
+simulator.
+
+Conventions
+-----------
+* Images are stored channel-first as ``(N, C, H, W)`` float arrays in
+  ``[0, 1]``; flat feature matrices are ``(N, D)``.
+* Labels are integer class indices ``(N,)``; :func:`one_hot` converts them to
+  ``(N, num_classes)`` when a loss requires it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_rng
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Convert integer labels to a one-hot matrix.
+
+    Parameters
+    ----------
+    labels:
+        Integer array of shape ``(N,)`` with values in ``[0, num_classes)``.
+    num_classes:
+        Number of classes (columns of the result).
+    """
+    labels = np.asarray(labels)
+    if labels.ndim != 1:
+        raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
+    if num_classes <= 0:
+        raise ValueError(f"num_classes must be positive, got {num_classes}")
+    if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
+        raise ValueError(
+            f"labels must lie in [0, {num_classes}), got range "
+            f"[{labels.min()}, {labels.max()}]"
+        )
+    encoded = np.zeros((labels.shape[0], num_classes), dtype=np.float64)
+    encoded[np.arange(labels.shape[0]), labels] = 1.0
+    return encoded
+
+
+@dataclass
+class Dataset:
+    """A supervised dataset: inputs ``x`` and integer labels ``y``.
+
+    Attributes
+    ----------
+    x:
+        Input array, either images ``(N, C, H, W)`` or features ``(N, D)``.
+    y:
+        Integer labels ``(N,)``.
+    num_classes:
+        Number of distinct classes the labels can take.
+    name:
+        Human-readable identifier used in logs and experiment reports.
+    """
+
+    x: np.ndarray
+    y: np.ndarray
+    num_classes: int
+    name: str = "dataset"
+
+    def __post_init__(self) -> None:
+        self.x = np.asarray(self.x, dtype=np.float64)
+        self.y = np.asarray(self.y, dtype=np.int64)
+        if self.x.shape[0] != self.y.shape[0]:
+            raise ValueError(
+                f"x and y must have the same first dimension: "
+                f"{self.x.shape[0]} vs {self.y.shape[0]}"
+            )
+        if self.y.ndim != 1:
+            raise ValueError(f"y must be 1-D, got shape {self.y.shape}")
+        if self.num_classes <= 0:
+            raise ValueError(f"num_classes must be positive, got {self.num_classes}")
+        if self.y.size and self.y.max() >= self.num_classes:
+            raise ValueError(
+                f"labels exceed num_classes={self.num_classes}: max label {self.y.max()}"
+            )
+
+    def __len__(self) -> int:
+        return int(self.x.shape[0])
+
+    @property
+    def input_shape(self) -> Tuple[int, ...]:
+        """Per-sample input shape (without the batch dimension)."""
+        return tuple(self.x.shape[1:])
+
+    @property
+    def is_image(self) -> bool:
+        """True if samples are channel-first images."""
+        return self.x.ndim == 4
+
+    def labels_one_hot(self) -> np.ndarray:
+        """Labels as a one-hot matrix of shape ``(N, num_classes)``."""
+        return one_hot(self.y, self.num_classes)
+
+    def subset(self, indices: np.ndarray, name: Optional[str] = None) -> "Dataset":
+        """Return a new dataset restricted to ``indices``."""
+        indices = np.asarray(indices)
+        return Dataset(
+            x=self.x[indices],
+            y=self.y[indices],
+            num_classes=self.num_classes,
+            name=name or self.name,
+        )
+
+    def take(self, count: int, name: Optional[str] = None) -> "Dataset":
+        """Return the first ``count`` samples (useful for fast benchmarks)."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        return self.subset(np.arange(min(count, len(self))), name=name)
+
+    def shuffled(self, seed: SeedLike = None) -> "Dataset":
+        """Return a copy with samples shuffled."""
+        rng = as_rng(seed)
+        order = rng.permutation(len(self))
+        return self.subset(order)
+
+    def class_counts(self) -> np.ndarray:
+        """Number of samples per class, shape ``(num_classes,)``."""
+        return np.bincount(self.y, minlength=self.num_classes)
+
+
+@dataclass
+class DataSplit:
+    """A train / test split of one synthetic task."""
+
+    train: Dataset
+    test: Dataset
+    name: str = "split"
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def num_classes(self) -> int:
+        return self.train.num_classes
+
+    @property
+    def input_shape(self) -> Tuple[int, ...]:
+        return self.train.input_shape
+
+
+def train_test_split(
+    dataset: Dataset,
+    test_fraction: float = 0.2,
+    seed: SeedLike = None,
+    stratified: bool = True,
+) -> DataSplit:
+    """Split ``dataset`` into train and test subsets.
+
+    Parameters
+    ----------
+    dataset:
+        The dataset to split.
+    test_fraction:
+        Fraction of samples placed in the test subset (0 < f < 1).
+    seed:
+        RNG seed controlling the shuffle.
+    stratified:
+        If True (default) each class contributes proportionally to the test
+        set, which keeps small synthetic test sets balanced.
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    rng = as_rng(seed)
+    n = len(dataset)
+    if stratified:
+        test_idx = []
+        train_idx = []
+        for cls in range(dataset.num_classes):
+            cls_idx = np.flatnonzero(dataset.y == cls)
+            rng.shuffle(cls_idx)
+            n_test = int(round(len(cls_idx) * test_fraction))
+            test_idx.append(cls_idx[:n_test])
+            train_idx.append(cls_idx[n_test:])
+        test_indices = np.concatenate(test_idx) if test_idx else np.array([], dtype=int)
+        train_indices = np.concatenate(train_idx) if train_idx else np.array([], dtype=int)
+        rng.shuffle(test_indices)
+        rng.shuffle(train_indices)
+    else:
+        order = rng.permutation(n)
+        n_test = int(round(n * test_fraction))
+        test_indices = order[:n_test]
+        train_indices = order[n_test:]
+    return DataSplit(
+        train=dataset.subset(train_indices, name=f"{dataset.name}-train"),
+        test=dataset.subset(test_indices, name=f"{dataset.name}-test"),
+        name=dataset.name,
+    )
+
+
+def iterate_minibatches(
+    x: np.ndarray,
+    y: np.ndarray,
+    batch_size: int,
+    shuffle: bool = True,
+    seed: SeedLike = None,
+    drop_last: bool = False,
+) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Yield ``(x_batch, y_batch)`` minibatches.
+
+    Parameters
+    ----------
+    batch_size:
+        Number of samples per batch; the final smaller batch is yielded unless
+        ``drop_last`` is True.
+    shuffle:
+        Shuffle sample order before batching.
+    """
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    x = np.asarray(x)
+    y = np.asarray(y)
+    if x.shape[0] != y.shape[0]:
+        raise ValueError("x and y must have the same number of samples")
+    n = x.shape[0]
+    indices = np.arange(n)
+    if shuffle:
+        as_rng(seed).shuffle(indices)
+    for start in range(0, n, batch_size):
+        batch = indices[start : start + batch_size]
+        if drop_last and batch.shape[0] < batch_size:
+            break
+        yield x[batch], y[batch]

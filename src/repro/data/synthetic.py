@@ -1,0 +1,282 @@
+"""Procedural image-classification datasets standing in for MNIST / CIFAR.
+
+The real datasets are not available offline, so we generate tasks with the
+same input shapes and value ranges.  Each class is defined by a smooth random
+*prototype* image; a sample is its prototype after random spatial shift,
+per-sample brightness/contrast jitter, additive Gaussian noise and optional
+occlusion patches.  The resulting task:
+
+* has bounded static inputs in ``[0, 1]`` (the property the paper's input
+  coding discussion relies on),
+* is learnable to high accuracy by a small CNN/MLP but not linearly trivial
+  once noise and shift are enabled,
+* degrades gracefully when information transmission is poor, which is what
+  the coding-scheme comparison measures.
+
+See DESIGN.md §2 for the substitution rationale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.data.dataset import Dataset, DataSplit, train_test_split
+from repro.utils.config import FrozenConfig, validate_positive, validate_probability
+from repro.utils.rng import SeedLike, as_rng
+
+
+@dataclass(frozen=True)
+class SyntheticImageConfig(FrozenConfig):
+    """Parameters of the procedural image generator.
+
+    Attributes
+    ----------
+    num_classes:
+        Number of classes (each with its own prototype).
+    image_shape:
+        Channel-first per-sample shape ``(C, H, W)``.
+    samples_per_class:
+        Number of generated samples per class.
+    noise_std:
+        Standard deviation of additive pixel noise (before clipping to [0,1]).
+    max_shift:
+        Maximum absolute spatial shift (pixels) applied per sample.
+    brightness_jitter:
+        Maximum absolute brightness offset applied per sample.
+    contrast_jitter:
+        Maximum relative contrast change applied per sample.
+    occlusion_probability:
+        Probability that a random square patch of the image is zeroed.
+    occlusion_size:
+        Side length of the occlusion patch in pixels.
+    prototype_smoothness:
+        Number of smoothing passes applied to the random prototypes; higher
+        values give smoother, lower-frequency class templates.
+    background_scale:
+        Multiplier applied to the smooth background texture of each prototype
+        before the bright class strokes are drawn.  1.0 gives dense,
+        CIFAR-like images; small values (e.g. 0.15) give mostly-dark,
+        MNIST-like images whose low mean pixel value matters for spike-count
+        comparisons (most MNIST pixels are background).
+    """
+
+    num_classes: int = 10
+    image_shape: Tuple[int, int, int] = (1, 28, 28)
+    samples_per_class: int = 50
+    noise_std: float = 0.08
+    max_shift: int = 2
+    brightness_jitter: float = 0.08
+    contrast_jitter: float = 0.15
+    occlusion_probability: float = 0.1
+    occlusion_size: int = 4
+    prototype_smoothness: int = 3
+    background_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        validate_positive("num_classes", self.num_classes)
+        validate_positive("samples_per_class", self.samples_per_class)
+        validate_positive("noise_std", self.noise_std, allow_zero=True)
+        validate_positive("max_shift", self.max_shift, allow_zero=True)
+        validate_probability("occlusion_probability", self.occlusion_probability)
+        if len(self.image_shape) != 3:
+            raise ValueError(f"image_shape must be (C, H, W), got {self.image_shape}")
+        if any(dim <= 0 for dim in self.image_shape):
+            raise ValueError(f"image_shape entries must be positive, got {self.image_shape}")
+        if not 0.0 <= self.background_scale <= 1.0:
+            raise ValueError(
+                f"background_scale must be in [0, 1], got {self.background_scale}"
+            )
+
+
+def _smooth(image: np.ndarray, passes: int) -> np.ndarray:
+    """Box-smooth a (C, H, W) image ``passes`` times with a 3x3 kernel."""
+    smoothed = image.copy()
+    for _ in range(max(passes, 0)):
+        padded = np.pad(smoothed, ((0, 0), (1, 1), (1, 1)), mode="edge")
+        acc = np.zeros_like(smoothed)
+        for dy in range(3):
+            for dx in range(3):
+                acc += padded[:, dy : dy + smoothed.shape[1], dx : dx + smoothed.shape[2]]
+        smoothed = acc / 9.0
+    return smoothed
+
+
+def _make_prototypes(config: SyntheticImageConfig, rng: np.random.Generator) -> np.ndarray:
+    """Generate one smooth random prototype image per class, values in [0,1]."""
+    c, h, w = config.image_shape
+    prototypes = rng.uniform(0.0, 1.0, size=(config.num_classes, c, h, w))
+    for idx in range(config.num_classes):
+        proto = _smooth(prototypes[idx], config.prototype_smoothness)
+        # Stretch to full dynamic range so classes are visually distinct.
+        lo, hi = proto.min(), proto.max()
+        if hi - lo > 1e-9:
+            proto = (proto - lo) / (hi - lo)
+        proto = proto * config.background_scale
+        # Add a class-specific bright stroke to make classes separable even
+        # under heavy noise (mimics digit strokes / object silhouettes).
+        stroke_row = int((idx * (h - 4)) / max(config.num_classes - 1, 1)) + 2
+        stroke_col = int(((idx * 7) % max(w - 4, 1))) + 2
+        proto[:, stroke_row - 1 : stroke_row + 1, :] = np.maximum(
+            proto[:, stroke_row - 1 : stroke_row + 1, :], 0.9
+        )
+        proto[:, :, stroke_col - 1 : stroke_col + 1] = np.maximum(
+            proto[:, :, stroke_col - 1 : stroke_col + 1], 0.8
+        )
+        prototypes[idx] = proto
+    return prototypes
+
+
+def _shift_image(image: np.ndarray, dy: int, dx: int) -> np.ndarray:
+    """Shift a (C, H, W) image by (dy, dx) pixels, zero-filling the border."""
+    shifted = np.zeros_like(image)
+    h, w = image.shape[1], image.shape[2]
+    src_y = slice(max(0, -dy), min(h, h - dy))
+    dst_y = slice(max(0, dy), min(h, h + dy))
+    src_x = slice(max(0, -dx), min(w, w - dx))
+    dst_x = slice(max(0, dx), min(w, w + dx))
+    shifted[:, dst_y, dst_x] = image[:, src_y, src_x]
+    return shifted
+
+
+def make_classification_images(
+    config: SyntheticImageConfig,
+    seed: SeedLike = None,
+    name: str = "synthetic",
+) -> Dataset:
+    """Generate a synthetic image-classification dataset.
+
+    Returns a :class:`~repro.data.dataset.Dataset` with images of shape
+    ``(N, C, H, W)`` in ``[0, 1]`` and integer labels.
+    """
+    rng = as_rng(seed)
+    prototypes = _make_prototypes(config, rng)
+    c, h, w = config.image_shape
+    total = config.num_classes * config.samples_per_class
+    images = np.empty((total, c, h, w), dtype=np.float64)
+    labels = np.empty(total, dtype=np.int64)
+
+    index = 0
+    for cls in range(config.num_classes):
+        for _ in range(config.samples_per_class):
+            sample = prototypes[cls].copy()
+            if config.max_shift > 0:
+                dy = int(rng.integers(-config.max_shift, config.max_shift + 1))
+                dx = int(rng.integers(-config.max_shift, config.max_shift + 1))
+                sample = _shift_image(sample, dy, dx)
+            if config.contrast_jitter > 0:
+                contrast = 1.0 + rng.uniform(-config.contrast_jitter, config.contrast_jitter)
+                sample = (sample - 0.5) * contrast + 0.5
+            if config.brightness_jitter > 0:
+                sample = sample + rng.uniform(
+                    -config.brightness_jitter, config.brightness_jitter
+                )
+            if config.noise_std > 0:
+                sample = sample + rng.normal(0.0, config.noise_std, size=sample.shape)
+            if config.occlusion_probability > 0 and rng.uniform() < config.occlusion_probability:
+                size = min(config.occlusion_size, h, w)
+                top = int(rng.integers(0, h - size + 1))
+                left = int(rng.integers(0, w - size + 1))
+                sample[:, top : top + size, left : left + size] = 0.0
+            images[index] = np.clip(sample, 0.0, 1.0)
+            labels[index] = cls
+            index += 1
+
+    order = rng.permutation(total)
+    return Dataset(x=images[order], y=labels[order], num_classes=config.num_classes, name=name)
+
+
+def make_mnist_like(
+    samples_per_class: int = 40,
+    seed: SeedLike = 0,
+    test_fraction: float = 0.25,
+) -> DataSplit:
+    """MNIST-shaped task: 10 classes of 1x28x28 grayscale images."""
+    config = SyntheticImageConfig(
+        num_classes=10,
+        image_shape=(1, 28, 28),
+        samples_per_class=samples_per_class,
+        noise_std=0.08,
+        max_shift=2,
+        background_scale=0.15,
+    )
+    dataset = make_classification_images(config, seed=seed, name="mnist-like")
+    split = train_test_split(dataset, test_fraction=test_fraction, seed=seed)
+    split.metadata["config"] = config
+    return split
+
+
+def make_cifar10_like(
+    samples_per_class: int = 40,
+    seed: SeedLike = 1,
+    test_fraction: float = 0.25,
+) -> DataSplit:
+    """CIFAR-10-shaped task: 10 classes of 3x32x32 colour images."""
+    config = SyntheticImageConfig(
+        num_classes=10,
+        image_shape=(3, 32, 32),
+        samples_per_class=samples_per_class,
+        noise_std=0.1,
+        max_shift=2,
+        occlusion_probability=0.15,
+    )
+    dataset = make_classification_images(config, seed=seed, name="cifar10-like")
+    split = train_test_split(dataset, test_fraction=test_fraction, seed=seed)
+    split.metadata["config"] = config
+    return split
+
+
+def make_cifar100_like(
+    samples_per_class: int = 8,
+    seed: SeedLike = 2,
+    test_fraction: float = 0.25,
+) -> DataSplit:
+    """CIFAR-100-shaped task: 100 classes of 3x32x32 colour images."""
+    config = SyntheticImageConfig(
+        num_classes=100,
+        image_shape=(3, 32, 32),
+        samples_per_class=samples_per_class,
+        noise_std=0.08,
+        max_shift=1,
+        occlusion_probability=0.1,
+    )
+    dataset = make_classification_images(config, seed=seed, name="cifar100-like")
+    split = train_test_split(dataset, test_fraction=test_fraction, seed=seed)
+    split.metadata["config"] = config
+    return split
+
+
+_DATASET_FACTORIES = {
+    "mnist": make_mnist_like,
+    "mnist-like": make_mnist_like,
+    "cifar10": make_cifar10_like,
+    "cifar10-like": make_cifar10_like,
+    "cifar100": make_cifar100_like,
+    "cifar100-like": make_cifar100_like,
+}
+
+
+def load_dataset(name: str, samples_per_class: Optional[int] = None, seed: SeedLike = 0) -> DataSplit:
+    """Load one of the named synthetic tasks by dataset name.
+
+    Parameters
+    ----------
+    name:
+        One of ``mnist``, ``cifar10``, ``cifar100`` (with or without a
+        ``-like`` suffix).
+    samples_per_class:
+        Override the default per-class sample count (useful for quick tests).
+    seed:
+        RNG seed for data generation and splitting.
+    """
+    key = name.lower()
+    if key not in _DATASET_FACTORIES:
+        raise ValueError(
+            f"unknown dataset {name!r}; expected one of {sorted(set(_DATASET_FACTORIES))}"
+        )
+    factory = _DATASET_FACTORIES[key]
+    if samples_per_class is None:
+        return factory(seed=seed)
+    return factory(samples_per_class=samples_per_class, seed=seed)

@@ -1,0 +1,47 @@
+"""Input transforms applied before DNN training / SNN encoding.
+
+DNN-to-SNN conversion with rate/phase/burst input coding assumes inputs are
+bounded in ``[0, 1]`` (Section 3.2 of the paper: "The input values, in many
+cases, are static and bounded").  These helpers enforce that convention.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def normalize_minmax(x: np.ndarray, eps: float = 1e-12) -> np.ndarray:
+    """Rescale ``x`` linearly to ``[0, 1]`` over the whole array."""
+    x = np.asarray(x, dtype=np.float64)
+    lo = x.min()
+    hi = x.max()
+    if hi - lo < eps:
+        return np.zeros_like(x)
+    return (x - lo) / (hi - lo)
+
+
+def standardize(x: np.ndarray, eps: float = 1e-12) -> Tuple[np.ndarray, float, float]:
+    """Standardise to zero mean / unit variance; returns ``(x, mean, std)``."""
+    x = np.asarray(x, dtype=np.float64)
+    mean = float(x.mean())
+    std = float(x.std())
+    if std < eps:
+        std = 1.0
+    return (x - mean) / std, mean, std
+
+
+def clip01(x: np.ndarray) -> np.ndarray:
+    """Clip values into ``[0, 1]`` (used after augmentation noise)."""
+    return np.clip(np.asarray(x, dtype=np.float64), 0.0, 1.0)
+
+
+def flatten_images(x: np.ndarray) -> np.ndarray:
+    """Flatten ``(N, C, H, W)`` images to ``(N, C*H*W)`` feature rows."""
+    x = np.asarray(x)
+    if x.ndim == 2:
+        return x
+    if x.ndim != 4:
+        raise ValueError(f"expected (N, C, H, W) images, got shape {x.shape}")
+    return x.reshape(x.shape[0], -1)

@@ -1,0 +1,23 @@
+"""Neuromorphic energy estimation (Table 2's "Normalized energy" columns).
+
+The paper estimates inference energy on two neuromorphic architectures
+(TrueNorth [6] and SpiNNaker [7]) by splitting total energy into computation,
+routing and static components and scaling each proportionally to the number of
+spikes, the spiking density, and the latency respectively, then normalising
+against a per-dataset baseline.  This package implements exactly that
+proportional model.
+"""
+
+from repro.energy.architectures import ArchitectureEnergyModel, TRUENORTH, SPINNAKER, get_architecture
+from repro.energy.estimator import EnergyEstimate, EnergyWorkload, estimate_energy, normalized_energy
+
+__all__ = [
+    "ArchitectureEnergyModel",
+    "TRUENORTH",
+    "SPINNAKER",
+    "get_architecture",
+    "EnergyEstimate",
+    "EnergyWorkload",
+    "estimate_energy",
+    "normalized_energy",
+]

@@ -1,0 +1,99 @@
+"""Energy-model parameters of the two neuromorphic architectures.
+
+The paper's model (Section 4.2) splits inference energy into three parts and
+scales them with different workload statistics:
+
+* **computation** energy — proportional to the number of spikes (every spike
+  triggers synaptic updates in the event-driven cores);
+* **routing** energy — proportional to the spiking density (how busy the
+  on-chip network is per neuron per time step, following [26]);
+* **static** energy — proportional to the latency (leakage and idle power are
+  paid for every time step regardless of activity).
+
+The per-architecture *fractions* below describe how a baseline workload's
+energy splits across the three parts.  They are calibrated so that the
+normalised-energy columns of Table 2 are reproduced to first order
+(TrueNorth's energy is dominated by static/leakage at these utilisations,
+SpiNNaker's ARM cores add a large per-spike software cost), and they are the
+quantities a user would re-fit when targeting different hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.config import FrozenConfig
+
+
+@dataclass(frozen=True)
+class ArchitectureEnergyModel(FrozenConfig):
+    """Proportional energy model of one neuromorphic architecture.
+
+    Attributes
+    ----------
+    name:
+        Architecture name used in reports.
+    computation_fraction:
+        Share of a baseline workload's energy spent on spike-driven
+        computation (scales with the number of spikes).
+    routing_fraction:
+        Share spent on the interconnect (scales with spiking density).
+    static_fraction:
+        Share spent on leakage / idle power (scales with latency).
+    """
+
+    name: str
+    computation_fraction: float
+    routing_fraction: float
+    static_fraction: float
+
+    def __post_init__(self) -> None:
+        total = self.computation_fraction + self.routing_fraction + self.static_fraction
+        for label, value in (
+            ("computation_fraction", self.computation_fraction),
+            ("routing_fraction", self.routing_fraction),
+            ("static_fraction", self.static_fraction),
+        ):
+            if value < 0:
+                raise ValueError(f"{label} must be non-negative, got {value}")
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(
+                f"energy fractions must sum to 1 (got {total:.6f}) so that the baseline "
+                "workload has normalised energy 1"
+            )
+
+
+#: IBM TrueNorth [6]: fully event-driven digital cores with very low dynamic
+#: energy per spike; at the utilisations of Table 2 the chip's energy is
+#: dominated by leakage (static) with a modest routing contribution.
+TRUENORTH = ArchitectureEnergyModel(
+    name="TrueNorth",
+    computation_fraction=0.05,
+    routing_fraction=0.06,
+    static_fraction=0.89,
+)
+
+#: SpiNNaker [7]: ARM-core based; every spike costs software processing
+#: (larger computation share) and the always-on cores keep a large static
+#: share, while the packet-switched NoC contributes a small density term.
+SPINNAKER = ArchitectureEnergyModel(
+    name="SpiNNaker",
+    computation_fraction=0.35,
+    routing_fraction=0.05,
+    static_fraction=0.60,
+)
+
+_ARCHITECTURES = {
+    "truenorth": TRUENORTH,
+    "spinnaker": SPINNAKER,
+}
+
+
+def get_architecture(name: str) -> ArchitectureEnergyModel:
+    """Look an architecture energy model up by (case-insensitive) name."""
+    key = name.lower()
+    if key not in _ARCHITECTURES:
+        raise ValueError(
+            f"unknown architecture {name!r}; expected one of {sorted(_ARCHITECTURES)}"
+        )
+    return _ARCHITECTURES[key]

@@ -1,0 +1,106 @@
+"""Normalized-energy estimation following the paper's proportional model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.energy.architectures import ArchitectureEnergyModel
+from repro.utils.config import FrozenConfig, validate_positive
+
+
+@dataclass(frozen=True)
+class EnergyWorkload(FrozenConfig):
+    """The workload statistics the energy model consumes (one Table 2 row).
+
+    Attributes
+    ----------
+    spikes_per_image:
+        Average number of spikes emitted per classified image.
+    density:
+        Spiking density (spikes / neuron / time step).
+    latency:
+        Classification latency in time steps.
+    label:
+        Identifier of the method/configuration (used in reports).
+    """
+
+    spikes_per_image: float
+    density: float
+    latency: float
+    label: str = "workload"
+
+    def __post_init__(self) -> None:
+        if self.spikes_per_image < 0:
+            raise ValueError(f"spikes_per_image must be non-negative, got {self.spikes_per_image}")
+        if self.density < 0:
+            raise ValueError(f"density must be non-negative, got {self.density}")
+        validate_positive("latency", self.latency)
+
+
+@dataclass
+class EnergyEstimate:
+    """Energy of one workload relative to a baseline workload.
+
+    ``total`` is the normalised energy reported in Table 2 (baseline = 1.0);
+    the three components show where the energy goes.
+    """
+
+    label: str
+    architecture: str
+    computation: float
+    routing: float
+    static: float
+
+    @property
+    def total(self) -> float:
+        return self.computation + self.routing + self.static
+
+
+def estimate_energy(
+    workload: EnergyWorkload,
+    baseline: EnergyWorkload,
+    architecture: ArchitectureEnergyModel,
+) -> EnergyEstimate:
+    """Normalised energy of ``workload`` relative to ``baseline``.
+
+    Each component of the baseline's energy is scaled by the ratio of the
+    corresponding workload statistic (spikes → computation, density → routing,
+    latency → static), so the baseline itself evaluates to exactly 1.0.
+    """
+    if baseline.spikes_per_image <= 0 and workload.spikes_per_image > 0:
+        raise ValueError("baseline workload must have a positive spike count")
+    spike_ratio = (
+        workload.spikes_per_image / baseline.spikes_per_image
+        if baseline.spikes_per_image > 0
+        else 0.0
+    )
+    density_ratio = workload.density / baseline.density if baseline.density > 0 else 0.0
+    latency_ratio = workload.latency / baseline.latency
+    return EnergyEstimate(
+        label=workload.label,
+        architecture=architecture.name,
+        computation=architecture.computation_fraction * spike_ratio,
+        routing=architecture.routing_fraction * density_ratio,
+        static=architecture.static_fraction * latency_ratio,
+    )
+
+
+def normalized_energy(
+    workloads: Iterable[EnergyWorkload],
+    baseline: EnergyWorkload,
+    architectures: Iterable[ArchitectureEnergyModel],
+) -> Dict[str, Dict[str, float]]:
+    """Normalised energy for several workloads on several architectures.
+
+    Returns a mapping ``workload label → {architecture name → normalised
+    energy}`` — one number per (row, architecture) pair of Table 2.
+    """
+    architectures = list(architectures)
+    results: Dict[str, Dict[str, float]] = {}
+    for workload in workloads:
+        per_arch: Dict[str, float] = {}
+        for architecture in architectures:
+            per_arch[architecture.name] = estimate_energy(workload, baseline, architecture).total
+        results[workload.label] = per_arch
+    return results

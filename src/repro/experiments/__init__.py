@@ -1,0 +1,65 @@
+"""Experiment harness: one module per paper table / figure.
+
+Every module exposes a ``run_*`` function returning plain data structures and
+a ``format_*`` function rendering the same rows/series the paper reports, so
+the benchmark suite can both measure runtime and print the reproduced table.
+
+| Paper item | Module | Entry point |
+|------------|--------|-------------|
+| Fig. 1     | :mod:`repro.experiments.fig1`   | ``run_fig1``   |
+| Fig. 2     | :mod:`repro.experiments.fig2`   | ``run_fig2``   |
+| Table 1    | :mod:`repro.experiments.table1` | ``run_table1`` |
+| Fig. 3     | :mod:`repro.experiments.fig3`   | ``run_fig3``   |
+| Fig. 4     | :mod:`repro.experiments.fig4`   | ``run_fig4``   |
+| Table 2    | :mod:`repro.experiments.table2` | ``run_table2`` |
+| Fig. 5     | :mod:`repro.experiments.fig5`   | ``run_fig5``   |
+
+Workloads (dataset + trained DNN) are built and cached by
+:mod:`repro.experiments.workloads`.
+"""
+
+from repro.experiments.workloads import (
+    Workload,
+    WorkloadSpec,
+    build_workload,
+    clear_workload_cache,
+    cifar10_workload,
+    cifar100_workload,
+    mnist_workload,
+)
+from repro.experiments.fig1 import run_fig1, format_fig1
+from repro.experiments.fig2 import run_fig2, format_fig2
+from repro.experiments.table1 import run_table1, format_table1
+from repro.experiments.fig3 import run_fig3, format_fig3
+from repro.experiments.fig4 import run_fig4, format_fig4
+from repro.experiments.table2 import run_table2, format_table2
+from repro.experiments.fig5 import run_fig5, format_fig5
+from repro.experiments.runner import EXPERIMENT_NAMES, RunnerConfig, run_all, run_experiment
+
+__all__ = [
+    "EXPERIMENT_NAMES",
+    "RunnerConfig",
+    "run_all",
+    "run_experiment",
+    "Workload",
+    "WorkloadSpec",
+    "build_workload",
+    "clear_workload_cache",
+    "cifar10_workload",
+    "cifar100_workload",
+    "mnist_workload",
+    "run_fig1",
+    "format_fig1",
+    "run_fig2",
+    "format_fig2",
+    "run_table1",
+    "format_table1",
+    "run_fig3",
+    "format_fig3",
+    "run_fig4",
+    "format_fig4",
+    "run_table2",
+    "format_table2",
+    "run_fig5",
+    "format_fig5",
+]

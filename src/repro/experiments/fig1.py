@@ -1,0 +1,118 @@
+"""Figure 1: spike train, PSP and ISI histogram of a single IF neuron under
+rate, phase and burst coding.
+
+The figure in the paper is illustrative: one neuron driven by a constant
+input, shown under the three coding schemes.  ``run_fig1`` reproduces the
+three panels quantitatively — the spike train (A), the transmitted spike
+amplitudes which play the role of the post-synaptic potentiation (B), and the
+ISI histogram (C) — so the qualitative claims can be checked:
+
+* rate coding: evenly spaced unit-amplitude spikes, ISI mass away from 1;
+* phase coding: spikes locked to the oscillation phases, very short ISIs;
+* burst coding: groups of consecutive spikes with growing amplitudes,
+  a clear peak at ISI = 1 that rate coding lacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.analysis.isi import isi_histogram, short_isi_fraction
+from repro.snn.neurons import IFNeuronState, ResetMode
+from repro.snn.thresholds import make_threshold
+from repro.utils.config import validate_positive
+
+
+@dataclass
+class SingleNeuronTrace:
+    """Recorded activity of the single demonstration neuron."""
+
+    coding: str
+    spike_train: np.ndarray
+    amplitudes: np.ndarray
+    membrane: np.ndarray
+    isih_bins: np.ndarray
+    isih_counts: np.ndarray
+    short_isi_fraction: float
+    total_spikes: int
+
+
+def run_single_neuron(
+    coding: str,
+    drive: float = 0.3,
+    time_steps: int = 200,
+    v_th: Optional[float] = None,
+    beta: float = 2.0,
+    phase_period: int = 8,
+    max_isi: int = 50,
+) -> SingleNeuronTrace:
+    """Simulate one IF neuron with constant input ``drive`` under ``coding``."""
+    validate_positive("time_steps", time_steps)
+    if not 0.0 <= drive:
+        raise ValueError(f"drive must be non-negative, got {drive}")
+    threshold = make_threshold(coding, v_th=v_th, beta=beta, phase_period=phase_period)
+    state = IFNeuronState((1, 1), reset_mode=ResetMode.SUBTRACT)
+    threshold.reset((1, 1))
+
+    spikes = np.zeros(time_steps, dtype=bool)
+    amplitudes = np.zeros(time_steps, dtype=np.float64)
+    membrane = np.zeros(time_steps, dtype=np.float64)
+    for t in range(time_steps):
+        th = threshold.thresholds(t)
+        spike, amplitude = state.step(np.asarray([[drive]]), th)
+        threshold.update(spike)
+        spikes[t] = bool(spike[0, 0])
+        amplitudes[t] = float(amplitude[0, 0])
+        membrane[t] = float(state.v_mem[0, 0])
+
+    bins, counts = isi_histogram(spikes[:, None], max_isi=max_isi)
+    return SingleNeuronTrace(
+        coding=coding,
+        spike_train=spikes,
+        amplitudes=amplitudes,
+        membrane=membrane,
+        isih_bins=bins,
+        isih_counts=counts,
+        short_isi_fraction=short_isi_fraction(spikes[:, None]),
+        total_spikes=int(spikes.sum()),
+    )
+
+
+def run_fig1(
+    drive: float = 0.3,
+    time_steps: int = 200,
+    burst_v_th: float = 0.125,
+    beta: float = 2.0,
+    phase_period: int = 8,
+) -> Dict[str, SingleNeuronTrace]:
+    """Reproduce the three columns of Fig. 1 (rate, phase, burst)."""
+    return {
+        "rate": run_single_neuron("rate", drive, time_steps, v_th=1.0),
+        "phase": run_single_neuron(
+            "phase", drive, time_steps, v_th=1.0, phase_period=phase_period
+        ),
+        "burst": run_single_neuron(
+            "burst", drive, time_steps, v_th=burst_v_th, beta=beta
+        ),
+    }
+
+
+def format_fig1(traces: Dict[str, SingleNeuronTrace], show_bins: int = 8) -> str:
+    """Render Fig. 1 as text: spike counts, amplitudes and ISIH head per coding."""
+    lines = ["Fig. 1 — single-neuron spike patterns per coding scheme"]
+    for coding, trace in traces.items():
+        amplitudes = trace.amplitudes[trace.spike_train]
+        amp_summary = (
+            f"min={amplitudes.min():.3f} max={amplitudes.max():.3f}" if amplitudes.size else "n/a"
+        )
+        isih = ", ".join(
+            f"{int(b)}:{int(c)}" for b, c in zip(trace.isih_bins[:show_bins], trace.isih_counts[:show_bins])
+        )
+        lines.append(
+            f"  {coding:<6} spikes={trace.total_spikes:<4d} short-ISI frac={trace.short_isi_fraction:.2f} "
+            f"amplitudes[{amp_summary}] ISIH[{isih}]"
+        )
+    return "\n".join(lines)

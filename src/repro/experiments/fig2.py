@@ -1,0 +1,116 @@
+"""Figure 2: percentage of burst spikes and burst-length composition vs v_th.
+
+The paper sweeps the burst base threshold ``v_th`` over
+{0.5, 0.25, 0.125, 0.0625, 0.03125} and reports, for the hidden layers of a
+converted network, which fraction of all spikes belongs to a burst and how
+that fraction splits across burst lengths 2, 3, 4, 5 and >5.  Smaller ``v_th``
+(finer precision) should produce more and longer bursts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.burst_stats import BURST_LENGTH_LABELS, BurstStatistics, burst_statistics
+from repro.core.hybrid import HybridCodingScheme
+from repro.core.pipeline import AggregatedRun
+from repro.experiments.reporting import render_table
+from repro.experiments.sweep import make_pipeline
+from repro.experiments.workloads import Workload, mnist_workload
+
+#: the v_th sweep of Fig. 2
+FIG2_V_TH_VALUES = (0.5, 0.25, 0.125, 0.0625, 0.03125)
+
+
+@dataclass
+class Fig2Point:
+    """One bar of Fig. 2: burst statistics at a given v_th."""
+
+    v_th: float
+    statistics: BurstStatistics
+
+    def as_row(self) -> Dict[str, object]:
+        row: Dict[str, object] = {
+            "v_th": self.v_th,
+            "burst_%": round(self.statistics.burst_fraction * 100.0, 2),
+            "total_spikes": self.statistics.total_spikes,
+            "mean_burst_len": round(self.statistics.mean_burst_length, 2),
+        }
+        for label in BURST_LENGTH_LABELS:
+            row[f"len {label} %"] = round(self.statistics.composition[label] * 100.0, 2)
+        return row
+
+
+def hidden_spike_trains(run: AggregatedRun) -> np.ndarray:
+    """Concatenate the sampled hidden-layer spike trains of a run.
+
+    Returns a boolean array of shape ``(T, neurons)`` pooling the sampled
+    neurons of every hidden spiking layer across the recorded batches.
+    """
+    columns: List[np.ndarray] = []
+    for result in run.batch_results:
+        for layer_record in result.record.layers:
+            if not layer_record.is_spiking:
+                continue
+            trains = layer_record.spike_trains_flat()
+            if trains.size:
+                columns.append(trains)
+    if not columns:
+        return np.zeros((0, 0), dtype=bool)
+    time_steps = min(c.shape[0] for c in columns)
+    return np.concatenate([c[:time_steps] for c in columns], axis=1)
+
+
+def run_fig2(
+    workload: Optional[Workload] = None,
+    v_th_values: Sequence[float] = FIG2_V_TH_VALUES,
+    time_steps: int = 80,
+    num_images: int = 8,
+    input_coding: str = "phase",
+    beta: float = 2.0,
+    seed: int = 0,
+) -> List[Fig2Point]:
+    """Reproduce Fig. 2: burst composition for a sweep of v_th.
+
+    Parameters
+    ----------
+    workload:
+        Dataset + trained DNN; defaults to the MNIST-like CNN workload (small
+        enough that recording full spike trains stays cheap).
+    input_coding:
+        Input coding paired with the burst hidden layers (paper: phase/real).
+    """
+    workload = workload or mnist_workload()
+    points: List[Fig2Point] = []
+    for v_th in v_th_values:
+        pipeline = make_pipeline(
+            workload,
+            time_steps=time_steps,
+            num_images=num_images,
+            batch_size=num_images,
+            record_trains=True,
+            sample_fraction=0.1,
+            seed=seed,
+        )
+        scheme = HybridCodingScheme.from_notation(
+            f"{input_coding}-burst", v_th=v_th, beta=beta
+        )
+        run = pipeline.run_scheme(scheme, keep_batch_results=True)
+        trains = hidden_spike_trains(run)
+        points.append(Fig2Point(v_th=v_th, statistics=burst_statistics(trains)))
+    return points
+
+
+def format_fig2(points: List[Fig2Point]) -> str:
+    """Render the Fig. 2 sweep as a table (one row per v_th)."""
+    columns = ["v_th", "burst_%", "mean_burst_len", "total_spikes"] + [
+        f"len {label} %" for label in BURST_LENGTH_LABELS
+    ]
+    return render_table(
+        "Fig. 2 — burst spikes vs v_th (hidden layers, burst coding)",
+        columns,
+        [point.as_row() for point in points],
+    )

@@ -1,0 +1,96 @@
+"""Figure 3: latency and number of spikes needed to reach target accuracies.
+
+The paper picks three target accuracies (roughly 99.5%, 99% and 95% of the
+DNN accuracy) and reports, for each coding combination, how many time steps
+and how many spikes are required to reach each target; configurations that
+never reach a target within the budget are excluded.  Expected shape:
+
+* ``real-burst`` reaches every target fastest,
+* ``phase-burst`` needs the fewest spikes,
+* schemes with rate input coding fail to reach the targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.curves import latency_to_target, spikes_to_target, target_accuracies
+from repro.core.pipeline import AggregatedRun
+from repro.experiments.reporting import render_table
+from repro.experiments.sweep import run_all_schemes
+from repro.experiments.workloads import Workload, cifar10_workload
+
+#: target accuracies as fractions of the DNN accuracy (paper: 91.0 / 90.49 /
+#: 86.83 % for a 91.41 % DNN ≈ 99.5 / 99 / 95 %).
+FIG3_TARGET_FRACTIONS = (0.995, 0.99, 0.95)
+
+
+@dataclass
+class Fig3Entry:
+    """Latency / spikes of one scheme for one target accuracy."""
+
+    scheme: str
+    target_fraction: float
+    target_accuracy: float
+    latency: Optional[int]
+    spikes: Optional[float]
+    spikes_per_image: Optional[float]
+    reached: bool
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "scheme": self.scheme,
+            "target_%": round(self.target_accuracy * 100.0, 2),
+            "latency": self.latency if self.reached else "not reached",
+            "spikes/image": round(self.spikes_per_image, 1) if self.reached else "-",
+        }
+
+
+def run_fig3(
+    workload: Optional[Workload] = None,
+    runs: Optional[Dict[str, AggregatedRun]] = None,
+    target_fractions: Sequence[float] = FIG3_TARGET_FRACTIONS,
+    time_steps: int = 150,
+    num_images: int = 24,
+    v_th: float = 0.125,
+    seed: int = 0,
+) -> List[Fig3Entry]:
+    """Reproduce Fig. 3 (latency and spikes to reach each target accuracy)."""
+    if runs is None:
+        workload = workload or cifar10_workload()
+        runs = run_all_schemes(
+            workload, time_steps=time_steps, num_images=num_images, v_th=v_th, seed=seed
+        )
+    entries: List[Fig3Entry] = []
+    for notation, run in runs.items():
+        targets = target_accuracies(run.dnn_accuracy, target_fractions)
+        for fraction, target in zip(target_fractions, targets):
+            latency = latency_to_target(run.accuracy_curve, run.recorded_steps, target)
+            spikes = spikes_to_target(
+                run.accuracy_curve, run.recorded_steps, run.cumulative_spikes, target
+            )
+            entries.append(
+                Fig3Entry(
+                    scheme=notation,
+                    target_fraction=fraction,
+                    target_accuracy=target,
+                    latency=latency,
+                    spikes=spikes,
+                    spikes_per_image=(
+                        spikes / run.num_images if spikes is not None and run.num_images else None
+                    ),
+                    reached=latency is not None,
+                )
+            )
+    return entries
+
+
+def format_fig3(entries: List[Fig3Entry]) -> str:
+    """Render Fig. 3 as a table grouped by target accuracy."""
+    ordered = sorted(entries, key=lambda e: (-e.target_fraction, e.scheme))
+    return render_table(
+        "Fig. 3 — latency and spikes to reach target accuracy",
+        ["scheme", "target_%", "latency", "spikes/image"],
+        [entry.as_row() for entry in ordered],
+    )

@@ -1,0 +1,92 @@
+"""Figure 4: inference curves (accuracy vs time step) per coding combination.
+
+The qualitative shape to reproduce: schemes with rate input coding converge
+slowly; burst coding in the hidden layers converges fastest; ``rate-phase``
+is the worst configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.pipeline import AggregatedRun
+from repro.experiments.reporting import render_series, sparkline
+from repro.experiments.sweep import run_all_schemes
+from repro.experiments.workloads import Workload, cifar10_workload
+
+
+@dataclass
+class Fig4Curve:
+    """One inference curve of Fig. 4."""
+
+    scheme: str
+    recorded_steps: np.ndarray
+    accuracy_curve: np.ndarray
+    dnn_accuracy: float
+
+    @property
+    def final_accuracy(self) -> float:
+        return float(self.accuracy_curve[-1]) if self.accuracy_curve.size else 0.0
+
+    def accuracy_at(self, step: int) -> float:
+        """Accuracy at the closest recorded step ≤ ``step`` (0 before the first)."""
+        indices = np.flatnonzero(self.recorded_steps <= step)
+        if indices.size == 0:
+            return 0.0
+        return float(self.accuracy_curve[indices[-1]])
+
+    def area_under_curve(self) -> float:
+        """Normalised area under the inference curve (higher = faster convergence)."""
+        if self.accuracy_curve.size == 0:
+            return 0.0
+        trapezoid = getattr(np, "trapezoid", None) or np.trapz  # numpy 2.x renamed trapz
+        area = trapezoid(self.accuracy_curve, self.recorded_steps)
+        return float(area / self.recorded_steps[-1])
+
+
+def run_fig4(
+    workload: Optional[Workload] = None,
+    runs: Optional[Dict[str, AggregatedRun]] = None,
+    time_steps: int = 150,
+    num_images: int = 24,
+    v_th: float = 0.125,
+    seed: int = 0,
+) -> List[Fig4Curve]:
+    """Reproduce Fig. 4 (per-scheme inference curves)."""
+    if runs is None:
+        workload = workload or cifar10_workload()
+        runs = run_all_schemes(
+            workload, time_steps=time_steps, num_images=num_images, v_th=v_th, seed=seed
+        )
+    return [
+        Fig4Curve(
+            scheme=notation,
+            recorded_steps=run.recorded_steps,
+            accuracy_curve=run.accuracy_curve,
+            dnn_accuracy=run.dnn_accuracy,
+        )
+        for notation, run in runs.items()
+    ]
+
+
+def format_fig4(curves: List[Fig4Curve], max_points: int = 10) -> str:
+    """Render Fig. 4 as a sub-sampled table of curves plus sparklines."""
+    if not curves:
+        return "Fig. 4 — no curves"
+    steps = curves[0].recorded_steps
+    series = {curve.scheme: curve.accuracy_curve for curve in curves}
+    table = render_series(
+        "Fig. 4 — inference curves (accuracy vs time step)",
+        steps,
+        series,
+        x_label="step",
+        max_points=max_points,
+    )
+    sparks = "\n".join(
+        f"  {curve.scheme:<12} {sparkline(curve.accuracy_curve)} final={curve.final_accuracy:.3f}"
+        for curve in curves
+    )
+    return f"{table}\n{sparks}"

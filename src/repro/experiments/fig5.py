@@ -1,0 +1,106 @@
+"""Figure 5: firing rate vs firing regularity per coding combination.
+
+The paper samples 10% of the neurons of each layer, records long spike trains
+and plots the population averages ``<log λ>`` (firing rate, Eq. 11) against
+``<κ>`` (regularity, Eq. 12), one point per input-hidden coding combination.
+The qualitative shape to reproduce:
+
+* phase coding in the hidden layers produces the highest firing rates
+  regardless of the input coding (low flexibility),
+* burst coding's position depends strongly on the input coding (high
+  flexibility / adaptability).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.firing import FiringStatistics, firing_statistics
+from repro.core.hybrid import HybridCodingScheme, table1_schemes
+from repro.core.pipeline import AggregatedRun
+from repro.experiments.fig2 import hidden_spike_trains
+from repro.experiments.reporting import render_table
+from repro.experiments.sweep import make_pipeline
+from repro.experiments.workloads import Workload, mnist_workload
+
+
+@dataclass
+class Fig5Point:
+    """One scatter point of Fig. 5."""
+
+    scheme: str
+    input_coding: str
+    hidden_coding: str
+    mean_log_rate: float
+    mean_regularity: float
+    num_neurons: int
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "scheme": self.scheme,
+            "input": self.input_coding,
+            "hidden": self.hidden_coding,
+            "<log rate>": round(self.mean_log_rate, 3) if np.isfinite(self.mean_log_rate) else "-",
+            "<regularity>": round(self.mean_regularity, 3)
+            if np.isfinite(self.mean_regularity)
+            else "-",
+            "neurons": self.num_neurons,
+        }
+
+
+def point_from_run(run: AggregatedRun) -> Fig5Point:
+    """Compute one Fig. 5 point from a run that recorded spike trains."""
+    trains = hidden_spike_trains(run)
+    stats: FiringStatistics = firing_statistics(trains) if trains.size else firing_statistics(
+        np.zeros((1, 1), dtype=bool)
+    )
+    input_coding, hidden_coding = run.scheme.split("-")
+    return Fig5Point(
+        scheme=run.scheme,
+        input_coding=input_coding,
+        hidden_coding=hidden_coding,
+        mean_log_rate=stats.mean_log_rate,
+        mean_regularity=stats.mean_regularity,
+        num_neurons=stats.num_neurons,
+    )
+
+
+def run_fig5(
+    workload: Optional[Workload] = None,
+    schemes: Optional[Sequence[HybridCodingScheme]] = None,
+    time_steps: int = 120,
+    num_images: int = 6,
+    v_th: float = 0.125,
+    sample_fraction: float = 0.1,
+    seed: int = 0,
+) -> List[Fig5Point]:
+    """Reproduce Fig. 5 (firing rate / regularity per coding combination)."""
+    workload = workload or mnist_workload()
+    if schemes is None:
+        schemes = table1_schemes(v_th=v_th)
+    points: List[Fig5Point] = []
+    for scheme in schemes:
+        pipeline = make_pipeline(
+            workload,
+            time_steps=time_steps,
+            num_images=num_images,
+            batch_size=num_images,
+            record_trains=True,
+            sample_fraction=sample_fraction,
+            seed=seed,
+        )
+        run = pipeline.run_scheme(scheme, keep_batch_results=True)
+        points.append(point_from_run(run))
+    return points
+
+
+def format_fig5(points: List[Fig5Point]) -> str:
+    """Render the Fig. 5 scatter as a table (one row per scheme)."""
+    return render_table(
+        "Fig. 5 — firing rate vs regularity per coding combination",
+        ["scheme", "input", "hidden", "<log rate>", "<regularity>", "neurons"],
+        [point.as_row() for point in points],
+    )

@@ -1,0 +1,56 @@
+"""Shared rendering helpers for the experiment harness."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.utils.tables import Table, format_float
+
+
+def render_table(title: str, columns: Sequence[str], rows: Iterable[Dict[str, object]]) -> str:
+    """Render a list of row dictionaries as an aligned text table."""
+    table = Table(columns, title=title)
+    table.add_rows(rows)
+    return table.render()
+
+
+def render_series(
+    title: str,
+    x: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    x_label: str = "step",
+    digits: int = 3,
+    max_points: int = 12,
+) -> str:
+    """Render several named series over a shared x-axis as a compact table.
+
+    Used for figure-style outputs (inference curves, sweeps): the series are
+    sub-sampled to at most ``max_points`` rows so the printout stays readable.
+    """
+    x = list(x)
+    if not x:
+        return f"{title}\n(no data)"
+    indices = np.linspace(0, len(x) - 1, num=min(max_points, len(x)), dtype=int)
+    columns = [x_label] + list(series)
+    rows = []
+    for index in indices:
+        row: Dict[str, object] = {x_label: x[index]}
+        for name, values in series.items():
+            values = list(values)
+            row[name] = format_float(values[index], digits) if index < len(values) else "-"
+        rows.append(row)
+    return render_table(title, columns, rows)
+
+
+def sparkline(values: Sequence[float], width: int = 40) -> str:
+    """A tiny unicode sparkline for quick visual inspection of a curve."""
+    values = [float(v) for v in values]
+    if not values:
+        return ""
+    blocks = "▁▂▃▄▅▆▇█"
+    lo, hi = min(values), max(values)
+    span = hi - lo if hi > lo else 1.0
+    indices = np.linspace(0, len(values) - 1, num=min(width, len(values)), dtype=int)
+    return "".join(blocks[int((values[i] - lo) / span * (len(blocks) - 1))] for i in indices)

@@ -1,0 +1,150 @@
+"""Run every experiment of the paper in one call.
+
+``run_all`` is what the CLI's ``repro experiment all`` command and the
+documentation's "reproduce everything" instructions use.  Each experiment
+returns its rendered text block; callers decide whether to print or save it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.experiments.fig1 import format_fig1, run_fig1
+from repro.experiments.fig2 import format_fig2, run_fig2
+from repro.experiments.fig3 import format_fig3, run_fig3
+from repro.experiments.fig4 import format_fig4, run_fig4
+from repro.experiments.fig5 import format_fig5, run_fig5
+from repro.experiments.sweep import run_all_schemes
+from repro.experiments.table1 import format_table1, run_table1
+from repro.experiments.table2 import format_table2, run_table2
+from repro.experiments.workloads import cifar10_workload, mnist_workload
+from repro.utils.logging import get_logger
+
+logger = get_logger("experiments.runner")
+
+#: identifiers accepted by :func:`run_experiment`
+EXPERIMENT_NAMES = ("fig1", "fig2", "table1", "fig3", "fig4", "table2", "fig5")
+
+
+@dataclass
+class RunnerConfig:
+    """Scale knobs shared by all experiments.
+
+    ``fast`` presets are sized for a quick sanity run (a couple of minutes);
+    the default preset matches the benchmark harness.
+    """
+
+    time_steps: int = 150
+    num_images: int = 24
+    samples_per_class: int = 30
+    table2_datasets: Sequence[str] = ("mnist", "cifar10")
+    seed: int = 0
+
+    @classmethod
+    def fast(cls) -> "RunnerConfig":
+        return cls(time_steps=60, num_images=8, samples_per_class=12, table2_datasets=("mnist",))
+
+
+def run_experiment(name: str, config: Optional[RunnerConfig] = None) -> str:
+    """Run one named experiment and return its rendered text output."""
+    config = config or RunnerConfig()
+    key = name.lower()
+    if key not in EXPERIMENT_NAMES:
+        raise ValueError(f"unknown experiment {name!r}; expected one of {EXPERIMENT_NAMES}")
+
+    if key == "fig1":
+        return format_fig1(run_fig1(time_steps=max(200, config.time_steps)))
+
+    if key in ("fig2", "fig5"):
+        workload = mnist_workload(samples_per_class=config.samples_per_class, seed=config.seed)
+        if key == "fig2":
+            points = run_fig2(
+                workload=workload,
+                time_steps=config.time_steps,
+                num_images=max(4, config.num_images // 3),
+                seed=config.seed,
+            )
+            return format_fig2(points)
+        points = run_fig5(
+            workload=workload,
+            time_steps=config.time_steps,
+            num_images=max(3, config.num_images // 4),
+            seed=config.seed,
+        )
+        return format_fig5(points)
+
+    if key == "table2":
+        workloads = {}
+        if "mnist" in config.table2_datasets:
+            workloads["mnist"] = mnist_workload(
+                samples_per_class=config.samples_per_class, seed=config.seed
+            )
+        if "cifar10" in config.table2_datasets:
+            workloads["cifar10"] = cifar10_workload(
+                samples_per_class=config.samples_per_class, seed=config.seed
+            )
+        rows = run_table2(
+            datasets=tuple(config.table2_datasets),
+            workloads=workloads,
+            time_steps=config.time_steps,
+            num_images=min(16, config.num_images),
+            seed=config.seed,
+        )
+        return format_table2(rows)
+
+    # table1 / fig3 / fig4 share the nine-scheme sweep
+    workload = cifar10_workload(samples_per_class=config.samples_per_class, seed=config.seed)
+    runs = run_all_schemes(
+        workload,
+        time_steps=config.time_steps,
+        num_images=config.num_images,
+        seed=config.seed,
+    )
+    if key == "table1":
+        return format_table1(run_table1(runs=runs))
+    if key == "fig3":
+        return format_fig3(run_fig3(runs=runs))
+    return format_fig4(run_fig4(runs=runs))
+
+
+def run_all(
+    config: Optional[RunnerConfig] = None,
+    experiments: Sequence[str] = EXPERIMENT_NAMES,
+    on_result: Optional[Callable[[str, str], None]] = None,
+) -> Dict[str, str]:
+    """Run the requested experiments and return ``{name: rendered text}``.
+
+    The Table 1 / Fig. 3 / Fig. 4 trio shares one nine-scheme sweep so running
+    all experiments costs roughly one sweep plus the smaller workloads.
+    """
+    config = config or RunnerConfig()
+    outputs: Dict[str, str] = {}
+    shared_runs = None
+    shared_workload = None
+
+    for name in experiments:
+        key = name.lower()
+        logger.info("running experiment %s", key)
+        if key in ("table1", "fig3", "fig4"):
+            if shared_runs is None:
+                shared_workload = cifar10_workload(
+                    samples_per_class=config.samples_per_class, seed=config.seed
+                )
+                shared_runs = run_all_schemes(
+                    shared_workload,
+                    time_steps=config.time_steps,
+                    num_images=config.num_images,
+                    seed=config.seed,
+                )
+            if key == "table1":
+                outputs[key] = format_table1(run_table1(runs=shared_runs))
+            elif key == "fig3":
+                outputs[key] = format_fig3(run_fig3(runs=shared_runs))
+            else:
+                outputs[key] = format_fig4(run_fig4(runs=shared_runs))
+        else:
+            outputs[key] = run_experiment(key, config)
+        if on_result is not None:
+            on_result(key, outputs[key])
+    return outputs

@@ -1,0 +1,71 @@
+"""Shared scheme-sweep helper used by Table 1, Fig. 3 and Fig. 4.
+
+The paper evaluates one trained VGG-16 under every input/hidden coding
+combination; :func:`run_all_schemes` does the same for a workload and returns
+one :class:`~repro.core.pipeline.AggregatedRun` per scheme so the three
+experiments can share the (expensive) simulations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.core.hybrid import HybridCodingScheme, table1_schemes
+from repro.core.pipeline import AggregatedRun, PipelineConfig, SNNInferencePipeline
+from repro.experiments.workloads import Workload
+
+
+def make_pipeline(
+    workload: Workload,
+    time_steps: int = 150,
+    num_images: int = 24,
+    batch_size: int = 16,
+    record_trains: bool = False,
+    record_outputs_every: int = 1,
+    sample_fraction: float = 0.1,
+    seed: int = 0,
+) -> SNNInferencePipeline:
+    """Build an inference pipeline with the experiment-harness defaults."""
+    config = PipelineConfig(
+        time_steps=time_steps,
+        batch_size=batch_size,
+        record_outputs_every=record_outputs_every,
+        record_trains=record_trains,
+        sample_fraction=sample_fraction,
+        max_test_images=num_images,
+        seed=seed,
+    )
+    return SNNInferencePipeline(workload.model, workload.data, config)
+
+
+def run_all_schemes(
+    workload: Workload,
+    schemes: Optional[Sequence[HybridCodingScheme]] = None,
+    time_steps: int = 150,
+    num_images: int = 24,
+    batch_size: int = 16,
+    v_th: Optional[float] = 0.125,
+    seed: int = 0,
+) -> Dict[str, AggregatedRun]:
+    """Evaluate every coding scheme on ``workload`` and return the runs.
+
+    Parameters
+    ----------
+    schemes:
+        Coding schemes to evaluate; defaults to the nine Table 1 combinations.
+    v_th:
+        Hidden-layer threshold used when building the default scheme list.
+    """
+    if schemes is None:
+        schemes = table1_schemes(v_th=v_th)
+    pipeline = make_pipeline(
+        workload,
+        time_steps=time_steps,
+        num_images=num_images,
+        batch_size=batch_size,
+        seed=seed,
+    )
+    runs: Dict[str, AggregatedRun] = {}
+    for scheme in schemes:
+        runs[scheme.notation] = pipeline.run_scheme(scheme)
+    return runs

@@ -1,0 +1,249 @@
+"""Table 2: comparison with prior conversion methods on MNIST / CIFAR-10 /
+CIFAR-100 — accuracy, latency, spikes, spiking density and normalized energy.
+
+The prior methods are represented by the coding scheme they use (the paper
+itself re-implements them on its own models for the fair-comparison rows
+marked "c"):
+
+* Cao et al. 2015 / Diehl et al. 2015 — rate input + rate hidden coding,
+* Rueckauer et al. 2016 — real input + rate hidden coding,
+* Kim et al. 2018 (weighted spikes) — phase input + phase hidden coding,
+* Ours — real/phase input + burst hidden coding, for two values of ``v_th``.
+
+Normalised energy is computed with the proportional TrueNorth / SpiNNaker
+model of :mod:`repro.energy`, normalised per dataset against the same baseline
+the paper uses (Diehl for MNIST, Rueckauer for CIFAR-10, Kim for CIFAR-100).
+The qualitative shape to reproduce: the burst-coding rows reach the DNN
+accuracy with the lowest spiking density and the lowest energy, while the
+phase-phase rows spend by far the most spikes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.curves import latency_to_target, spikes_to_target
+from repro.analysis.density import spiking_density
+from repro.core.hybrid import HybridCodingScheme
+from repro.core.pipeline import AggregatedRun
+from repro.energy.architectures import SPINNAKER, TRUENORTH
+from repro.energy.estimator import EnergyWorkload, estimate_energy
+from repro.experiments.reporting import render_table
+from repro.experiments.sweep import make_pipeline
+from repro.experiments.workloads import (
+    Workload,
+    cifar10_workload,
+    cifar100_workload,
+    mnist_workload,
+)
+
+
+@dataclass(frozen=True)
+class MethodSpec:
+    """One method row of Table 2."""
+
+    label: str
+    notation: str
+    v_th: Optional[float] = None
+    is_baseline: bool = False
+
+    def scheme(self) -> HybridCodingScheme:
+        return HybridCodingScheme.from_notation(self.notation, v_th=self.v_th)
+
+
+#: the method rows evaluated per dataset (mirrors Table 2's structure)
+TABLE2_METHODS: Dict[str, Sequence[MethodSpec]] = {
+    "mnist": (
+        MethodSpec("Diehl et al. 2015", "rate-rate", is_baseline=True),
+        MethodSpec("Kim et al. 2018", "phase-phase"),
+        MethodSpec("Ours (v_th=0.125)", "real-burst", v_th=0.125),
+        MethodSpec("Ours (v_th=0.0625)", "real-burst", v_th=0.0625),
+    ),
+    "cifar10": (
+        MethodSpec("Cao et al. 2015", "rate-rate"),
+        MethodSpec("Rueckauer et al. 2016", "real-rate", is_baseline=True),
+        MethodSpec("Kim et al. 2018", "phase-phase"),
+        MethodSpec("Ours (v_th=0.125)", "phase-burst", v_th=0.125),
+        MethodSpec("Ours (v_th=0.0625)", "phase-burst", v_th=0.0625),
+    ),
+    "cifar100": (
+        MethodSpec("Kim et al. 2018", "phase-phase", is_baseline=True),
+        MethodSpec("Ours (v_th=0.125)", "phase-burst", v_th=0.125),
+    ),
+}
+
+
+@dataclass
+class Table2Row:
+    """One row of Table 2."""
+
+    dataset: str
+    method: str
+    input_coding: str
+    hidden_coding: str
+    num_neurons: int
+    dnn_accuracy: float
+    snn_accuracy: float
+    latency: Optional[int]
+    time_steps: int
+    spikes_per_image: float
+    density: float
+    total_spikes_per_image: float = 0.0
+    energy_truenorth: Optional[float] = None
+    energy_spinnaker: Optional[float] = None
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "dataset": self.dataset,
+            "method": self.method,
+            "input": self.input_coding,
+            "hidden": self.hidden_coding,
+            "neurons": self.num_neurons,
+            "DNN_%": round(self.dnn_accuracy * 100.0, 2),
+            "SNN_%": round(self.snn_accuracy * 100.0, 2),
+            "latency": self.latency if self.latency is not None else f">{self.time_steps}",
+            "spikes/image": round(self.spikes_per_image, 1),
+            "spikes/image@budget": round(self.total_spikes_per_image, 1),
+            "density": round(self.density, 5),
+            "E_TrueNorth": round(self.energy_truenorth, 3)
+            if self.energy_truenorth is not None
+            else "-",
+            "E_SpiNNaker": round(self.energy_spinnaker, 3)
+            if self.energy_spinnaker is not None
+            else "-",
+        }
+
+
+def _row_from_run(
+    dataset: str, method: MethodSpec, run: AggregatedRun, target_fraction: float
+) -> Table2Row:
+    # The paper's latency is the point at which the method settles at the
+    # target accuracy; with the small synthetic test sets a single lucky step
+    # can cross the target transiently, so we use the *sustained* criterion
+    # (the accuracy stays at or above the target for the rest of the run).
+    target = run.dnn_accuracy * target_fraction
+    latency = latency_to_target(run.accuracy_curve, run.recorded_steps, target, sustained=True)
+    spikes = spikes_to_target(
+        run.accuracy_curve, run.recorded_steps, run.cumulative_spikes, target, sustained=True
+    )
+    total_spikes = float(run.cumulative_spikes[-1]) if run.cumulative_spikes.size else 0.0
+    if spikes is None:
+        spikes = total_spikes
+    effective_latency = latency if latency is not None else run.time_steps
+    spikes_per_image = spikes / run.num_images if run.num_images else 0.0
+    input_coding, hidden_coding = run.scheme.split("-")
+    return Table2Row(
+        dataset=dataset,
+        method=method.label,
+        input_coding=input_coding,
+        hidden_coding=hidden_coding,
+        num_neurons=run.num_neurons,
+        dnn_accuracy=run.dnn_accuracy,
+        snn_accuracy=run.accuracy,
+        latency=latency,
+        time_steps=run.time_steps,
+        spikes_per_image=spikes_per_image,
+        density=spiking_density(spikes_per_image, run.num_neurons, max(effective_latency, 1)),
+        total_spikes_per_image=total_spikes / run.num_images if run.num_images else 0.0,
+    )
+
+
+def _attach_energy(rows: List[Table2Row], baseline: Table2Row) -> None:
+    baseline_workload = EnergyWorkload(
+        spikes_per_image=max(baseline.spikes_per_image, 1e-9),
+        density=max(baseline.density, 1e-12),
+        latency=float(baseline.latency if baseline.latency is not None else baseline.time_steps),
+        label=baseline.method,
+    )
+    for row in rows:
+        workload = EnergyWorkload(
+            spikes_per_image=row.spikes_per_image,
+            density=max(row.density, 0.0),
+            latency=float(row.latency if row.latency is not None else row.time_steps),
+            label=row.method,
+        )
+        row.energy_truenorth = estimate_energy(workload, baseline_workload, TRUENORTH).total
+        row.energy_spinnaker = estimate_energy(workload, baseline_workload, SPINNAKER).total
+
+
+def _default_workload(dataset: str) -> Workload:
+    if dataset == "mnist":
+        return mnist_workload()
+    if dataset == "cifar10":
+        return cifar10_workload()
+    if dataset == "cifar100":
+        return cifar100_workload()
+    raise ValueError(f"unknown dataset {dataset!r}")
+
+
+def run_table2(
+    datasets: Sequence[str] = ("mnist", "cifar10"),
+    workloads: Optional[Dict[str, Workload]] = None,
+    time_steps: int = 150,
+    num_images: int = 16,
+    target_fraction: float = 0.99,
+    seed: int = 0,
+) -> List[Table2Row]:
+    """Reproduce Table 2 for the requested datasets.
+
+    Parameters
+    ----------
+    datasets:
+        Subset of ``("mnist", "cifar10", "cifar100")``; the default skips
+        CIFAR-100 to keep the standard benchmark run short (pass all three to
+        regenerate the full table).
+    workloads:
+        Optional pre-built workloads keyed by dataset name.
+    target_fraction:
+        Latency / spike counts are measured at the first step reaching this
+        fraction of the DNN accuracy.
+    """
+    rows: List[Table2Row] = []
+    for dataset in datasets:
+        if dataset not in TABLE2_METHODS:
+            raise ValueError(f"unknown dataset {dataset!r}")
+        workload = (workloads or {}).get(dataset) or _default_workload(dataset)
+        pipeline = make_pipeline(
+            workload,
+            time_steps=time_steps,
+            num_images=num_images,
+            batch_size=min(16, num_images),
+            seed=seed,
+        )
+        dataset_rows: List[Table2Row] = []
+        baseline_row: Optional[Table2Row] = None
+        for method in TABLE2_METHODS[dataset]:
+            run = pipeline.run_scheme(method.scheme())
+            row = _row_from_run(dataset, method, run, target_fraction)
+            dataset_rows.append(row)
+            if method.is_baseline:
+                baseline_row = row
+        if baseline_row is None:
+            baseline_row = dataset_rows[0]
+        _attach_energy(dataset_rows, baseline_row)
+        rows.extend(dataset_rows)
+    return rows
+
+
+def format_table2(rows: List[Table2Row]) -> str:
+    """Render Table 2 as text."""
+    return render_table(
+        "Table 2 — comparison with prior deep-SNN methods",
+        [
+            "dataset",
+            "method",
+            "input",
+            "hidden",
+            "neurons",
+            "DNN_%",
+            "SNN_%",
+            "latency",
+            "spikes/image",
+            "spikes/image@budget",
+            "density",
+            "E_TrueNorth",
+            "E_SpiNNaker",
+        ],
+        [row.as_row() for row in rows],
+    )

@@ -1,0 +1,212 @@
+"""Workloads shared by the experiment harness.
+
+A *workload* is a dataset plus a DNN trained on it — the starting point of
+every conversion experiment.  The paper's workloads are MNIST/CIFAR-10 with a
+CNN and CIFAR-10/100 with VGG-16; here the datasets are the synthetic
+look-alikes of :mod:`repro.data.synthetic` and the models are the (optionally
+width-scaled) builders of :mod:`repro.models`, sized so the full benchmark
+suite runs on a laptop (see DESIGN.md §2 for the substitution table).
+
+Workloads are cached in-process so that several experiments (Table 1, Fig. 3,
+Fig. 4, …) reuse the same trained network, exactly as the paper evaluates one
+trained VGG-16 under every coding scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.ann.model import Sequential
+from repro.ann.optimizers import Adam
+from repro.data.dataset import DataSplit, train_test_split
+from repro.data.synthetic import SyntheticImageConfig, make_classification_images
+from repro.models.cnn import build_cnn, build_small_cnn
+from repro.models.mlp import build_mlp
+from repro.models.vgg import build_vgg16, build_vgg_small
+from repro.utils.config import FrozenConfig, validate_positive
+from repro.utils.logging import get_logger
+
+logger = get_logger("experiments.workloads")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec(FrozenConfig):
+    """Specification of one dataset + model workload.
+
+    Attributes
+    ----------
+    dataset:
+        ``"mnist"``, ``"cifar10"`` or ``"cifar100"`` (synthetic look-alikes).
+    model:
+        ``"mlp"``, ``"cnn"``, ``"small_cnn"``, ``"vgg_small"`` or ``"vgg16"``.
+    samples_per_class / epochs:
+        Dataset size and training budget (kept small for benchmark runs).
+    difficulty:
+        ``"easy"`` (low noise — DNN reaches ~100%) or ``"hard"`` (noise,
+        shifts and occlusions — DNN lands around 80–95%, so the SNN's
+        convergence towards the DNN accuracy is informative).
+    seed:
+        Controls data generation, the train/test split and weight init.
+    """
+
+    dataset: str = "cifar10"
+    model: str = "vgg_small"
+    samples_per_class: int = 30
+    epochs: int = 15
+    difficulty: str = "hard"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.dataset not in ("mnist", "cifar10", "cifar100"):
+            raise ValueError(f"unknown dataset {self.dataset!r}")
+        if self.model not in ("mlp", "cnn", "small_cnn", "vgg_small", "vgg16"):
+            raise ValueError(f"unknown model {self.model!r}")
+        if self.difficulty not in ("easy", "hard"):
+            raise ValueError(f"difficulty must be 'easy' or 'hard', got {self.difficulty!r}")
+        validate_positive("samples_per_class", self.samples_per_class)
+        validate_positive("epochs", self.epochs)
+
+
+@dataclass
+class Workload:
+    """A dataset split plus the DNN trained on it."""
+
+    spec: WorkloadSpec
+    data: DataSplit
+    model: Sequential
+    dnn_train_accuracy: float
+    dnn_test_accuracy: float
+
+    @property
+    def name(self) -> str:
+        return f"{self.spec.dataset}-{self.spec.model}"
+
+
+_DATASET_SHAPES: Dict[str, Tuple[Tuple[int, int, int], int]] = {
+    "mnist": ((1, 28, 28), 10),
+    "cifar10": ((3, 32, 32), 10),
+    "cifar100": ((3, 32, 32), 100),
+}
+
+
+def _dataset_config(spec: WorkloadSpec) -> SyntheticImageConfig:
+    shape, num_classes = _DATASET_SHAPES[spec.dataset]
+    # MNIST digits are mostly black background; the synthetic stand-in mirrors
+    # that sparsity because mean pixel intensity directly drives spike counts.
+    background_scale = 0.15 if spec.dataset == "mnist" else 1.0
+    if spec.difficulty == "easy":
+        return SyntheticImageConfig(
+            num_classes=num_classes,
+            image_shape=shape,
+            samples_per_class=spec.samples_per_class,
+            noise_std=0.08,
+            max_shift=1,
+            occlusion_probability=0.05,
+            background_scale=background_scale,
+        )
+    return SyntheticImageConfig(
+        num_classes=num_classes,
+        image_shape=shape,
+        samples_per_class=spec.samples_per_class,
+        noise_std=0.22,
+        max_shift=3,
+        brightness_jitter=0.15,
+        contrast_jitter=0.3,
+        occlusion_probability=0.35,
+        occlusion_size=6,
+        background_scale=background_scale,
+    )
+
+
+def _build_model(spec: WorkloadSpec, data: DataSplit) -> Sequential:
+    input_shape = data.input_shape
+    num_classes = data.num_classes
+    if spec.model == "mlp":
+        return build_mlp(input_shape, [128, 64], num_classes, seed=spec.seed)
+    if spec.model == "small_cnn":
+        return build_small_cnn(input_shape, num_classes, seed=spec.seed)
+    if spec.model == "cnn":
+        return build_cnn(input_shape, num_classes, conv_channels=(12, 24), kernel_size=3,
+                         dense_size=96, seed=spec.seed)
+    if spec.model == "vgg_small":
+        return build_vgg_small(input_shape, num_classes, width_factor=0.125,
+                               depth_blocks=3, dense_size=128, seed=spec.seed)
+    if spec.model == "vgg16":
+        return build_vgg16(input_shape, num_classes, seed=spec.seed)
+    raise ValueError(f"unknown model {spec.model!r}")
+
+
+_WORKLOAD_CACHE: Dict[WorkloadSpec, Workload] = {}
+
+
+def clear_workload_cache() -> None:
+    """Drop every cached workload (used by tests)."""
+    _WORKLOAD_CACHE.clear()
+
+
+def build_workload(spec: Optional[WorkloadSpec] = None, **overrides) -> Workload:
+    """Build (or fetch from cache) the workload described by ``spec``.
+
+    Keyword overrides are applied on top of ``spec`` (or the default spec),
+    e.g. ``build_workload(dataset="mnist", model="small_cnn")``.
+    """
+    if spec is None:
+        spec = WorkloadSpec(**overrides)
+    elif overrides:
+        spec = spec.replace(**overrides)
+    cached = _WORKLOAD_CACHE.get(spec)
+    if cached is not None:
+        return cached
+
+    config = _dataset_config(spec)
+    dataset = make_classification_images(config, seed=spec.seed, name=f"{spec.dataset}-like")
+    data = train_test_split(dataset, test_fraction=0.25, seed=spec.seed)
+    model = _build_model(spec, data)
+    history = model.fit(
+        data.train.x,
+        data.train.y,
+        epochs=spec.epochs,
+        batch_size=32,
+        optimizer=Adam(learning_rate=1e-3),
+        seed=spec.seed,
+    )
+    train_acc = history.train_accuracy[-1] if history.train_accuracy else 0.0
+    test_acc = model.evaluate(data.test.x, data.test.y)
+    workload = Workload(
+        spec=spec,
+        data=data,
+        model=model,
+        dnn_train_accuracy=train_acc,
+        dnn_test_accuracy=test_acc,
+    )
+    logger.info(
+        "workload %s: %d train / %d test images, DNN train=%.3f test=%.3f",
+        workload.name, len(data.train), len(data.test), train_acc, test_acc,
+    )
+    _WORKLOAD_CACHE[spec] = workload
+    return workload
+
+
+def mnist_workload(samples_per_class: int = 30, epochs: int = 12, seed: int = 0) -> Workload:
+    """MNIST-like CNN workload (the paper's MNIST rows use a small CNN)."""
+    return build_workload(
+        WorkloadSpec(dataset="mnist", model="small_cnn", samples_per_class=samples_per_class,
+                     epochs=epochs, seed=seed)
+    )
+
+
+def cifar10_workload(samples_per_class: int = 30, epochs: int = 15, seed: int = 0) -> Workload:
+    """CIFAR-10-like VGG workload (the paper's main Table 1 / Fig. 3–5 setup)."""
+    return build_workload(
+        WorkloadSpec(dataset="cifar10", model="vgg_small", samples_per_class=samples_per_class,
+                     epochs=epochs, seed=seed)
+    )
+
+
+def cifar100_workload(samples_per_class: int = 6, epochs: int = 15, seed: int = 0) -> Workload:
+    """CIFAR-100-like VGG workload (Table 2, bottom block)."""
+    return build_workload(
+        WorkloadSpec(dataset="cifar100", model="vgg_small", samples_per_class=samples_per_class,
+                     epochs=epochs, seed=seed)
+    )

@@ -1,0 +1,19 @@
+"""Model zoo: the DNN architectures evaluated in the paper.
+
+The paper uses small CNNs (the "CNN" rows of Table 2, ~22k–118k neurons) and
+VGG-16 (~280k neurons).  We provide architecturally faithful builders plus
+width-scaled variants sized for laptop-scale benchmarking.
+"""
+
+from repro.models.mlp import build_mlp
+from repro.models.cnn import build_cnn, build_small_cnn
+from repro.models.vgg import build_vgg16, build_vgg_small, VGG16_CONFIG
+
+__all__ = [
+    "build_mlp",
+    "build_cnn",
+    "build_small_cnn",
+    "build_vgg16",
+    "build_vgg_small",
+    "VGG16_CONFIG",
+]

@@ -1,0 +1,101 @@
+"""Convolutional network builders (the paper's "CNN" model rows).
+
+The MNIST CNN in Table 2 (Diehl et al. / Kim et al. rows, 22,736 neurons) is a
+small conv-pool-conv-pool-dense network; :func:`build_cnn` follows that shape.
+:func:`build_small_cnn` is a narrower variant used in fast tests.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.ann.layers import AvgPool2D, Conv2D, Dense, Dropout, Flatten, MaxPool2D, ReLU
+from repro.ann.model import Sequential
+from repro.utils.rng import SeedLike, spawn_rngs
+
+
+def build_cnn(
+    input_shape: Tuple[int, int, int],
+    num_classes: int,
+    conv_channels: Sequence[int] = (12, 64),
+    kernel_size: int = 5,
+    dense_size: int = 128,
+    pool: str = "avg",
+    use_bias: bool = True,
+    dropout: float = 0.0,
+    seed: SeedLike = 0,
+    name: str = "cnn",
+) -> Sequential:
+    """Build a conv-pool stack followed by a dense classifier.
+
+    Parameters
+    ----------
+    input_shape:
+        Channel-first per-sample shape, e.g. ``(1, 28, 28)``.
+    conv_channels:
+        Output channels of each conv block (each block = Conv + ReLU + Pool).
+    pool:
+        ``"avg"`` (conversion-friendly, used by Cao et al. [10]) or ``"max"``.
+    dropout:
+        Dropout rate applied before the final classifier (0 disables it).
+    """
+    if len(input_shape) != 3:
+        raise ValueError(f"input_shape must be (C, H, W), got {input_shape}")
+    if pool not in ("avg", "max"):
+        raise ValueError(f"pool must be 'avg' or 'max', got {pool!r}")
+    conv_channels = list(conv_channels)
+    rngs = spawn_rngs(seed, len(conv_channels) + 2)
+
+    layers = []
+    channels, height, width = input_shape
+    for index, out_channels in enumerate(conv_channels):
+        layers.append(
+            Conv2D(
+                channels,
+                out_channels,
+                kernel_size=kernel_size,
+                stride=1,
+                padding=kernel_size // 2,
+                use_bias=use_bias,
+                seed=rngs[index],
+                name=f"conv_{index}",
+            )
+        )
+        layers.append(ReLU(name=f"relu_conv_{index}"))
+        pool_layer = AvgPool2D(2, name=f"pool_{index}") if pool == "avg" else MaxPool2D(2, name=f"pool_{index}")
+        layers.append(pool_layer)
+        channels = out_channels
+        height //= 2
+        width //= 2
+        if height < 1 or width < 1:
+            raise ValueError(
+                f"too many pooling stages for input {input_shape}: spatial size vanished"
+            )
+
+    layers.append(Flatten(name="flatten"))
+    flat = channels * height * width
+    layers.append(Dense(flat, dense_size, use_bias=use_bias, seed=rngs[-2], name="dense_hidden"))
+    layers.append(ReLU(name="relu_dense"))
+    if dropout > 0:
+        layers.append(Dropout(dropout, seed=seed, name="dropout"))
+    layers.append(Dense(dense_size, num_classes, use_bias=use_bias, seed=rngs[-1], name="dense_out"))
+    return Sequential(layers, input_shape=tuple(input_shape), name=name)
+
+
+def build_small_cnn(
+    input_shape: Tuple[int, int, int],
+    num_classes: int,
+    seed: SeedLike = 0,
+    name: str = "small-cnn",
+) -> Sequential:
+    """A narrow CNN (8→16 channels, 3x3 kernels) for fast tests and examples."""
+    return build_cnn(
+        input_shape=input_shape,
+        num_classes=num_classes,
+        conv_channels=(8, 16),
+        kernel_size=3,
+        dense_size=64,
+        pool="avg",
+        seed=seed,
+        name=name,
+    )

@@ -1,0 +1,61 @@
+"""Multi-layer perceptron builder.
+
+MLPs are not used in the paper's headline results but are invaluable for fast
+tests and for the quickstart example: they exercise the full
+train → convert → spike pipeline in well under a second.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.ann.layers import Dense, Flatten, ReLU
+from repro.ann.model import Sequential
+from repro.utils.rng import SeedLike, spawn_rngs
+
+
+def build_mlp(
+    input_shape: Tuple[int, ...],
+    hidden_sizes: Sequence[int],
+    num_classes: int,
+    use_bias: bool = True,
+    seed: SeedLike = 0,
+    name: str = "mlp",
+) -> Sequential:
+    """Build a ReLU MLP ``input → hidden_sizes... → num_classes``.
+
+    Parameters
+    ----------
+    input_shape:
+        Per-sample shape; image shapes are flattened automatically.
+    hidden_sizes:
+        Width of each hidden layer (each followed by ReLU).
+    num_classes:
+        Output dimensionality (logits).
+    use_bias:
+        Whether Dense layers carry biases (some conversion baselines drop them).
+    """
+    if num_classes <= 0:
+        raise ValueError(f"num_classes must be positive, got {num_classes}")
+    hidden_sizes = list(hidden_sizes)
+    if any(h <= 0 for h in hidden_sizes):
+        raise ValueError(f"hidden_sizes must be positive, got {hidden_sizes}")
+
+    input_dim = int(np.prod(input_shape))
+    rngs = spawn_rngs(seed, len(hidden_sizes) + 1)
+    layers = []
+    if len(input_shape) > 1:
+        layers.append(Flatten(name="flatten"))
+    previous = input_dim
+    for index, width in enumerate(hidden_sizes):
+        layers.append(
+            Dense(previous, width, use_bias=use_bias, seed=rngs[index], name=f"dense_{index}")
+        )
+        layers.append(ReLU(name=f"relu_{index}"))
+        previous = width
+    layers.append(
+        Dense(previous, num_classes, use_bias=use_bias, seed=rngs[-1], name="dense_out")
+    )
+    return Sequential(layers, input_shape=tuple(input_shape), name=name)

@@ -1,0 +1,157 @@
+"""VGG-16 builders.
+
+The paper's CIFAR-10 / CIFAR-100 experiments use VGG-16 (280,586 neurons).
+:func:`build_vgg16` constructs the full 13-conv + 3-dense topology (with the
+classifier widths adapted to 32x32 inputs, as is standard for CIFAR VGG).
+Training the full model from scratch in pure numpy is too slow for the
+benchmark harness, so :func:`build_vgg_small` provides a width-scaled variant
+with the same depth pattern; DESIGN.md §2 records this substitution.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple, Union
+
+from repro.ann.layers import AvgPool2D, Conv2D, Dense, Dropout, Flatten, MaxPool2D, ReLU
+from repro.ann.model import Sequential
+from repro.utils.rng import SeedLike, spawn_rngs
+
+#: The canonical VGG-16 configuration: channel counts with "M" marking pooling.
+VGG16_CONFIG: List[Union[int, str]] = [
+    64, 64, "M",
+    128, 128, "M",
+    256, 256, 256, "M",
+    512, 512, 512, "M",
+    512, 512, 512, "M",
+]
+
+
+def _build_vgg(
+    config: Sequence[Union[int, str]],
+    input_shape: Tuple[int, int, int],
+    num_classes: int,
+    dense_sizes: Sequence[int],
+    pool: str,
+    dropout: float,
+    seed: SeedLike,
+    name: str,
+) -> Sequential:
+    if len(input_shape) != 3:
+        raise ValueError(f"input_shape must be (C, H, W), got {input_shape}")
+    if pool not in ("avg", "max"):
+        raise ValueError(f"pool must be 'avg' or 'max', got {pool!r}")
+    conv_count = sum(1 for item in config if item != "M")
+    rngs = spawn_rngs(seed, conv_count + len(dense_sizes) + 1)
+    rng_index = 0
+
+    layers = []
+    channels, height, width = input_shape
+    conv_index = 0
+    pool_index = 0
+    for item in config:
+        if item == "M":
+            pool_layer = (
+                AvgPool2D(2, name=f"pool_{pool_index}")
+                if pool == "avg"
+                else MaxPool2D(2, name=f"pool_{pool_index}")
+            )
+            layers.append(pool_layer)
+            height //= 2
+            width //= 2
+            pool_index += 1
+            if height < 1 or width < 1:
+                raise ValueError(
+                    f"VGG config has more pooling stages than input {input_shape} allows"
+                )
+            continue
+        out_channels = int(item)
+        layers.append(
+            Conv2D(
+                channels,
+                out_channels,
+                kernel_size=3,
+                stride=1,
+                padding=1,
+                seed=rngs[rng_index],
+                name=f"conv_{conv_index}",
+            )
+        )
+        layers.append(ReLU(name=f"relu_conv_{conv_index}"))
+        channels = out_channels
+        conv_index += 1
+        rng_index += 1
+
+    layers.append(Flatten(name="flatten"))
+    flat = channels * height * width
+    previous = flat
+    for dense_index, size in enumerate(dense_sizes):
+        layers.append(
+            Dense(previous, size, seed=rngs[rng_index], name=f"fc_{dense_index}")
+        )
+        layers.append(ReLU(name=f"relu_fc_{dense_index}"))
+        if dropout > 0:
+            layers.append(Dropout(dropout, seed=seed, name=f"dropout_{dense_index}"))
+        previous = size
+        rng_index += 1
+    layers.append(Dense(previous, num_classes, seed=rngs[rng_index], name="fc_out"))
+    return Sequential(layers, input_shape=tuple(input_shape), name=name)
+
+
+def build_vgg16(
+    input_shape: Tuple[int, int, int] = (3, 32, 32),
+    num_classes: int = 10,
+    dense_sizes: Sequence[int] = (512, 512),
+    pool: str = "avg",
+    dropout: float = 0.0,
+    seed: SeedLike = 0,
+    name: str = "vgg16",
+) -> Sequential:
+    """Full VGG-16 (13 conv + 3 dense) adapted to 32x32 inputs.
+
+    The paper converts a trained VGG-16; average pooling is the default here
+    because it converts exactly to spiking pooling.
+    """
+    return _build_vgg(
+        VGG16_CONFIG, input_shape, num_classes, dense_sizes, pool, dropout, seed, name
+    )
+
+
+def build_vgg_small(
+    input_shape: Tuple[int, int, int] = (3, 32, 32),
+    num_classes: int = 10,
+    width_factor: float = 0.125,
+    depth_blocks: int = 3,
+    dense_size: int = 128,
+    pool: str = "avg",
+    dropout: float = 0.0,
+    seed: SeedLike = 0,
+    name: str = "vgg-small",
+) -> Sequential:
+    """A width/depth-scaled VGG used by the benchmark harness.
+
+    Parameters
+    ----------
+    width_factor:
+        Multiplier applied to the canonical VGG channel counts (minimum 4).
+    depth_blocks:
+        Number of VGG blocks to keep (1–5); each block ends with a pooling
+        layer, so ``depth_blocks`` also bounds the spatial down-sampling.
+    """
+    if not 1 <= depth_blocks <= 5:
+        raise ValueError(f"depth_blocks must be between 1 and 5, got {depth_blocks}")
+    if width_factor <= 0:
+        raise ValueError(f"width_factor must be positive, got {width_factor}")
+
+    config: List[Union[int, str]] = []
+    blocks_seen = 0
+    for item in VGG16_CONFIG:
+        if item == "M":
+            config.append("M")
+            blocks_seen += 1
+            if blocks_seen >= depth_blocks:
+                break
+        else:
+            config.append(max(4, int(round(int(item) * width_factor))))
+    return _build_vgg(
+        config, input_shape, num_classes, (dense_size,), pool, dropout, seed, name
+    )

@@ -1,0 +1,76 @@
+"""Discrete-time spiking neural network simulator.
+
+This package implements the SNN substrate the paper's experiments run on:
+
+* integrate-and-fire neurons with reset-to-zero (Eq. 3) or
+  reset-by-subtraction (Eq. 4) dynamics (:mod:`repro.snn.neurons`),
+* threshold dynamics implementing rate (constant), phase (Eq. 6–7) and burst
+  (Eq. 8–9) coding (:mod:`repro.snn.thresholds`),
+* input encoders for real / rate / phase / burst input coding
+  (:mod:`repro.snn.encoding`),
+* spiking Dense / Conv2D / pooling layers carrying *weighted spikes* whose
+  amplitude equals the presynaptic threshold at firing time (Eq. 5)
+  (:mod:`repro.snn.layers`),
+* the time-stepped :class:`~repro.snn.network.SpikingNetwork` engine with
+  spike recording (:mod:`repro.snn.network`, :mod:`repro.snn.recording`).
+"""
+
+from repro.snn.neurons import IFNeuronState, ResetMode
+from repro.snn.thresholds import (
+    ThresholdDynamics,
+    ConstantThreshold,
+    PhaseThreshold,
+    BurstThreshold,
+    make_threshold,
+)
+from repro.snn.encoding import (
+    EncodedStep,
+    InputEncoder,
+    RealEncoder,
+    RateEncoder,
+    PoissonRateEncoder,
+    PhaseEncoder,
+    BurstEncoder,
+    make_encoder,
+)
+from repro.snn.layers import (
+    SpikingLayer,
+    SpikingDense,
+    SpikingConv2D,
+    SpikingAvgPool2D,
+    SpikingMaxPool2D,
+    SpikingFlatten,
+    OutputAccumulator,
+)
+from repro.snn.network import SpikingNetwork, SimulationConfig, SimulationResult
+from repro.snn.recording import SpikeRecord, LayerRecord
+
+__all__ = [
+    "IFNeuronState",
+    "ResetMode",
+    "ThresholdDynamics",
+    "ConstantThreshold",
+    "PhaseThreshold",
+    "BurstThreshold",
+    "make_threshold",
+    "EncodedStep",
+    "InputEncoder",
+    "RealEncoder",
+    "RateEncoder",
+    "PoissonRateEncoder",
+    "PhaseEncoder",
+    "BurstEncoder",
+    "make_encoder",
+    "SpikingLayer",
+    "SpikingDense",
+    "SpikingConv2D",
+    "SpikingAvgPool2D",
+    "SpikingMaxPool2D",
+    "SpikingFlatten",
+    "OutputAccumulator",
+    "SpikingNetwork",
+    "SimulationConfig",
+    "SimulationResult",
+    "SpikeRecord",
+    "LayerRecord",
+]

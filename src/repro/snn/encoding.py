@@ -1,0 +1,273 @@
+"""Input-layer encoders: real, rate, phase and burst input coding.
+
+The input layer's job is to turn a static, bounded analog input (an image in
+``[0, 1]``) into the quantity injected into the first spiking layer at every
+time step.  Following Eq. 5, a spike is *weighted*: what the next layer sees
+is the spike amplitude, not just a 0/1 event.  The encoders therefore return
+both the transmitted **values** (amplitudes, or the analog value itself for
+real coding) and the boolean **spikes** (used for spike counting and energy
+estimation — real coding transmits values without emitting spikes).
+
+Throughput conventions (important for hybrid coding, see DESIGN.md):
+
+* *real* and *rate* coding transmit on average ``x`` per time step
+  (``throughput_factor = 1``);
+* *phase* coding transmits the k-bit value ``x`` once per period of ``k``
+  steps (``throughput_factor = 1/k``), exactly as in Kim et al. [14];
+* *burst* input coding drives an IF neuron with burst threshold adaptation by
+  a constant current ``x`` (``throughput_factor = 1``).
+
+The pipeline uses ``throughput_factor`` to scale per-step bias injection so
+biases stay proportionate to the rate at which evidence arrives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.snn.neurons import IFNeuronState, ResetMode
+from repro.snn.thresholds import BurstThreshold
+from repro.utils.config import validate_positive
+from repro.utils.rng import SeedLike, as_rng
+
+
+@dataclass
+class EncodedStep:
+    """What the input layer transmits during one time step.
+
+    Attributes
+    ----------
+    values:
+        Array with the same shape as the input batch; the weighted-spike
+        amplitudes (or analog values for real coding) delivered to the first
+        layer's synapses.
+    spikes:
+        Boolean array marking which input neurons emitted a spike this step.
+    """
+
+    values: np.ndarray
+    spikes: np.ndarray
+
+    @property
+    def spike_count(self) -> int:
+        """Total number of spikes emitted this step."""
+        return int(np.count_nonzero(self.spikes))
+
+
+class InputEncoder:
+    """Base class for input encoders.
+
+    Usage: ``encoder.reset(x)`` with the input batch (values in ``[0, 1]``),
+    then ``encoder.step(t)`` for ``t = 0, 1, …``.
+    """
+
+    #: short name used in configuration strings
+    coding = "base"
+    #: average fraction of the analog value transmitted per time step
+    throughput_factor = 1.0
+
+    def reset(self, x: np.ndarray) -> None:
+        """Load a new input batch (clipped to ``[0, 1]``)."""
+        x = np.asarray(x, dtype=np.float64)
+        if np.any(x < -1e-9) or np.any(x > 1.0 + 1e-9):
+            raise ValueError(
+                "input encoders expect values in [0, 1]; normalise inputs first "
+                f"(got range [{x.min():.4f}, {x.max():.4f}])"
+            )
+        self._x = np.clip(x, 0.0, 1.0)
+
+    def step(self, t: int) -> EncodedStep:
+        """Produce the transmitted values and spikes for time step ``t``."""
+        raise NotImplementedError
+
+    @property
+    def input(self) -> np.ndarray:
+        if not hasattr(self, "_x"):
+            raise RuntimeError("encoder.reset(x) must be called before step()")
+        return self._x
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class RealEncoder(InputEncoder):
+    """Real coding: deliver the analog value itself at every step.
+
+    No spikes are emitted — the first layer receives an analog current, as in
+    Rueckauer et al. [12, 13] ("real" input in Table 1).
+    """
+
+    coding = "real"
+    throughput_factor = 1.0
+
+    def step(self, t: int) -> EncodedStep:
+        del t
+        x = self.input
+        return EncodedStep(values=x.copy(), spikes=np.zeros(x.shape, dtype=bool))
+
+
+class RateEncoder(InputEncoder):
+    """Deterministic rate coding via an integrate-and-fire input neuron.
+
+    Each input neuron integrates its pixel value every step and emits a
+    unit-amplitude spike (amplitude ``v_th``) whenever the accumulated value
+    crosses ``v_th`` — so the long-run spike rate is proportional to the pixel
+    value.  This is the deterministic variant commonly used in conversion
+    work; :class:`PoissonRateEncoder` provides the stochastic variant.
+    """
+
+    coding = "rate"
+    throughput_factor = 1.0
+
+    def __init__(self, v_th: float = 1.0) -> None:
+        validate_positive("v_th", v_th)
+        self.v_th = float(v_th)
+        self._state: Optional[IFNeuronState] = None
+
+    def reset(self, x: np.ndarray) -> None:
+        super().reset(x)
+        self._state = IFNeuronState(self.input.shape, reset_mode=ResetMode.SUBTRACT)
+
+    def step(self, t: int) -> EncodedStep:
+        del t
+        if self._state is None:
+            raise RuntimeError("encoder.reset(x) must be called before step()")
+        spikes, amplitudes = self._state.step(self.input, np.asarray(self.v_th))
+        return EncodedStep(values=amplitudes, spikes=spikes)
+
+
+class PoissonRateEncoder(InputEncoder):
+    """Stochastic rate coding: spike with probability equal to the pixel value.
+
+    Spikes have amplitude ``v_th``; the expected transmitted value per step is
+    ``x · v_th``.  Used for robustness experiments and property tests; the
+    deterministic :class:`RateEncoder` is the default for reproducibility.
+    """
+
+    coding = "rate-poisson"
+    throughput_factor = 1.0
+
+    def __init__(self, v_th: float = 1.0, seed: SeedLike = None) -> None:
+        validate_positive("v_th", v_th)
+        self.v_th = float(v_th)
+        self._rng = as_rng(seed)
+
+    def step(self, t: int) -> EncodedStep:
+        del t
+        x = self.input
+        spikes = self._rng.uniform(size=x.shape) < x
+        return EncodedStep(values=spikes.astype(np.float64) * self.v_th, spikes=spikes)
+
+
+class PhaseEncoder(InputEncoder):
+    """Phase coding of the input (weighted spikes, Kim et al. [14]).
+
+    The pixel value is quantised to ``period`` bits; during phase ``p`` of each
+    period a spike of amplitude ``2^-(1+p) · v_th`` is emitted iff bit ``p`` of
+    the quantised value is set.  One full period therefore transmits the value
+    with ``period``-bit precision, and the per-step throughput is ``1/period``.
+    """
+
+    coding = "phase"
+
+    def __init__(self, v_th: float = 1.0, period: int = 8) -> None:
+        validate_positive("v_th", v_th)
+        if period <= 0 or period > 30:
+            raise ValueError(f"period must be in [1, 30], got {period}")
+        self.v_th = float(v_th)
+        self.period = int(period)
+        self._bits: Optional[np.ndarray] = None
+
+    @property
+    def throughput_factor(self) -> float:  # type: ignore[override]
+        return 1.0 / self.period
+
+    def reset(self, x: np.ndarray) -> None:
+        super().reset(x)
+        # Quantise to `period` bits: x ≈ sum_p bit_p 2^-(p+1)
+        scaled = np.round(self.input * (2**self.period)).astype(np.int64)
+        scaled = np.clip(scaled, 0, 2**self.period - 1)
+        bits = np.empty((self.period,) + self.input.shape, dtype=bool)
+        for p in range(self.period):
+            # bit for weight 2^-(p+1) is bit (period-1-p) of the integer
+            bits[p] = (scaled >> (self.period - 1 - p)) & 1
+        self._bits = bits
+
+    def step(self, t: int) -> EncodedStep:
+        if self._bits is None:
+            raise RuntimeError("encoder.reset(x) must be called before step()")
+        phase = t % self.period
+        spikes = self._bits[phase]
+        amplitude = (2.0 ** (-(1 + phase))) * self.v_th
+        return EncodedStep(values=spikes.astype(np.float64) * amplitude, spikes=spikes)
+
+
+class BurstEncoder(InputEncoder):
+    """Burst coding of the input: an IF neuron with burst threshold adaptation
+    driven by a constant current equal to the pixel value.
+
+    Not evaluated as an input coding in the paper (its Table 1 uses real, rate
+    and phase inputs) but provided for completeness; it behaves like rate
+    coding for small pixel values and emits short bursts for bright pixels.
+    """
+
+    coding = "burst"
+    throughput_factor = 1.0
+
+    def __init__(self, v_th: float = 0.125, beta: float = 2.0) -> None:
+        self.threshold = BurstThreshold(v_th=v_th, beta=beta)
+        self._state: Optional[IFNeuronState] = None
+
+    def reset(self, x: np.ndarray) -> None:
+        super().reset(x)
+        self._state = IFNeuronState(self.input.shape, reset_mode=ResetMode.SUBTRACT)
+        self.threshold.reset(self.input.shape)
+
+    def step(self, t: int) -> EncodedStep:
+        if self._state is None:
+            raise RuntimeError("encoder.reset(x) must be called before step()")
+        thresholds = self.threshold.thresholds(t)
+        spikes, amplitudes = self._state.step(self.input, thresholds)
+        self.threshold.update(spikes)
+        return EncodedStep(values=amplitudes, spikes=spikes)
+
+
+def make_encoder(
+    coding: str,
+    v_th: Optional[float] = None,
+    phase_period: int = 8,
+    beta: float = 2.0,
+    seed: SeedLike = None,
+    stochastic: bool = False,
+) -> InputEncoder:
+    """Build an input encoder by coding name.
+
+    Parameters
+    ----------
+    coding:
+        ``"real"``, ``"rate"``, ``"phase"`` or ``"burst"``.
+    v_th:
+        Spike amplitude scale; defaults to 1.0 (0.125 for burst).
+    phase_period:
+        Bit-depth / period of phase coding.
+    stochastic:
+        For rate coding, use the Poisson variant instead of the deterministic
+        integrate-and-fire one.
+    """
+    key = coding.lower()
+    if key == "real":
+        return RealEncoder()
+    if key == "rate":
+        if stochastic:
+            return PoissonRateEncoder(v_th=1.0 if v_th is None else v_th, seed=seed)
+        return RateEncoder(v_th=1.0 if v_th is None else v_th)
+    if key == "phase":
+        return PhaseEncoder(v_th=1.0 if v_th is None else v_th, period=phase_period)
+    if key == "burst":
+        return BurstEncoder(v_th=0.125 if v_th is None else v_th, beta=beta)
+    raise ValueError(
+        f"unknown input coding {coding!r}; expected real, rate, phase or burst"
+    )

@@ -1,0 +1,421 @@
+"""Spiking layers assembled by the DNN→SNN converter.
+
+Each layer consumes the *weighted spike amplitudes* emitted by the previous
+layer (or by the input encoder) and produces its own amplitudes:
+
+``z = W · incoming + bias_scale · b``          (Eq. 1 / Eq. 5)
+``spike if V_mem + z ≥ V_th(t)``               (Eq. 2)
+``amplitude = V_th(t)``, reset by subtraction  (Eq. 4 / Eq. 5)
+
+The pooling and flatten layers are linear re-arrangements of amplitudes and
+carry no neurons of their own (the paper's neuron counts likewise exclude
+them); max pooling uses the standard spiking gating approach of Rueckauer et
+al. [12]: each window forwards the amplitude of the input unit with the
+largest cumulative transmitted value.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.ann.im2col import conv_output_size, im2col
+from repro.snn.neurons import IFNeuronState, ResetMode
+from repro.snn.thresholds import ThresholdDynamics
+
+
+class SpikingLayer:
+    """Base class for all layers of a :class:`~repro.snn.network.SpikingNetwork`."""
+
+    #: whether the layer contains integrate-and-fire neurons that emit spikes
+    is_spiking = False
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.batch_size: Optional[int] = None
+        #: boolean spike array of the most recent step (spiking layers only)
+        self.last_spikes: Optional[np.ndarray] = None
+
+    def reset(self, batch_size: int) -> None:
+        """Allocate per-simulation state for a batch of ``batch_size`` samples."""
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.batch_size = batch_size
+        self.last_spikes = None
+
+    def step(self, incoming: np.ndarray, t: int) -> np.ndarray:
+        """Consume incoming amplitudes at step ``t`` and return outgoing ones."""
+        raise NotImplementedError
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        """Per-sample output shape given a per-sample input shape."""
+        raise NotImplementedError
+
+    @property
+    def num_neurons(self) -> int:
+        """Number of IF neurons per sample (0 for linear re-arrangement layers)."""
+        return 0
+
+    def spike_count(self) -> int:
+        """Number of spikes emitted at the most recent step."""
+        if self.last_spikes is None:
+            return 0
+        return int(np.count_nonzero(self.last_spikes))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class _SpikingNeuronLayer(SpikingLayer):
+    """Shared machinery for layers that own IF neurons (dense and conv)."""
+
+    is_spiking = True
+
+    def __init__(
+        self,
+        name: str,
+        threshold: ThresholdDynamics,
+        reset_mode: "ResetMode | str" = ResetMode.SUBTRACT,
+        bias_scale: float = 1.0,
+    ) -> None:
+        super().__init__(name)
+        self.threshold = threshold
+        self.reset_mode = ResetMode.from_value(reset_mode)
+        self.bias_scale = float(bias_scale)
+        self.state: Optional[IFNeuronState] = None
+
+    def _state_shape(self, batch_size: int) -> Tuple[int, ...]:
+        raise NotImplementedError
+
+    def reset(self, batch_size: int) -> None:
+        super().reset(batch_size)
+        shape = self._state_shape(batch_size)
+        self.state = IFNeuronState(shape, reset_mode=self.reset_mode)
+        self.threshold.reset(shape)
+
+    def _synaptic_input(self, incoming: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def step(self, incoming: np.ndarray, t: int) -> np.ndarray:
+        if self.state is None:
+            raise RuntimeError(f"{self.name}: reset(batch_size) must be called before step()")
+        z = self._synaptic_input(np.asarray(incoming, dtype=np.float64))
+        thresholds = self.threshold.thresholds(t)
+        spikes, amplitudes = self.state.step(z, thresholds)
+        self.threshold.update(spikes)
+        self.last_spikes = spikes
+        return amplitudes
+
+    def membrane(self) -> np.ndarray:
+        """Copy of the current membrane potentials (analysis / tests)."""
+        if self.state is None:
+            raise RuntimeError(f"{self.name}: layer has no state before reset()")
+        return self.state.membrane_copy()
+
+
+class SpikingDense(_SpikingNeuronLayer):
+    """Fully connected spiking layer.
+
+    Parameters
+    ----------
+    weight:
+        Normalised weight matrix of shape ``(in_features, out_features)``.
+    bias:
+        Optional bias of shape ``(out_features,)``; injected every time step
+        scaled by ``bias_scale``.
+    threshold:
+        The layer's :class:`~repro.snn.thresholds.ThresholdDynamics` (the
+        hidden-layer coding scheme).
+    """
+
+    def __init__(
+        self,
+        weight: np.ndarray,
+        bias: Optional[np.ndarray],
+        threshold: ThresholdDynamics,
+        reset_mode: "ResetMode | str" = ResetMode.SUBTRACT,
+        bias_scale: float = 1.0,
+        name: str = "spiking_dense",
+    ) -> None:
+        super().__init__(name, threshold, reset_mode, bias_scale)
+        weight = np.asarray(weight, dtype=np.float64)
+        if weight.ndim != 2:
+            raise ValueError(f"{name}: weight must be 2-D, got shape {weight.shape}")
+        self.weight = weight
+        self.bias = None if bias is None else np.asarray(bias, dtype=np.float64)
+        if self.bias is not None and self.bias.shape != (weight.shape[1],):
+            raise ValueError(
+                f"{name}: bias shape {self.bias.shape} does not match out features "
+                f"{weight.shape[1]}"
+            )
+
+    @property
+    def in_features(self) -> int:
+        return int(self.weight.shape[0])
+
+    @property
+    def out_features(self) -> int:
+        return int(self.weight.shape[1])
+
+    @property
+    def num_neurons(self) -> int:
+        return self.out_features
+
+    def _state_shape(self, batch_size: int) -> Tuple[int, ...]:
+        return (batch_size, self.out_features)
+
+    def _synaptic_input(self, incoming: np.ndarray) -> np.ndarray:
+        if incoming.ndim != 2 or incoming.shape[1] != self.in_features:
+            raise ValueError(
+                f"{self.name}: expected incoming shape (N, {self.in_features}), "
+                f"got {incoming.shape}"
+            )
+        z = incoming @ self.weight
+        if self.bias is not None:
+            z = z + self.bias_scale * self.bias
+        return z
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        return (self.out_features,)
+
+
+class SpikingConv2D(_SpikingNeuronLayer):
+    """Convolutional spiking layer (im2col-based, channel-first)."""
+
+    def __init__(
+        self,
+        weight: np.ndarray,
+        bias: Optional[np.ndarray],
+        threshold: ThresholdDynamics,
+        stride: int = 1,
+        padding: int = 0,
+        reset_mode: "ResetMode | str" = ResetMode.SUBTRACT,
+        bias_scale: float = 1.0,
+        input_shape: Optional[Tuple[int, int, int]] = None,
+        name: str = "spiking_conv",
+    ) -> None:
+        super().__init__(name, threshold, reset_mode, bias_scale)
+        weight = np.asarray(weight, dtype=np.float64)
+        if weight.ndim != 4 or weight.shape[2] != weight.shape[3]:
+            raise ValueError(
+                f"{name}: weight must be (out_c, in_c, k, k), got shape {weight.shape}"
+            )
+        self.weight = weight
+        self.bias = None if bias is None else np.asarray(bias, dtype=np.float64)
+        if self.bias is not None and self.bias.shape != (weight.shape[0],):
+            raise ValueError(
+                f"{name}: bias shape {self.bias.shape} does not match out channels "
+                f"{weight.shape[0]}"
+            )
+        if stride <= 0:
+            raise ValueError(f"{name}: stride must be positive, got {stride}")
+        if padding < 0:
+            raise ValueError(f"{name}: padding must be non-negative, got {padding}")
+        self.stride = stride
+        self.padding = padding
+        if input_shape is None:
+            raise ValueError(f"{name}: input_shape (C, H, W) is required")
+        self.input_shape = tuple(int(v) for v in input_shape)
+        if self.input_shape[0] != weight.shape[1]:
+            raise ValueError(
+                f"{name}: input channels {self.input_shape[0]} do not match weight "
+                f"in_channels {weight.shape[1]}"
+            )
+        self._out_shape = self.output_shape(self.input_shape)
+        self._weight_matrix = self.weight.reshape(self.weight.shape[0], -1)
+
+    @property
+    def out_channels(self) -> int:
+        return int(self.weight.shape[0])
+
+    @property
+    def kernel_size(self) -> int:
+        return int(self.weight.shape[2])
+
+    @property
+    def num_neurons(self) -> int:
+        c, h, w = self._out_shape
+        return int(c * h * w)
+
+    def _state_shape(self, batch_size: int) -> Tuple[int, ...]:
+        return (batch_size,) + self._out_shape
+
+    def _synaptic_input(self, incoming: np.ndarray) -> np.ndarray:
+        expected = (self.input_shape[0],)
+        if incoming.ndim != 4 or incoming.shape[1] != expected[0]:
+            raise ValueError(
+                f"{self.name}: expected incoming shape (N, {expected[0]}, H, W), "
+                f"got {incoming.shape}"
+            )
+        n = incoming.shape[0]
+        cols, out_h, out_w = im2col(
+            incoming, self.kernel_size, self.kernel_size, self.stride, self.padding
+        )
+        z = cols @ self._weight_matrix.T
+        if self.bias is not None:
+            z = z + self.bias_scale * self.bias
+        return z.reshape(n, out_h, out_w, self.out_channels).transpose(0, 3, 1, 2)
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        c, h, w = input_shape
+        out_h = conv_output_size(h, self.kernel_size, self.stride, self.padding)
+        out_w = conv_output_size(w, self.kernel_size, self.stride, self.padding)
+        return (self.out_channels, out_h, out_w)
+
+
+class SpikingAvgPool2D(SpikingLayer):
+    """Average pooling of spike amplitudes (linear, neuron-free)."""
+
+    def __init__(self, pool_size: int = 2, stride: Optional[int] = None, name: str = "spiking_avgpool") -> None:
+        super().__init__(name)
+        if pool_size <= 0:
+            raise ValueError(f"{name}: pool_size must be positive, got {pool_size}")
+        self.pool_size = pool_size
+        self.stride = stride if stride is not None else pool_size
+
+    def step(self, incoming: np.ndarray, t: int) -> np.ndarray:
+        del t
+        incoming = np.asarray(incoming, dtype=np.float64)
+        n, c, h, w = incoming.shape
+        cols, out_h, out_w = im2col(
+            incoming.reshape(n * c, 1, h, w), self.pool_size, self.pool_size, self.stride, 0
+        )
+        return cols.mean(axis=1).reshape(n, c, out_h, out_w)
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        c, h, w = input_shape
+        out_h = conv_output_size(h, self.pool_size, self.stride, 0)
+        out_w = conv_output_size(w, self.pool_size, self.stride, 0)
+        return (c, out_h, out_w)
+
+
+class SpikingMaxPool2D(SpikingLayer):
+    """Spiking max pooling via cumulative-evidence gating.
+
+    Each pooling window forwards the current amplitude of the input unit whose
+    *cumulative* transmitted amplitude is largest so far — the output-gating
+    scheme proposed for converted SNNs by Rueckauer et al. [12].
+    """
+
+    def __init__(self, pool_size: int = 2, stride: Optional[int] = None, name: str = "spiking_maxpool") -> None:
+        super().__init__(name)
+        if pool_size <= 0:
+            raise ValueError(f"{name}: pool_size must be positive, got {pool_size}")
+        self.pool_size = pool_size
+        self.stride = stride if stride is not None else pool_size
+        self._cumulative: Optional[np.ndarray] = None
+
+    def reset(self, batch_size: int) -> None:
+        super().reset(batch_size)
+        self._cumulative = None
+
+    def step(self, incoming: np.ndarray, t: int) -> np.ndarray:
+        del t
+        incoming = np.asarray(incoming, dtype=np.float64)
+        if self._cumulative is None:
+            self._cumulative = np.zeros_like(incoming)
+        elif self._cumulative.shape != incoming.shape:
+            raise ValueError(
+                f"{self.name}: incoming shape changed mid-simulation "
+                f"({self._cumulative.shape} -> {incoming.shape})"
+            )
+        self._cumulative += incoming
+
+        n, c, h, w = incoming.shape
+        cum_cols, out_h, out_w = im2col(
+            self._cumulative.reshape(n * c, 1, h, w),
+            self.pool_size,
+            self.pool_size,
+            self.stride,
+            0,
+        )
+        in_cols, _, _ = im2col(
+            incoming.reshape(n * c, 1, h, w), self.pool_size, self.pool_size, self.stride, 0
+        )
+        winners = cum_cols.argmax(axis=1)
+        gated = in_cols[np.arange(in_cols.shape[0]), winners]
+        return gated.reshape(n, c, out_h, out_w)
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        c, h, w = input_shape
+        out_h = conv_output_size(h, self.pool_size, self.stride, 0)
+        out_w = conv_output_size(w, self.pool_size, self.stride, 0)
+        return (c, out_h, out_w)
+
+
+class SpikingFlatten(SpikingLayer):
+    """Reshape ``(N, C, H, W)`` amplitudes to ``(N, C*H*W)`` rows."""
+
+    def __init__(self, name: str = "spiking_flatten") -> None:
+        super().__init__(name)
+
+    def step(self, incoming: np.ndarray, t: int) -> np.ndarray:
+        del t
+        incoming = np.asarray(incoming, dtype=np.float64)
+        return incoming.reshape(incoming.shape[0], -1)
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        size = 1
+        for dim in input_shape:
+            size *= dim
+        return (size,)
+
+
+class OutputAccumulator(SpikingLayer):
+    """Non-spiking output layer.
+
+    The final dense layer of a converted SNN is read out by accumulating its
+    membrane potential (the standard choice in conversion work): the class
+    scores at time ``t`` are the accumulated ``W·incoming + bias_scale·b``.
+    """
+
+    def __init__(
+        self,
+        weight: np.ndarray,
+        bias: Optional[np.ndarray],
+        bias_scale: float = 1.0,
+        name: str = "output",
+    ) -> None:
+        super().__init__(name)
+        weight = np.asarray(weight, dtype=np.float64)
+        if weight.ndim != 2:
+            raise ValueError(f"{name}: weight must be 2-D, got shape {weight.shape}")
+        self.weight = weight
+        self.bias = None if bias is None else np.asarray(bias, dtype=np.float64)
+        self.bias_scale = float(bias_scale)
+        self._logits: Optional[np.ndarray] = None
+
+    @property
+    def num_classes(self) -> int:
+        return int(self.weight.shape[1])
+
+    def reset(self, batch_size: int) -> None:
+        super().reset(batch_size)
+        self._logits = np.zeros((batch_size, self.num_classes), dtype=np.float64)
+
+    def step(self, incoming: np.ndarray, t: int) -> np.ndarray:
+        del t
+        if self._logits is None:
+            raise RuntimeError(f"{self.name}: reset(batch_size) must be called before step()")
+        incoming = np.asarray(incoming, dtype=np.float64)
+        if incoming.ndim != 2 or incoming.shape[1] != self.weight.shape[0]:
+            raise ValueError(
+                f"{self.name}: expected incoming shape (N, {self.weight.shape[0]}), "
+                f"got {incoming.shape}"
+            )
+        update = incoming @ self.weight
+        if self.bias is not None:
+            update = update + self.bias_scale * self.bias
+        self._logits += update
+        return self._logits
+
+    @property
+    def logits(self) -> np.ndarray:
+        """Accumulated class scores."""
+        if self._logits is None:
+            raise RuntimeError(f"{self.name}: reset(batch_size) must be called before use")
+        return self._logits
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        return (self.num_classes,)

@@ -1,0 +1,280 @@
+"""Time-stepped SNN simulation engine.
+
+A :class:`SpikingNetwork` is an ordered list of spiking layers terminated by
+an :class:`~repro.snn.layers.OutputAccumulator`, together with an input
+encoder.  ``run`` simulates the network for a fixed number of time steps on a
+batch of static inputs and returns a :class:`SimulationResult` containing the
+accumulated class scores over time and the recorded spiking activity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.snn.encoding import InputEncoder
+from repro.snn.layers import OutputAccumulator, SpikingLayer
+from repro.snn.recording import SpikeRecord
+from repro.utils.config import FrozenConfig, validate_positive
+from repro.utils.rng import SeedLike
+
+
+@dataclass(frozen=True)
+class SimulationConfig(FrozenConfig):
+    """Parameters of one SNN simulation run.
+
+    Attributes
+    ----------
+    time_steps:
+        Number of discrete simulation steps (the paper's "latency" axis).
+    record_outputs_every:
+        Store the accumulated output scores every this many steps (1 gives the
+        full inference curve of Fig. 4; larger values save memory).
+    record_trains:
+        Record full spike trains for a sampled subset of neurons (needed by
+        the ISI / firing-pattern analyses).
+    sample_fraction:
+        Fraction of neurons per layer whose trains are recorded (paper: 10%).
+    seed:
+        Seed for neuron sampling (and stochastic encoders if any).
+    """
+
+    time_steps: int = 100
+    record_outputs_every: int = 1
+    record_trains: bool = False
+    sample_fraction: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        validate_positive("time_steps", self.time_steps)
+        validate_positive("record_outputs_every", self.record_outputs_every)
+        if not 0.0 < self.sample_fraction <= 1.0:
+            raise ValueError(
+                f"sample_fraction must be in (0, 1], got {self.sample_fraction}"
+            )
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one :meth:`SpikingNetwork.run` call.
+
+    Attributes
+    ----------
+    output_history:
+        Accumulated class scores at the recorded steps, shape
+        ``(num_records, batch, classes)``.
+    recorded_steps:
+        1-based time steps at which ``output_history`` snapshots were taken.
+    record:
+        The :class:`~repro.snn.recording.SpikeRecord` with per-layer activity.
+    """
+
+    output_history: np.ndarray
+    recorded_steps: np.ndarray
+    record: SpikeRecord
+    time_steps: int
+    batch_size: int
+    num_neurons: int
+    labels: Optional[np.ndarray] = None
+
+    @property
+    def final_outputs(self) -> np.ndarray:
+        """Accumulated class scores after the final step, shape (batch, classes)."""
+        return self.output_history[-1]
+
+    def predictions(self, step_index: int = -1) -> np.ndarray:
+        """Predicted class per sample at a recorded step (default: last)."""
+        return self.output_history[step_index].argmax(axis=1)
+
+    def accuracy(self, labels: Optional[np.ndarray] = None, step_index: int = -1) -> float:
+        """Top-1 accuracy at a recorded step against ``labels``."""
+        labels = self._resolve_labels(labels)
+        predicted = self.predictions(step_index)
+        if labels.size == 0:
+            return 0.0
+        return float(np.mean(predicted == labels))
+
+    def accuracy_curve(self, labels: Optional[np.ndarray] = None) -> np.ndarray:
+        """Accuracy at every recorded step, shape ``(num_records,)``."""
+        labels = self._resolve_labels(labels)
+        if labels.size == 0:
+            return np.zeros(self.output_history.shape[0])
+        predicted = self.output_history.argmax(axis=2)
+        return (predicted == labels[None, :]).mean(axis=1)
+
+    def total_spikes(self, include_input: bool = True) -> int:
+        """Total spikes emitted across the whole run."""
+        return self.record.total_spikes(include_input=include_input)
+
+    def spikes_per_sample(self, include_input: bool = True) -> float:
+        """Average number of spikes per input sample."""
+        if self.batch_size == 0:
+            return 0.0
+        return self.total_spikes(include_input=include_input) / self.batch_size
+
+    def spiking_density(self, latency: Optional[int] = None, include_input: bool = True) -> float:
+        """Spiking density as defined in Table 2 of the paper.
+
+        ``density = spikes per image / (num_neurons · latency)`` — the expected
+        number of spikes a neuron emits per time step.
+        """
+        latency = self.time_steps if latency is None else latency
+        neurons = self.record.total_neurons(include_input=include_input)
+        if latency <= 0 or neurons <= 0:
+            return 0.0
+        cumulative = self.record.cumulative_spikes(include_input=include_input)
+        upto = int(min(latency, len(cumulative)))
+        spikes = float(cumulative[upto - 1]) if upto > 0 else 0.0
+        return spikes / self.batch_size / (neurons * latency)
+
+    def _resolve_labels(self, labels: Optional[np.ndarray]) -> np.ndarray:
+        if labels is None:
+            labels = self.labels
+        if labels is None:
+            raise ValueError("labels are required (pass them or set result.labels)")
+        return np.asarray(labels)
+
+
+class SpikingNetwork:
+    """A converted spiking network plus its input encoder.
+
+    Parameters
+    ----------
+    layers:
+        Ordered spiking layers; the last one must be an
+        :class:`~repro.snn.layers.OutputAccumulator`.
+    encoder:
+        The input-layer :class:`~repro.snn.encoding.InputEncoder`.
+    input_shape:
+        Per-sample input shape (used for validation and neuron counting).
+    """
+
+    def __init__(
+        self,
+        layers: Sequence[SpikingLayer],
+        encoder: InputEncoder,
+        input_shape: Tuple[int, ...],
+        name: str = "snn",
+    ) -> None:
+        if not layers:
+            raise ValueError("SpikingNetwork requires at least one layer")
+        if not isinstance(layers[-1], OutputAccumulator):
+            raise ValueError("the final layer must be an OutputAccumulator")
+        self.layers: List[SpikingLayer] = list(layers)
+        self.encoder = encoder
+        self.input_shape = tuple(int(v) for v in input_shape)
+        self.name = name
+        self.validate_shapes()
+
+    # -- structure -------------------------------------------------------
+    def validate_shapes(self) -> Tuple[int, ...]:
+        """Propagate the input shape through every layer, raising on mismatch."""
+        shape = self.input_shape
+        for layer in self.layers:
+            shape = layer.output_shape(shape)
+        return shape
+
+    @property
+    def output_layer(self) -> OutputAccumulator:
+        return self.layers[-1]  # type: ignore[return-value]
+
+    @property
+    def num_classes(self) -> int:
+        return self.output_layer.num_classes
+
+    def num_input_neurons(self) -> int:
+        size = 1
+        for dim in self.input_shape:
+            size *= dim
+        return size
+
+    def num_neurons(self, include_input: bool = True) -> int:
+        """Total IF neurons per sample (the paper's "# of neurons" column)."""
+        total = sum(layer.num_neurons for layer in self.layers if layer.is_spiking)
+        if include_input:
+            total += self.num_input_neurons()
+        return int(total)
+
+    def summary(self) -> str:
+        """Human-readable per-layer summary."""
+        lines = [f"SpikingNetwork {self.name!r} (encoder={self.encoder.describe()})"]
+        shape = self.input_shape
+        lines.append(f"  input               shape={shape} neurons={self.num_input_neurons()}")
+        for layer in self.layers:
+            shape = layer.output_shape(shape)
+            lines.append(
+                f"  {layer.name:<20} shape={str(shape):<18} neurons={layer.num_neurons}"
+            )
+        lines.append(f"  total spiking neurons: {self.num_neurons()}")
+        return "\n".join(lines)
+
+    # -- simulation ------------------------------------------------------
+    def run(
+        self,
+        x: np.ndarray,
+        config: Optional[SimulationConfig] = None,
+        labels: Optional[np.ndarray] = None,
+    ) -> SimulationResult:
+        """Simulate the network on a batch of static inputs.
+
+        Parameters
+        ----------
+        x:
+            Input batch of shape ``(N,) + input_shape`` with values in [0, 1].
+        config:
+            Simulation parameters (defaults to ``SimulationConfig()``).
+        labels:
+            Optional ground-truth labels stored on the result for convenience.
+        """
+        config = config or SimulationConfig()
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape[1:] != self.input_shape:
+            raise ValueError(
+                f"input shape {x.shape[1:]} does not match network input {self.input_shape}"
+            )
+        batch_size = x.shape[0]
+        if batch_size == 0:
+            raise ValueError("input batch is empty")
+
+        record = SpikeRecord(
+            sample_fraction=config.sample_fraction,
+            record_trains=config.record_trains,
+            seed=config.seed,
+        )
+        input_record = record.register_input(self.num_input_neurons())
+        layer_records = [
+            record.register_layer(layer.name, layer.num_neurons, layer.is_spiking)
+            for layer in self.layers
+        ]
+
+        self.encoder.reset(x)
+        for layer in self.layers:
+            layer.reset(batch_size)
+
+        outputs: List[np.ndarray] = []
+        recorded_steps: List[int] = []
+        for t in range(config.time_steps):
+            encoded = self.encoder.step(t)
+            input_record.record_step(encoded.spikes, config.record_trains)
+            values = encoded.values
+            for layer, layer_record in zip(self.layers, layer_records):
+                values = layer.step(values, t)
+                layer_record.record_step(
+                    layer.last_spikes if layer.is_spiking else None, config.record_trains
+                )
+            record.advance()
+            if (t + 1) % config.record_outputs_every == 0 or t == config.time_steps - 1:
+                outputs.append(self.output_layer.logits.copy())
+                recorded_steps.append(t + 1)
+
+        return SimulationResult(
+            output_history=np.stack(outputs, axis=0),
+            recorded_steps=np.asarray(recorded_steps, dtype=np.int64),
+            record=record,
+            time_steps=config.time_steps,
+            batch_size=batch_size,
+            num_neurons=self.num_neurons(),
+            labels=None if labels is None else np.asarray(labels),
+        )

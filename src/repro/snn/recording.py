@@ -1,0 +1,158 @@
+"""Spike recording during SNN simulation.
+
+Two levels of detail are supported:
+
+* **counts** — number of spikes per layer per time step (always recorded);
+  this is all that Table 1 / Table 2 (spike counts, spiking density, energy)
+  need.
+* **trains** — full boolean spike trains for a sampled subset of neurons per
+  layer; needed by the spike-pattern analyses (ISI histograms of Fig. 1,
+  burst-length composition of Fig. 2, the firing rate / regularity scatter of
+  Fig. 5).  Sampling mirrors the paper, which analyses 10% of the neurons of
+  each layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_rng
+
+
+@dataclass
+class LayerRecord:
+    """Recorded spiking activity of one layer."""
+
+    name: str
+    num_neurons: int
+    is_spiking: bool
+    #: spikes emitted by the whole layer at each time step, length T
+    spike_counts: List[int] = field(default_factory=list)
+    #: flat indices (within a sample's neuron array) of the sampled neurons
+    sampled_indices: Optional[np.ndarray] = None
+    #: per-step boolean arrays of shape (batch, n_sampled); stacked on demand
+    _train_steps: List[np.ndarray] = field(default_factory=list)
+
+    def record_step(self, spikes: Optional[np.ndarray], record_trains: bool) -> None:
+        """Record one simulation step given the layer's boolean spike array."""
+        if spikes is None:
+            self.spike_counts.append(0)
+            if record_trains and self.sampled_indices is not None:
+                self._train_steps.append(
+                    np.zeros((1, len(self.sampled_indices)), dtype=bool)
+                )
+            return
+        self.spike_counts.append(int(np.count_nonzero(spikes)))
+        if record_trains and self.sampled_indices is not None and self.sampled_indices.size:
+            flat = spikes.reshape(spikes.shape[0], -1)
+            self._train_steps.append(flat[:, self.sampled_indices].copy())
+
+    @property
+    def total_spikes(self) -> int:
+        return int(sum(self.spike_counts))
+
+    def spike_trains(self) -> np.ndarray:
+        """Sampled spike trains as a boolean array of shape (T, batch, n_sampled)."""
+        if not self._train_steps:
+            return np.zeros((0, 0, 0), dtype=bool)
+        return np.stack(self._train_steps, axis=0)
+
+    def spike_trains_flat(self) -> np.ndarray:
+        """Sampled spike trains as shape (T, batch * n_sampled) boolean array."""
+        trains = self.spike_trains()
+        if trains.size == 0:
+            return np.zeros((0, 0), dtype=bool)
+        return trains.reshape(trains.shape[0], -1)
+
+
+class SpikeRecord:
+    """Container aggregating :class:`LayerRecord` objects for one simulation.
+
+    Parameters
+    ----------
+    sample_fraction:
+        Fraction of each spiking layer's neurons whose full spike trains are
+        recorded (only when ``record_trains`` is enabled on the network run).
+    """
+
+    def __init__(
+        self,
+        sample_fraction: float = 0.1,
+        record_trains: bool = False,
+        seed: SeedLike = 0,
+    ) -> None:
+        if not 0.0 < sample_fraction <= 1.0:
+            raise ValueError(f"sample_fraction must be in (0, 1], got {sample_fraction}")
+        self.sample_fraction = sample_fraction
+        self.record_trains = record_trains
+        self._rng = as_rng(seed)
+        self.layers: List[LayerRecord] = []
+        self.input_record: Optional[LayerRecord] = None
+        self.time_steps = 0
+
+    # -- setup -----------------------------------------------------------
+    def register_input(self, num_neurons: int) -> LayerRecord:
+        """Register the input layer (encoder spikes)."""
+        record = LayerRecord(name="input", num_neurons=num_neurons, is_spiking=True)
+        record.sampled_indices = self._sample_indices(num_neurons)
+        self.input_record = record
+        return record
+
+    def register_layer(self, name: str, num_neurons: int, is_spiking: bool) -> LayerRecord:
+        """Register one network layer and return its record."""
+        record = LayerRecord(name=name, num_neurons=num_neurons, is_spiking=is_spiking)
+        if is_spiking and num_neurons > 0:
+            record.sampled_indices = self._sample_indices(num_neurons)
+        self.layers.append(record)
+        return record
+
+    def _sample_indices(self, num_neurons: int) -> np.ndarray:
+        if not self.record_trains or num_neurons == 0:
+            return np.array([], dtype=np.int64)
+        count = max(1, int(round(num_neurons * self.sample_fraction)))
+        return np.sort(self._rng.choice(num_neurons, size=count, replace=False))
+
+    # -- aggregation -----------------------------------------------------
+    def advance(self) -> None:
+        """Mark the end of one simulation time step."""
+        self.time_steps += 1
+
+    @property
+    def all_records(self) -> List[LayerRecord]:
+        records = list(self.layers)
+        if self.input_record is not None:
+            records = [self.input_record] + records
+        return records
+
+    def total_spikes(self, include_input: bool = True) -> int:
+        """Total number of spikes across the run."""
+        records = self.all_records if include_input else self.layers
+        return int(sum(record.total_spikes for record in records))
+
+    def total_neurons(self, include_input: bool = True) -> int:
+        """Total number of spiking neurons per sample."""
+        records = self.all_records if include_input else self.layers
+        return int(sum(record.num_neurons for record in records if record.is_spiking))
+
+    def spikes_per_step(self, include_input: bool = True) -> np.ndarray:
+        """Network-wide spike counts per time step, shape ``(T,)``."""
+        records = self.all_records if include_input else self.layers
+        if not records or self.time_steps == 0:
+            return np.zeros(0, dtype=np.int64)
+        totals = np.zeros(self.time_steps, dtype=np.int64)
+        for record in records:
+            counts = np.asarray(record.spike_counts[: self.time_steps], dtype=np.int64)
+            if counts.size:
+                totals[: counts.size] += counts
+        return totals
+
+    def cumulative_spikes(self, include_input: bool = True) -> np.ndarray:
+        """Cumulative network-wide spike counts, shape ``(T,)``."""
+        return np.cumsum(self.spikes_per_step(include_input=include_input))
+
+    def per_layer_totals(self) -> Dict[str, int]:
+        """Mapping layer name → total spikes (includes the input layer)."""
+        return {record.name: record.total_spikes for record in self.all_records}

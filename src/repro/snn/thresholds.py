@@ -1,0 +1,217 @@
+"""Firing-threshold dynamics implementing the neural coding schemes.
+
+The coding scheme used by a (hidden) layer is entirely determined by how its
+firing threshold ``V_th(t)`` evolves:
+
+* **rate coding** — constant threshold ``v_th`` (Diehl et al. [11]);
+* **phase coding** — global oscillation ``V_th(t) = Π(t)·v_th`` with
+  ``Π(t) = 2^-(1 + mod(t, k))`` (Eq. 6–7, Kim et al. [14]);
+* **burst coding** (this paper) — per-neuron adaptation
+  ``g(t) = β·g(t−1)`` while the neuron keeps firing and ``g(t) = 1``
+  otherwise, with ``V_th(t) = g(t)·v_th`` (Eq. 8–9).
+
+Because spikes are *weighted* by the presynaptic threshold at firing time
+(Eq. 5 / Eq. 10), a burst of consecutive spikes carries geometrically growing
+amplitudes ``v_th, β·v_th, β²·v_th, …`` — this is the "synaptic potentiation"
+effect that lets a neuron drain a large membrane backlog in logarithmically
+many steps, which is the paper's central mechanism.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.utils.config import validate_positive
+
+
+class ThresholdDynamics:
+    """Interface for per-layer threshold evolution.
+
+    Subclasses are attached to one spiking layer.  The network engine calls
+    :meth:`reset` once per simulation, then alternates :meth:`thresholds`
+    (before spike generation at step ``t``) and :meth:`update` (after spike
+    generation, with the boolean spike array).
+    """
+
+    #: short name used in configuration strings ("rate", "phase", "burst")
+    coding = "base"
+
+    def reset(self, shape: Tuple[int, ...]) -> None:
+        """Prepare internal state for a layer of the given state shape."""
+        self._shape = tuple(shape)
+
+    def thresholds(self, t: int) -> np.ndarray:
+        """Threshold values ``V_th(t)`` (broadcastable to the layer shape)."""
+        raise NotImplementedError
+
+    def update(self, spikes: np.ndarray) -> None:
+        """Observe the spikes emitted at the current step (default: stateless)."""
+        del spikes
+
+    def describe(self) -> str:
+        """One-line description used in experiment logs."""
+        return f"{type(self).__name__}"
+
+
+class ConstantThreshold(ThresholdDynamics):
+    """Rate coding: a fixed threshold ``v_th`` for every neuron and step."""
+
+    coding = "rate"
+
+    def __init__(self, v_th: float = 1.0) -> None:
+        validate_positive("v_th", v_th)
+        self.v_th = float(v_th)
+
+    def thresholds(self, t: int) -> np.ndarray:
+        del t
+        return np.asarray(self.v_th, dtype=np.float64)
+
+    def describe(self) -> str:
+        return f"ConstantThreshold(v_th={self.v_th})"
+
+
+class PhaseThreshold(ThresholdDynamics):
+    """Phase coding: threshold oscillates with the global phase function.
+
+    ``V_th(t) = 2^-(1 + mod(t, k)) · v_th`` (Eq. 6–7).  The same oscillation is
+    shared by every neuron in the layer (it is a *global reference*), so a
+    spike's amplitude encodes the bit-position of the phase at which it fired.
+    """
+
+    coding = "phase"
+
+    def __init__(self, v_th: float = 1.0, period: int = 8, phase_offset: int = 0) -> None:
+        validate_positive("v_th", v_th)
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        if phase_offset < 0:
+            raise ValueError(f"phase_offset must be non-negative, got {phase_offset}")
+        self.v_th = float(v_th)
+        self.period = int(period)
+        self.phase_offset = int(phase_offset)
+
+    def oscillation(self, t: int) -> float:
+        """The phase function ``Π(t)`` of Eq. 6."""
+        phase = (t + self.phase_offset) % self.period
+        return float(2.0 ** (-(1 + phase)))
+
+    def thresholds(self, t: int) -> np.ndarray:
+        return np.asarray(self.oscillation(t) * self.v_th, dtype=np.float64)
+
+    def describe(self) -> str:
+        return f"PhaseThreshold(v_th={self.v_th}, period={self.period})"
+
+
+class BurstThreshold(ThresholdDynamics):
+    """Burst coding (the paper's proposal): per-neuron adaptive threshold.
+
+    After a spike the burst function grows by the burst constant ``β > 1``
+    (``g ← β·g``), so an immediately following spike carries a larger
+    amplitude; as soon as the neuron stays silent for one step the function
+    resets to 1 (Eq. 8).  ``V_th(t) = g(t)·v_th`` (Eq. 9) and the effective
+    synaptic weight during a burst is ``ŵ = w·g`` (Eq. 10).
+
+    Parameters
+    ----------
+    v_th:
+        Base threshold; smaller values mean finer transmission precision but
+        more spikes (the trade-off of Fig. 2 / Table 2).
+    beta:
+        Burst constant (> 1); the paper uses 2.
+    max_burst_length:
+        Optional cap on consecutive burst spikes: after this many consecutive
+        spikes the burst function stops growing.  ``None`` (default) matches
+        the paper, which reports bursts of length > 5.
+    """
+
+    coding = "burst"
+
+    def __init__(
+        self,
+        v_th: float = 0.125,
+        beta: float = 2.0,
+        max_burst_length: Optional[int] = None,
+    ) -> None:
+        validate_positive("v_th", v_th)
+        if beta <= 1.0:
+            raise ValueError(
+                f"beta must be > 1 (burst spikes potentiate the synapse), got {beta}"
+            )
+        if max_burst_length is not None and max_burst_length < 1:
+            raise ValueError(f"max_burst_length must be >= 1, got {max_burst_length}")
+        self.v_th = float(v_th)
+        self.beta = float(beta)
+        self.max_burst_length = max_burst_length
+        self._g: Optional[np.ndarray] = None
+        self._consecutive: Optional[np.ndarray] = None
+
+    def reset(self, shape: Tuple[int, ...]) -> None:
+        super().reset(shape)
+        self._g = np.ones(shape, dtype=np.float64)
+        self._consecutive = np.zeros(shape, dtype=np.int64)
+
+    def thresholds(self, t: int) -> np.ndarray:
+        del t
+        if self._g is None:
+            raise RuntimeError("BurstThreshold.reset(shape) must be called before use")
+        return self._g * self.v_th
+
+    def update(self, spikes: np.ndarray) -> None:
+        if self._g is None or self._consecutive is None:
+            raise RuntimeError("BurstThreshold.reset(shape) must be called before use")
+        spikes = np.asarray(spikes, dtype=bool)
+        grown = self._g * self.beta
+        if self.max_burst_length is not None:
+            capped = self._consecutive + 1 >= self.max_burst_length
+            grown = np.where(capped, self._g, grown)
+        self._g = np.where(spikes, grown, 1.0)
+        self._consecutive = np.where(spikes, self._consecutive + 1, 0)
+
+    @property
+    def burst_function(self) -> np.ndarray:
+        """Current value of ``g`` per neuron (for tests and analysis)."""
+        if self._g is None:
+            raise RuntimeError("BurstThreshold.reset(shape) must be called before use")
+        return self._g.copy()
+
+    def describe(self) -> str:
+        return (
+            f"BurstThreshold(v_th={self.v_th}, beta={self.beta}, "
+            f"max_burst_length={self.max_burst_length})"
+        )
+
+
+def make_threshold(
+    coding: str,
+    v_th: Optional[float] = None,
+    beta: float = 2.0,
+    phase_period: int = 8,
+    max_burst_length: Optional[int] = None,
+) -> ThresholdDynamics:
+    """Build the threshold dynamics for a hidden-layer coding scheme by name.
+
+    Parameters
+    ----------
+    coding:
+        ``"rate"``, ``"phase"`` or ``"burst"``.
+    v_th:
+        Base threshold; defaults are 1.0 for rate/phase and 0.125 for burst
+        (the paper's main configuration).
+    beta, phase_period, max_burst_length:
+        Scheme-specific parameters (ignored by the schemes that do not use
+        them).
+    """
+    key = coding.lower()
+    if key == "rate":
+        return ConstantThreshold(v_th=1.0 if v_th is None else v_th)
+    if key == "phase":
+        return PhaseThreshold(v_th=1.0 if v_th is None else v_th, period=phase_period)
+    if key == "burst":
+        return BurstThreshold(
+            v_th=0.125 if v_th is None else v_th,
+            beta=beta,
+            max_burst_length=max_burst_length,
+        )
+    raise ValueError(f"unknown hidden-layer coding {coding!r}; expected rate, phase or burst")

@@ -1,0 +1,29 @@
+"""Shared utilities: RNG management, configuration helpers, logging, tables.
+
+These are deliberately dependency-free (only numpy) so every other subpackage
+can import them without cycles.
+"""
+
+from repro.utils.rng import RngMixin, as_rng, spawn_rngs
+from repro.utils.config import FrozenConfig, validate_positive, validate_probability, validate_in
+from repro.utils.logging import RunLogger, get_logger
+from repro.utils.tables import Table, format_float, format_int, format_si
+from repro.utils.serialization import load_model_weights, save_model_weights
+
+__all__ = [
+    "load_model_weights",
+    "save_model_weights",
+    "RngMixin",
+    "as_rng",
+    "spawn_rngs",
+    "FrozenConfig",
+    "validate_positive",
+    "validate_probability",
+    "validate_in",
+    "RunLogger",
+    "get_logger",
+    "Table",
+    "format_float",
+    "format_int",
+    "format_si",
+]

@@ -1,0 +1,55 @@
+"""Light-weight configuration helpers shared by all subpackages."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Iterable
+
+
+class FrozenConfig:
+    """Base class for frozen dataclass configurations.
+
+    Provides ``to_dict`` / ``replace`` conveniences so experiment harnesses can
+    log configurations and sweep individual fields without mutating shared
+    objects.
+    """
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Return the configuration as a plain dictionary."""
+        if dataclasses.is_dataclass(self):
+            return dataclasses.asdict(self)
+        return dict(vars(self))
+
+    def replace(self, **changes: Any) -> "FrozenConfig":
+        """Return a copy with ``changes`` applied (dataclasses only)."""
+        if dataclasses.is_dataclass(self):
+            return dataclasses.replace(self, **changes)
+        raise TypeError("replace() requires a dataclass configuration")
+
+    def describe(self) -> str:
+        """Single-line human readable description used in run logs."""
+        fields = ", ".join(f"{k}={v!r}" for k, v in sorted(self.to_dict().items()))
+        return f"{type(self).__name__}({fields})"
+
+
+def validate_positive(name: str, value: float, *, allow_zero: bool = False) -> None:
+    """Raise ``ValueError`` unless ``value`` is positive (or zero if allowed)."""
+    if allow_zero:
+        if value < 0:
+            raise ValueError(f"{name} must be >= 0, got {value}")
+    else:
+        if value <= 0:
+            raise ValueError(f"{name} must be > 0, got {value}")
+
+
+def validate_probability(name: str, value: float) -> None:
+    """Raise ``ValueError`` unless ``value`` lies in [0, 1]."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+def validate_in(name: str, value: Any, allowed: Iterable[Any]) -> None:
+    """Raise ``ValueError`` unless ``value`` is one of ``allowed``."""
+    allowed = tuple(allowed)
+    if value not in allowed:
+        raise ValueError(f"{name} must be one of {allowed}, got {value!r}")

@@ -1,0 +1,63 @@
+"""Minimal structured logging for experiment runs.
+
+The experiment harness needs two things: a standard library logger configured
+once, and a per-run record of scalar metrics that can be rendered as the rows
+of a paper table.  Both live here to avoid ad-hoc ``print`` calls scattered
+through the library.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from typing import Any, Dict, List, Optional
+
+_LOGGER_NAME = "repro"
+_configured = False
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """Return the package logger (configured with a console handler once)."""
+    global _configured
+    logger = logging.getLogger(_LOGGER_NAME)
+    if not _configured:
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter("[%(name)s] %(levelname)s %(message)s"))
+        logger.addHandler(handler)
+        logger.setLevel(logging.INFO)
+        logger.propagate = False
+        _configured = True
+    if name:
+        return logger.getChild(name)
+    return logger
+
+
+class RunLogger:
+    """Accumulates scalar records for one experiment run.
+
+    Each record is a flat ``dict`` of scalars; records are typically one table
+    row each.  The class intentionally stores plain Python objects so results
+    can be serialised or compared in tests without extra dependencies.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.records: List[Dict[str, Any]] = []
+        self._start = time.perf_counter()
+
+    def log(self, **fields: Any) -> Dict[str, Any]:
+        """Append one record and return it."""
+        record = dict(fields)
+        record.setdefault("elapsed_s", round(time.perf_counter() - self._start, 3))
+        self.records.append(record)
+        return record
+
+    def column(self, key: str) -> List[Any]:
+        """Return the value of ``key`` from every record that contains it."""
+        return [r[key] for r in self.records if key in r]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)

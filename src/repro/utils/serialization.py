@@ -1,0 +1,103 @@
+"""Saving and loading trained model weights.
+
+Training the DNN is the slowest part of the pipeline, so the experiment
+harness and the examples can persist trained weights to a compressed ``.npz``
+archive and reload them later (or ship them with a paper artifact).  Only the
+parameters are stored — architectures are rebuilt from code, which keeps the
+format trivial and forward-compatible.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Union
+
+import numpy as np
+
+from repro.ann.model import Sequential
+
+#: archive key separating layer index and parameter name
+_KEY_SEPARATOR = "::"
+#: metadata keys stored alongside the weights
+_META_NUM_LAYERS = "__num_layers__"
+_META_MODEL_NAME = "__model_name__"
+
+
+def weights_to_arrays(weights: List[Dict[str, np.ndarray]]) -> Dict[str, np.ndarray]:
+    """Flatten a per-layer weight list into a flat ``{key: array}`` mapping."""
+    arrays: Dict[str, np.ndarray] = {}
+    for index, layer_weights in enumerate(weights):
+        for name, value in layer_weights.items():
+            arrays[f"{index}{_KEY_SEPARATOR}{name}"] = np.asarray(value)
+    return arrays
+
+
+def arrays_to_weights(arrays: Dict[str, np.ndarray], num_layers: int) -> List[Dict[str, np.ndarray]]:
+    """Rebuild the per-layer weight list from a flat mapping."""
+    weights: List[Dict[str, np.ndarray]] = [{} for _ in range(num_layers)]
+    for key, value in arrays.items():
+        if key.startswith("__"):
+            continue
+        index_text, _, name = key.partition(_KEY_SEPARATOR)
+        if not name:
+            raise ValueError(f"malformed weight key {key!r}")
+        index = int(index_text)
+        if not 0 <= index < num_layers:
+            raise ValueError(
+                f"weight key {key!r} refers to layer {index} but the archive declares "
+                f"{num_layers} layers"
+            )
+        weights[index][name] = np.asarray(value)
+    return weights
+
+
+def save_model_weights(model: Sequential, path: Union[str, Path]) -> Path:
+    """Save a model's parameters to a compressed ``.npz`` archive.
+
+    Returns the path written.  The archive stores the number of layers and the
+    model name as metadata so :func:`load_model_weights` can validate the
+    target architecture.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    arrays = weights_to_arrays(model.get_weights())
+    arrays[_META_NUM_LAYERS] = np.asarray(len(model.layers))
+    arrays[_META_MODEL_NAME] = np.asarray(model.name)
+    np.savez_compressed(path, **arrays)
+    # np.savez appends .npz only when missing; normalise the returned path.
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    return path
+
+
+def load_model_weights(model: Sequential, path: Union[str, Path], strict_name: bool = False) -> Sequential:
+    """Load parameters saved by :func:`save_model_weights` into ``model``.
+
+    Parameters
+    ----------
+    model:
+        A freshly built model with the same architecture as the saved one.
+    strict_name:
+        If True, require the archive's model name to match ``model.name``.
+    """
+    path = Path(path)
+    if not path.exists() and path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    with np.load(path, allow_pickle=False) as archive:
+        arrays = {key: archive[key] for key in archive.files}
+    if _META_NUM_LAYERS not in arrays:
+        raise ValueError(f"{path} is not a repro weight archive (missing metadata)")
+    num_layers = int(arrays[_META_NUM_LAYERS])
+    if num_layers != len(model.layers):
+        raise ValueError(
+            f"architecture mismatch: archive has {num_layers} layers, model has "
+            f"{len(model.layers)}"
+        )
+    if strict_name:
+        saved_name = str(arrays.get(_META_MODEL_NAME, ""))
+        if saved_name != model.name:
+            raise ValueError(
+                f"model name mismatch: archive {saved_name!r} vs model {model.name!r}"
+            )
+    model.set_weights(arrays_to_weights(arrays, num_layers))
+    return model

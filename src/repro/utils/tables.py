@@ -1,0 +1,98 @@
+"""Plain-text table rendering for the experiment harness.
+
+The benchmark scripts print the same rows the paper's tables report; this
+module renders them with aligned columns so the output is readable in a
+terminal or a CI log without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+
+def format_float(value: float, digits: int = 3) -> str:
+    """Format ``value`` with fixed decimals, handling None/NaN gracefully."""
+    if value is None:
+        return "-"
+    try:
+        if value != value:  # NaN
+            return "nan"
+    except TypeError:
+        return str(value)
+    return f"{value:.{digits}f}"
+
+
+def format_int(value: Optional[int]) -> str:
+    """Format an integer with thousands separators."""
+    if value is None:
+        return "-"
+    return f"{int(value):,}"
+
+
+def format_si(value: Optional[float], digits: int = 2) -> str:
+    """Format ``value`` using k/M/G suffixes (e.g. spike counts)."""
+    if value is None:
+        return "-"
+    value = float(value)
+    for factor, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "k")):
+        if abs(value) >= factor:
+            return f"{value / factor:.{digits}f}{suffix}"
+    return f"{value:.{digits}f}"
+
+
+class Table:
+    """A simple column-aligned text table.
+
+    Examples
+    --------
+    >>> t = Table(["coding", "accuracy"])
+    >>> t.add_row({"coding": "phase-burst", "accuracy": 0.91})
+    >>> print(t.render())  # doctest: +ELLIPSIS
+    coding       | accuracy
+    ...
+    """
+
+    def __init__(self, columns: Sequence[str], title: Optional[str] = None) -> None:
+        if not columns:
+            raise ValueError("Table requires at least one column")
+        self.columns = list(columns)
+        self.title = title
+        self.rows: List[Dict[str, Any]] = []
+
+    def add_row(self, row: Dict[str, Any]) -> None:
+        """Add a row; missing columns render as '-'. Extra keys are ignored."""
+        self.rows.append(dict(row))
+
+    def add_rows(self, rows: Iterable[Dict[str, Any]]) -> None:
+        for row in rows:
+            self.add_row(row)
+
+    def _cell(self, row: Dict[str, Any], column: str) -> str:
+        value = row.get(column, "-")
+        if isinstance(value, float):
+            return format_float(value, 4)
+        return str(value)
+
+    def render(self) -> str:
+        """Render the table as an aligned plain-text block."""
+        header = list(self.columns)
+        body = [[self._cell(row, c) for c in self.columns] for row in self.rows]
+        widths = [len(h) for h in header]
+        for line in body:
+            for i, cell in enumerate(line):
+                widths[i] = max(widths[i], len(cell))
+
+        def fmt(cells: Sequence[str]) -> str:
+            return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+        lines = []
+        if self.title:
+            lines.append(self.title)
+            lines.append("=" * max(len(self.title), sum(widths) + 3 * (len(widths) - 1)))
+        lines.append(fmt(header))
+        lines.append("-+-".join("-" * w for w in widths))
+        lines.extend(fmt(line) for line in body)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

@@ -1,0 +1,282 @@
+"""Tests for the spike-train and inference analyses (ISI, bursts, firing,
+density, curves, metrics)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.burst_stats import burst_composition, burst_lengths, burst_statistics
+from repro.analysis.curves import latency_to_target, spikes_to_target, target_accuracies
+from repro.analysis.density import spiking_density
+from repro.analysis.firing import (
+    firing_rate,
+    firing_regularity,
+    firing_statistics,
+    mean_log_firing_rate,
+)
+from repro.analysis.isi import (
+    inter_spike_intervals,
+    isi_histogram,
+    isi_per_neuron,
+    short_isi_fraction,
+)
+from repro.analysis.metrics import compute_inference_metrics
+
+
+def _train_from_times(times, length):
+    train = np.zeros(length, dtype=bool)
+    train[list(times)] = True
+    return train
+
+
+class TestISI:
+    def test_per_neuron_intervals(self):
+        train = _train_from_times([2, 5, 9], 12)
+        intervals = isi_per_neuron(train)
+        assert len(intervals) == 1
+        assert list(intervals[0]) == [3, 4]
+
+    def test_single_spike_has_no_isi(self):
+        intervals = isi_per_neuron(_train_from_times([4], 10))
+        assert intervals[0].size == 0
+
+    def test_pooled_intervals(self):
+        trains = np.stack(
+            [_train_from_times([0, 1, 2], 10), _train_from_times([0, 5], 10)], axis=1
+        )
+        pooled = inter_spike_intervals(trains)
+        assert sorted(pooled.tolist()) == [1, 1, 5]
+
+    def test_histogram_counts(self):
+        trains = _train_from_times([0, 1, 2, 10], 20)[:, None]
+        bins, counts = isi_histogram(trains, max_isi=10)
+        assert bins[0] == 1
+        assert counts[0] == 2  # two ISIs of 1
+        assert counts[7] == 1  # one ISI of 8
+
+    def test_histogram_clips_long_intervals(self):
+        trains = _train_from_times([0, 50], 60)[:, None]
+        _, counts = isi_histogram(trains, max_isi=10)
+        assert counts[-1] == 1
+
+    def test_histogram_invalid_max(self):
+        with pytest.raises(ValueError):
+            isi_histogram(np.zeros((5, 1), dtype=bool), max_isi=0)
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError):
+            isi_per_neuron(np.zeros((2, 2, 2), dtype=bool))
+
+    def test_short_isi_fraction(self):
+        train = _train_from_times([0, 1, 2, 10], 20)[:, None]
+        assert short_isi_fraction(train, short_threshold=2) == pytest.approx(2 / 3)
+
+    def test_short_isi_fraction_empty(self):
+        assert short_isi_fraction(np.zeros((10, 2), dtype=bool)) == 0.0
+
+
+class TestBurstStats:
+    def test_burst_lengths_runs(self):
+        train = _train_from_times([0, 1, 2, 5, 8, 9], 12)
+        lengths = burst_lengths(train)
+        assert sorted(lengths.tolist()) == [1, 2, 3]
+
+    def test_burst_lengths_min_length(self):
+        train = _train_from_times([0, 1, 2, 5], 12)
+        assert burst_lengths(train, min_length=2).tolist() == [3]
+
+    def test_burst_statistics_fraction(self):
+        # 3-spike burst + isolated spike: 3 of 4 spikes are burst spikes
+        train = _train_from_times([0, 1, 2, 6], 12)
+        stats = burst_statistics(train)
+        assert stats.total_spikes == 4
+        assert stats.burst_spikes == 3
+        assert stats.burst_fraction == pytest.approx(0.75)
+        assert stats.composition["3"] == pytest.approx(0.75)
+        assert stats.mean_burst_length == pytest.approx(3.0)
+
+    def test_burst_statistics_empty(self):
+        stats = burst_statistics(np.zeros((10, 3), dtype=bool))
+        assert stats.total_spikes == 0
+        assert stats.burst_fraction == 0.0
+
+    def test_composition_sums_to_burst_fraction(self):
+        rng = np.random.default_rng(0)
+        trains = rng.uniform(size=(200, 20)) < 0.3
+        stats = burst_statistics(trains)
+        assert sum(stats.composition.values()) == pytest.approx(stats.burst_fraction, abs=1e-9)
+
+    def test_long_burst_bucket(self):
+        train = _train_from_times(range(0, 7), 12)  # burst of length 7
+        composition = burst_composition(train)
+        assert composition[">5"] == pytest.approx(1.0)
+
+    def test_invalid_min_length(self):
+        with pytest.raises(ValueError):
+            burst_lengths(np.zeros((5, 1), dtype=bool), min_length=0)
+
+
+class TestFiring:
+    def test_firing_rate_formula(self):
+        # ISIs 2, 2 -> rate = 2 / 4 = 0.5 (Eq. 11)
+        assert firing_rate(np.array([2, 2])) == pytest.approx(0.5)
+
+    def test_firing_rate_no_isis(self):
+        assert firing_rate(np.array([])) == 0.0
+
+    def test_regularity_constant_isis(self):
+        assert firing_regularity(np.array([3, 3, 3])) == 0.0
+
+    def test_regularity_cv(self):
+        isis = np.array([1.0, 3.0])
+        assert firing_regularity(isis) == pytest.approx(np.std(isis) / np.mean(isis))
+
+    def test_firing_statistics_population(self):
+        trains = np.zeros((20, 2), dtype=bool)
+        trains[::2, 0] = True     # period 2 -> rate 0.5, perfectly regular
+        trains[::5, 1] = True     # period 5 -> rate 0.2
+        stats = firing_statistics(trains)
+        assert stats.num_neurons == 2
+        assert stats.mean_regularity == pytest.approx(0.0)
+        expected_log = np.mean([np.log(0.5), np.log(0.2)])
+        assert stats.mean_log_rate == pytest.approx(expected_log)
+
+    def test_firing_statistics_excludes_silent_neurons(self):
+        trains = np.zeros((20, 3), dtype=bool)
+        trains[::2, 0] = True
+        stats = firing_statistics(trains)
+        assert stats.num_neurons == 1
+
+    def test_firing_statistics_all_silent(self):
+        stats = firing_statistics(np.zeros((10, 4), dtype=bool))
+        assert stats.num_neurons == 0
+        assert np.isnan(stats.mean_log_rate)
+
+    def test_mean_log_firing_rate_wrapper(self):
+        trains = np.zeros((10, 1), dtype=bool)
+        trains[::2, 0] = True
+        assert mean_log_firing_rate(trains) == pytest.approx(np.log(0.5))
+
+    def test_min_spikes_validation(self):
+        with pytest.raises(ValueError):
+            firing_statistics(np.zeros((5, 1), dtype=bool), min_spikes=1)
+
+
+class TestDensity:
+    def test_formula(self):
+        # Table 2 footnote: spikes per image / (neurons * latency)
+        assert spiking_density(9.334e6, 280_586, 1500) == pytest.approx(0.0222, abs=1e-4)
+
+    def test_zero_spikes(self):
+        assert spiking_density(0.0, 100, 10) == 0.0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"spikes_per_image": -1, "num_neurons": 10, "latency": 10},
+        {"spikes_per_image": 1, "num_neurons": 0, "latency": 10},
+        {"spikes_per_image": 1, "num_neurons": 10, "latency": 0},
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            spiking_density(**kwargs)
+
+
+class TestCurves:
+    def test_target_accuracies(self):
+        targets = target_accuracies(0.9141, (0.995, 0.99, 0.95))
+        assert targets[0] == pytest.approx(0.9141 * 0.995)
+        assert len(targets) == 3
+
+    def test_target_accuracies_invalid(self):
+        with pytest.raises(ValueError):
+            target_accuracies(0.0)
+
+    def test_latency_first_crossing(self):
+        curve = np.array([0.1, 0.5, 0.8, 0.9])
+        steps = np.array([10, 20, 30, 40])
+        assert latency_to_target(curve, steps, 0.75) == 30
+
+    def test_latency_not_reached(self):
+        assert latency_to_target(np.array([0.1, 0.2]), np.array([1, 2]), 0.5) is None
+
+    def test_latency_sustained(self):
+        curve = np.array([0.8, 0.2, 0.85, 0.9])
+        steps = np.array([1, 2, 3, 4])
+        assert latency_to_target(curve, steps, 0.7) == 1
+        assert latency_to_target(curve, steps, 0.7, sustained=True) == 3
+
+    def test_latency_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            latency_to_target(np.array([0.1]), np.array([1, 2]), 0.5)
+
+    def test_latency_invalid_target(self):
+        with pytest.raises(ValueError):
+            latency_to_target(np.array([0.1]), np.array([1]), 1.5)
+
+    def test_spikes_to_target(self):
+        curve = np.array([0.2, 0.6, 0.9])
+        steps = np.array([1, 2, 3])
+        cumulative = np.array([10.0, 25.0, 45.0])
+        assert spikes_to_target(curve, steps, cumulative, 0.5) == 25.0
+
+    def test_spikes_to_target_not_reached(self):
+        assert spikes_to_target(np.array([0.1]), np.array([1]), np.array([5.0]), 0.9) is None
+
+    def test_spikes_to_target_sparse_recording(self):
+        """Recording every 5 steps: the spike count is read at the recorded step."""
+        curve = np.array([0.3, 0.8])
+        steps = np.array([5, 10])
+        cumulative = np.arange(1, 11, dtype=float)
+        assert spikes_to_target(curve, steps, cumulative, 0.7) == 10.0
+
+
+class TestInferenceMetrics:
+    def _metrics(self, target=None):
+        curve = np.array([0.2, 0.6, 0.9, 0.9])
+        steps = np.array([1, 2, 3, 4])
+        cumulative = np.array([100.0, 220.0, 360.0, 500.0])
+        return compute_inference_metrics(
+            scheme="phase-burst",
+            accuracy_curve=curve,
+            recorded_steps=steps,
+            cumulative_spikes=cumulative,
+            num_neurons=50,
+            num_images=10,
+            dnn_accuracy=0.92,
+            time_steps=4,
+            target_accuracy=target,
+        )
+
+    def test_without_target_uses_full_horizon(self):
+        metrics = self._metrics()
+        assert metrics.latency == 4
+        assert metrics.accuracy == pytest.approx(0.9)
+        assert metrics.spikes_per_image == pytest.approx(50.0)
+        assert metrics.density == pytest.approx(50.0 / (50 * 4))
+
+    def test_with_target(self):
+        metrics = self._metrics(target=0.85)
+        assert metrics.latency == 3
+        assert metrics.reached_target()
+        # density is computed at the latency, with the spikes seen by then
+        assert metrics.density == pytest.approx((360.0 / 10) / (50 * 3))
+
+    def test_target_never_reached(self):
+        metrics = self._metrics(target=0.99)
+        assert metrics.latency is None
+        assert not metrics.reached_target()
+
+    def test_as_row_keys(self):
+        row = self._metrics().as_row()
+        assert {"scheme", "accuracy_%", "latency", "density"} <= set(row)
+
+    def test_invalid_num_images(self):
+        with pytest.raises(ValueError):
+            compute_inference_metrics(
+                scheme="x",
+                accuracy_curve=np.array([0.5]),
+                recorded_steps=np.array([1]),
+                cumulative_spikes=np.array([1.0]),
+                num_neurons=1,
+                num_images=0,
+                dnn_accuracy=0.9,
+                time_steps=1,
+            )

@@ -1,0 +1,115 @@
+"""Tests for the information-transmission analysis (repro.analysis.information)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.information import (
+    compare_codings,
+    reconstruction_error,
+    transmission_efficiency,
+    transmission_trace,
+)
+
+
+class TestTransmissionTrace:
+    def test_shapes_and_monotonicity(self):
+        trace = transmission_trace("rate", 0.3, time_steps=64)
+        assert trace.cumulative_transmitted.shape == (64,)
+        assert trace.cumulative_spikes.shape == (64,)
+        assert np.all(np.diff(trace.cumulative_transmitted) >= 0)
+        assert np.all(np.diff(trace.cumulative_spikes) >= 0)
+
+    def test_rate_coding_transmits_value_asymptotically(self):
+        trace = transmission_trace("rate", 0.4, time_steps=400)
+        assert trace.estimate_at(400) == pytest.approx(0.4, abs=0.01)
+
+    def test_burst_coding_transmits_value(self):
+        trace = transmission_trace("burst", 0.7, time_steps=200, v_th=0.125)
+        assert trace.estimate_at(200) == pytest.approx(0.7, abs=0.05)
+
+    def test_phase_coding_transmits_value(self):
+        trace = transmission_trace("phase", 0.6, time_steps=256)
+        # phase hidden coding can transmit at most ~1/period per step; for
+        # values above that capacity the estimate saturates near 1/8
+        assert trace.estimate_at(256) <= 0.6 + 1e-9
+
+    def test_zero_value_never_spikes(self):
+        trace = transmission_trace("burst", 0.0, time_steps=50)
+        assert trace.cumulative_spikes[-1] == 0
+        assert trace.cumulative_transmitted[-1] == 0.0
+
+    def test_estimate_at_bounds(self):
+        trace = transmission_trace("rate", 0.5, time_steps=10)
+        with pytest.raises(ValueError):
+            trace.estimate_at(0)
+        with pytest.raises(ValueError):
+            trace.estimate_at(11)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            transmission_trace("rate", -0.1)
+        with pytest.raises(ValueError):
+            transmission_trace("rate", 0.5, time_steps=0)
+
+
+class TestReconstructionError:
+    def test_error_decreases_for_rate_coding(self):
+        trace = transmission_trace("rate", 0.37, time_steps=256)
+        errors = reconstruction_error(trace)
+        assert errors[-1] < errors[0]
+        assert errors[-1] < 0.01
+
+    def test_error_non_negative(self):
+        trace = transmission_trace("burst", 0.5, time_steps=64, v_th=0.125)
+        assert np.all(reconstruction_error(trace) >= 0.0)
+
+
+class TestTransmissionEfficiency:
+    def test_summary_fields(self):
+        trace = transmission_trace("burst", 0.5, time_steps=128, v_th=0.125)
+        summary = transmission_efficiency(trace, target_error=0.05)
+        assert summary.coding == "burst"
+        assert summary.total_spikes > 0
+        assert summary.bits_per_spike > 0
+        assert summary.steps_to_target is not None
+        assert summary.spikes_to_target is not None
+        assert summary.spikes_to_target <= summary.total_spikes
+
+    def test_silent_neuron_zero_bits(self):
+        trace = transmission_trace("rate", 0.0, time_steps=32)
+        summary = transmission_efficiency(trace)
+        assert summary.total_spikes == 0
+        assert summary.bits_per_spike == 0.0
+        assert summary.steps_to_target == 1  # error is exactly 0 from the start
+
+    def test_invalid_target(self):
+        trace = transmission_trace("rate", 0.3, time_steps=16)
+        with pytest.raises(ValueError):
+            transmission_efficiency(trace, target_error=0.0)
+
+    def test_burst_needs_fewer_spikes_than_rate_for_large_values(self):
+        """The paper's efficiency claim, stated quantitatively: to transmit a
+        large activation at moderate precision, burst coding needs fewer
+        spikes than rate coding with the same base threshold."""
+        rate_trace = transmission_trace("rate", 0.9, time_steps=256, v_th=0.125)
+        burst_trace = transmission_trace("burst", 0.9, time_steps=256, v_th=0.125)
+        rate_summary = transmission_efficiency(rate_trace, target_error=0.05)
+        burst_summary = transmission_efficiency(burst_trace, target_error=0.05)
+        assert burst_summary.total_spikes < rate_summary.total_spikes
+        assert burst_summary.bits_per_spike > rate_summary.bits_per_spike
+
+
+class TestCompareCodings:
+    def test_structure(self):
+        table = compare_codings([0.2, 0.8], codings=("rate", "burst"), time_steps=64)
+        assert set(table) == {"rate", "burst"}
+        assert set(table["rate"]) == {0.2, 0.8}
+
+    def test_rate_coding_slowest_to_fine_precision(self):
+        """Rate coding needs ~2^k steps for k-bit precision; phase and burst
+        get there much sooner (the motivation in Section 2.2)."""
+        table = compare_codings([0.3], codings=("rate", "phase", "burst"), time_steps=256,
+                                target_error=1 / 64)
+        rate_steps = table["rate"][0.3].steps_to_target
+        burst_steps = table["burst"][0.3].steps_to_target
+        assert rate_steps is None or burst_steps is None or burst_steps <= rate_steps

@@ -1,0 +1,167 @@
+"""Tests for initializers, activations, losses and metrics of the ANN framework."""
+
+import numpy as np
+import pytest
+
+from repro.ann.activations import relu, relu_grad, sigmoid, softmax
+from repro.ann.initializers import get_initializer, he_normal, he_uniform, xavier_uniform, zeros_init
+from repro.ann.losses import MeanSquaredError, SoftmaxCrossEntropy
+from repro.ann.metrics import accuracy, confusion_matrix, top_k_accuracy
+
+
+class TestInitializers:
+    def test_he_normal_std(self):
+        w = he_normal((1000, 50), seed=0)
+        expected_std = np.sqrt(2.0 / 1000)
+        assert abs(w.std() - expected_std) / expected_std < 0.1
+
+    def test_he_uniform_bounds(self):
+        w = he_uniform((100, 10), seed=0)
+        limit = np.sqrt(6.0 / 100)
+        assert w.min() >= -limit and w.max() <= limit
+
+    def test_xavier_uniform_bounds(self):
+        w = xavier_uniform((64, 32), seed=0)
+        limit = np.sqrt(6.0 / 96)
+        assert np.abs(w).max() <= limit
+
+    def test_conv_shape_fan_in(self):
+        w = he_normal((16, 3, 3, 3), seed=0)
+        expected_std = np.sqrt(2.0 / (3 * 9))
+        assert abs(w.std() - expected_std) / expected_std < 0.15
+
+    def test_zeros(self):
+        assert np.all(zeros_init((3, 3)) == 0.0)
+
+    def test_unsupported_shape(self):
+        with pytest.raises(ValueError):
+            he_normal((3,))
+
+    def test_get_initializer_lookup(self):
+        assert get_initializer("he_normal") is he_normal
+
+    def test_get_initializer_unknown(self):
+        with pytest.raises(ValueError):
+            get_initializer("magic")
+
+    def test_deterministic_given_seed(self):
+        assert np.array_equal(he_normal((4, 4), seed=9), he_normal((4, 4), seed=9))
+
+
+class TestActivations:
+    def test_relu(self):
+        assert np.array_equal(relu(np.array([-1.0, 0.0, 2.0])), [0.0, 0.0, 2.0])
+
+    def test_relu_grad(self):
+        assert np.array_equal(relu_grad(np.array([-1.0, 0.5])), [0.0, 1.0])
+
+    def test_softmax_rows_sum_to_one(self):
+        probs = softmax(np.random.default_rng(0).normal(size=(5, 7)))
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_softmax_stability_large_values(self):
+        probs = softmax(np.array([[1000.0, 1000.0]]))
+        assert np.allclose(probs, 0.5)
+
+    def test_softmax_invariant_to_shift(self):
+        x = np.array([[1.0, 2.0, 3.0]])
+        assert np.allclose(softmax(x), softmax(x + 100.0))
+
+    def test_sigmoid_range_and_symmetry(self):
+        x = np.linspace(-50, 50, 101)
+        s = sigmoid(x)
+        assert np.all((s >= 0) & (s <= 1))
+        assert np.allclose(s + sigmoid(-x), 1.0)
+
+
+class TestSoftmaxCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        loss = SoftmaxCrossEntropy()
+        logits = np.array([[10.0, -10.0], [-10.0, 10.0]])
+        value, _ = loss(logits, np.array([0, 1]))
+        assert value < 1e-4
+
+    def test_uniform_prediction_loss(self):
+        loss = SoftmaxCrossEntropy()
+        value, _ = loss(np.zeros((4, 10)), np.zeros(4, dtype=int))
+        assert value == pytest.approx(np.log(10), rel=1e-6)
+
+    def test_gradient_matches_numeric(self, grad_checker):
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=(3, 4))
+        targets = np.array([0, 2, 3])
+        loss = SoftmaxCrossEntropy()
+        _, grad = loss(logits, targets)
+        numeric = grad_checker(lambda: loss(logits, targets)[0], logits)
+        assert np.allclose(grad, numeric, atol=1e-6)
+
+    def test_one_hot_targets_equivalent(self):
+        loss = SoftmaxCrossEntropy()
+        logits = np.random.default_rng(1).normal(size=(5, 3))
+        labels = np.array([0, 1, 2, 1, 0])
+        one_hot = np.eye(3)[labels]
+        assert loss(logits, labels)[0] == pytest.approx(loss(logits, one_hot)[0])
+
+    def test_rejects_bad_target_shape(self):
+        with pytest.raises(ValueError):
+            SoftmaxCrossEntropy()(np.zeros((2, 3)), np.zeros((2, 4)))
+
+    def test_rejects_1d_logits(self):
+        with pytest.raises(ValueError):
+            SoftmaxCrossEntropy()(np.zeros(3), np.zeros(3))
+
+
+class TestMeanSquaredError:
+    def test_zero_for_equal(self):
+        loss = MeanSquaredError()
+        value, grad = loss(np.ones((2, 2)), np.ones((2, 2)))
+        assert value == 0.0
+        assert np.allclose(grad, 0.0)
+
+    def test_gradient_matches_numeric(self, grad_checker):
+        rng = np.random.default_rng(0)
+        pred = rng.normal(size=(3, 2))
+        target = rng.normal(size=(3, 2))
+        loss = MeanSquaredError()
+        _, grad = loss(pred, target)
+        numeric = grad_checker(lambda: loss(pred, target)[0], pred)
+        assert np.allclose(grad, numeric, atol=1e-6)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            MeanSquaredError()(np.zeros((2, 2)), np.zeros((3, 2)))
+
+
+class TestMetrics:
+    def test_accuracy_from_scores(self):
+        scores = np.array([[0.9, 0.1], [0.2, 0.8], [0.6, 0.4]])
+        assert accuracy(scores, np.array([0, 1, 1])) == pytest.approx(2 / 3)
+
+    def test_accuracy_from_labels(self):
+        assert accuracy(np.array([1, 0, 1]), np.array([1, 1, 1])) == pytest.approx(2 / 3)
+
+    def test_accuracy_empty(self):
+        assert accuracy(np.zeros((0, 3)), np.zeros(0)) == 0.0
+
+    def test_accuracy_length_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy(np.zeros((3, 2)), np.zeros(4))
+
+    def test_top_k(self):
+        scores = np.array([[0.1, 0.2, 0.7], [0.35, 0.4, 0.25]])
+        labels = np.array([1, 0])
+        assert top_k_accuracy(scores, labels, k=1) == pytest.approx(0.0)
+        assert top_k_accuracy(scores, labels, k=2) == pytest.approx(1.0)
+        assert top_k_accuracy(scores, labels, k=3) == pytest.approx(1.0)
+
+    def test_top_k_bad_k(self):
+        with pytest.raises(ValueError):
+            top_k_accuracy(np.zeros((2, 3)), np.zeros(2), k=0)
+
+    def test_confusion_matrix(self):
+        matrix = confusion_matrix(np.array([0, 1, 1, 2]), np.array([0, 1, 2, 2]), 3)
+        assert matrix[0, 0] == 1
+        assert matrix[1, 1] == 1
+        assert matrix[2, 1] == 1
+        assert matrix[2, 2] == 1
+        assert matrix.sum() == 4

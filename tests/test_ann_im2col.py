@@ -1,0 +1,89 @@
+"""Tests for the im2col / col2im machinery shared by ANN and SNN conv layers."""
+
+import numpy as np
+import pytest
+
+from repro.ann.im2col import col2im, conv_output_size, im2col
+
+
+class TestConvOutputSize:
+    @pytest.mark.parametrize(
+        "size,kernel,stride,padding,expected",
+        [(28, 3, 1, 1, 28), (28, 5, 1, 0, 24), (32, 2, 2, 0, 16), (7, 3, 2, 1, 4)],
+    )
+    def test_known_values(self, size, kernel, stride, padding, expected):
+        assert conv_output_size(size, kernel, stride, padding) == expected
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            conv_output_size(2, 5, 1, 0)
+
+
+class TestIm2Col:
+    def test_shape(self):
+        x = np.random.default_rng(0).normal(size=(2, 3, 8, 8))
+        cols, out_h, out_w = im2col(x, 3, 3, 1, 1)
+        assert (out_h, out_w) == (8, 8)
+        assert cols.shape == (2 * 8 * 8, 3 * 9)
+
+    def test_identity_kernel_1x1(self):
+        x = np.random.default_rng(1).normal(size=(1, 2, 4, 4))
+        cols, out_h, out_w = im2col(x, 1, 1, 1, 0)
+        assert np.allclose(cols.reshape(out_h * out_w, 2), x[0].transpose(1, 2, 0).reshape(-1, 2))
+
+    def test_matches_naive_convolution(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(2, 3, 6, 6))
+        w = rng.normal(size=(4, 3, 3, 3))
+        stride, padding = 1, 1
+        cols, out_h, out_w = im2col(x, 3, 3, stride, padding)
+        fast = (cols @ w.reshape(4, -1).T).reshape(2, out_h, out_w, 4).transpose(0, 3, 1, 2)
+
+        padded = np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1)))
+        naive = np.zeros_like(fast)
+        for n in range(2):
+            for oc in range(4):
+                for i in range(out_h):
+                    for j in range(out_w):
+                        patch = padded[n, :, i : i + 3, j : j + 3]
+                        naive[n, oc, i, j] = np.sum(patch * w[oc])
+        assert np.allclose(fast, naive)
+
+    def test_rejects_non_4d(self):
+        with pytest.raises(ValueError):
+            im2col(np.zeros((3, 8, 8)), 3, 3, 1, 0)
+
+    def test_stride_two(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        cols, out_h, out_w = im2col(x, 2, 2, 2, 0)
+        assert (out_h, out_w) == (2, 2)
+        assert np.array_equal(cols[0], [0, 1, 4, 5])
+        assert np.array_equal(cols[3], [10, 11, 14, 15])
+
+
+class TestCol2Im:
+    def test_adjointness(self):
+        """<im2col(x), y> must equal <x, col2im(y)> (linear-operator adjoint)."""
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(2, 3, 7, 7))
+        cols, out_h, out_w = im2col(x, 3, 3, 2, 1)
+        y = rng.normal(size=cols.shape)
+        lhs = float(np.sum(cols * y))
+        back = col2im(y, x.shape, 3, 3, 2, 1)
+        rhs = float(np.sum(x * back))
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+    def test_accumulates_overlaps(self):
+        x_shape = (1, 1, 3, 3)
+        cols, out_h, out_w = im2col(np.ones(x_shape), 2, 2, 1, 0)
+        ones_cols = np.ones_like(cols)
+        folded = col2im(ones_cols, x_shape, 2, 2, 1, 0)
+        # centre pixel is covered by all four 2x2 windows
+        assert folded[0, 0, 1, 1] == 4.0
+        assert folded[0, 0, 0, 0] == 1.0
+
+    def test_roundtrip_no_overlap(self):
+        """With non-overlapping windows col2im(im2col(x)) == x."""
+        x = np.random.default_rng(4).normal(size=(2, 2, 4, 4))
+        cols, _, _ = im2col(x, 2, 2, 2, 0)
+        assert np.allclose(col2im(cols, x.shape, 2, 2, 2, 0), x)

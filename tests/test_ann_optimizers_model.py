@@ -1,0 +1,243 @@
+"""Tests for optimizers, the Sequential model and the model zoo builders."""
+
+import numpy as np
+import pytest
+
+from repro.ann.layers import Dense, Flatten, ReLU
+from repro.ann.losses import SoftmaxCrossEntropy
+from repro.ann.model import Sequential
+from repro.ann.optimizers import SGD, Adam
+from repro.models.cnn import build_cnn, build_small_cnn
+from repro.models.mlp import build_mlp
+from repro.models.vgg import VGG16_CONFIG, build_vgg16, build_vgg_small
+
+
+def _quadratic_layers(start=5.0):
+    """A single 1x1 Dense 'layer' whose weight should be driven to zero."""
+    layer = Dense(1, 1, use_bias=False, seed=0)
+    layer.params["weight"] = np.array([[start]])
+    return [layer]
+
+
+def _quadratic_grad(layers):
+    # loss = 0.5 * w^2  ->  grad = w
+    layers[0].grads["weight"] = layers[0].params["weight"].copy()
+
+
+class TestSGD:
+    def test_plain_step(self):
+        layers = _quadratic_layers(2.0)
+        opt = SGD(learning_rate=0.1)
+        _quadratic_grad(layers)
+        opt.step(layers)
+        assert layers[0].params["weight"][0, 0] == pytest.approx(1.8)
+
+    def test_convergence(self):
+        layers = _quadratic_layers(5.0)
+        opt = SGD(learning_rate=0.2, momentum=0.5)
+        for _ in range(200):
+            _quadratic_grad(layers)
+            opt.step(layers)
+        assert abs(layers[0].params["weight"][0, 0]) < 1e-4
+
+    def test_weight_decay_shrinks_weights(self):
+        layers = _quadratic_layers(1.0)
+        opt = SGD(learning_rate=0.1, weight_decay=1.0)
+        layers[0].grads["weight"] = np.zeros((1, 1))
+        opt.step(layers)
+        assert layers[0].params["weight"][0, 0] == pytest.approx(0.9)
+
+    def test_invalid_hyperparams(self):
+        with pytest.raises(ValueError):
+            SGD(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            SGD(learning_rate=0.1, momentum=1.0)
+        with pytest.raises(ValueError):
+            SGD(learning_rate=0.1, weight_decay=-1)
+
+    def test_skips_non_trainable_layers(self):
+        layer = Dense(1, 1, use_bias=False, seed=0)
+        layer.trainable = False
+        original = layer.params["weight"].copy()
+        layer.grads["weight"] = np.ones((1, 1))
+        SGD(0.5).step([layer])
+        assert np.array_equal(layer.params["weight"], original)
+
+
+class TestAdam:
+    def test_convergence(self):
+        layers = _quadratic_layers(5.0)
+        opt = Adam(learning_rate=0.3)
+        for _ in range(300):
+            _quadratic_grad(layers)
+            opt.step(layers)
+        assert abs(layers[0].params["weight"][0, 0]) < 1e-3
+
+    def test_first_step_size_is_lr(self):
+        layers = _quadratic_layers(1.0)
+        opt = Adam(learning_rate=0.1)
+        _quadratic_grad(layers)
+        opt.step(layers)
+        # bias-corrected Adam moves by ~lr on the first step
+        assert layers[0].params["weight"][0, 0] == pytest.approx(0.9, abs=1e-6)
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam(learning_rate=0.1, beta1=1.0)
+
+    def test_missing_grad_is_skipped(self):
+        layer = Dense(2, 2, seed=0)
+        before = layer.params["weight"].copy()
+        Adam(0.1).step([layer])
+        assert np.array_equal(layer.params["weight"], before)
+
+
+class TestSequential:
+    def _xor_model(self):
+        layers = [Dense(2, 8, seed=0), ReLU(), Dense(8, 2, seed=1)]
+        return Sequential(layers, input_shape=(2,), name="xor")
+
+    def test_requires_layers(self):
+        with pytest.raises(ValueError):
+            Sequential([], input_shape=(2,))
+
+    def test_shape_validation_on_init(self):
+        with pytest.raises(ValueError):
+            Sequential([Dense(3, 2, seed=0)], input_shape=(4,))
+
+    def test_layer_shapes(self):
+        model = self._xor_model()
+        assert model.layer_shapes() == [(8,), (8,), (2,)]
+
+    def test_summary_mentions_layers(self):
+        text = self._xor_model().summary()
+        assert "Dense" in text and "total params" in text
+
+    def test_num_params(self):
+        model = self._xor_model()
+        assert model.num_params() == (2 * 8 + 8) + (8 * 2 + 2)
+
+    def test_fit_learns_xor(self):
+        x = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=float)
+        y = np.array([0, 1, 1, 0])
+        model = self._xor_model()
+        model.fit(x, y, epochs=400, batch_size=4, optimizer=Adam(5e-3), seed=0)
+        assert model.evaluate(x, y) == 1.0
+
+    def test_fit_history_records_epochs(self):
+        x = np.random.default_rng(0).uniform(size=(20, 2))
+        y = (x[:, 0] > 0.5).astype(int)
+        model = self._xor_model()
+        history = model.fit(x, y, epochs=3, batch_size=5, validation_data=(x, y), seed=0)
+        assert len(history.loss) == 3
+        assert len(history.val_accuracy) == 3
+        assert "loss" in history.last()
+
+    def test_fit_rejects_zero_epochs(self):
+        model = self._xor_model()
+        with pytest.raises(ValueError):
+            model.fit(np.zeros((2, 2)), np.zeros(2), epochs=0)
+
+    def test_predict_scores_and_labels(self):
+        model = self._xor_model()
+        x = np.random.default_rng(0).uniform(size=(5, 2))
+        scores = model.predict_scores(x)
+        labels = model.predict(x)
+        assert scores.shape == (5, 2)
+        assert np.array_equal(labels, scores.argmax(axis=1))
+
+    def test_forward_collect_lengths(self):
+        model = self._xor_model()
+        activations = model.forward_collect(np.zeros((3, 2)))
+        assert len(activations) == 3
+        assert activations[-1].shape == (3, 2)
+
+    def test_get_set_weights_roundtrip(self):
+        model = self._xor_model()
+        weights = model.get_weights()
+        x = np.random.default_rng(1).uniform(size=(4, 2))
+        before = model.predict_scores(x)
+        # perturb then restore
+        model.layers[0].params["weight"] += 1.0
+        model.set_weights(weights)
+        assert np.allclose(model.predict_scores(x), before)
+
+    def test_set_weights_shape_mismatch(self):
+        model = self._xor_model()
+        weights = model.get_weights()
+        weights[0]["weight"] = np.zeros((3, 3))
+        with pytest.raises(ValueError):
+            model.set_weights(weights)
+
+    def test_set_weights_wrong_length(self):
+        model = self._xor_model()
+        with pytest.raises(ValueError):
+            model.set_weights([{}])
+
+    def test_training_reduces_loss(self, tiny_image_split):
+        data = tiny_image_split
+        model = build_mlp(data.input_shape, [16], data.num_classes, seed=0)
+        history = model.fit(
+            data.train.x, data.train.y, epochs=8, batch_size=16, optimizer=Adam(2e-3), seed=0
+        )
+        assert history.loss[-1] < history.loss[0]
+
+
+class TestModelZoo:
+    def test_mlp_structure(self):
+        model = build_mlp((1, 8, 8), [32, 16], 5, seed=0)
+        assert model.layer_shapes()[-1] == (5,)
+
+    def test_mlp_flat_input_no_flatten(self):
+        model = build_mlp((10,), [4], 2, seed=0)
+        assert not any(isinstance(layer, Flatten) for layer in model.layers)
+
+    def test_mlp_invalid_hidden(self):
+        with pytest.raises(ValueError):
+            build_mlp((10,), [0], 2)
+
+    def test_cnn_output_shape(self):
+        model = build_cnn((1, 28, 28), 10, conv_channels=(4, 8), kernel_size=3, dense_size=16, seed=0)
+        assert model.validate_shapes((1, 28, 28)) == (10,)
+
+    def test_cnn_max_pool_option(self):
+        model = build_cnn((1, 16, 16), 4, conv_channels=(4,), pool="max", seed=0)
+        assert model.validate_shapes((1, 16, 16)) == (4,)
+
+    def test_cnn_rejects_bad_pool(self):
+        with pytest.raises(ValueError):
+            build_cnn((1, 16, 16), 4, pool="median")
+
+    def test_cnn_too_many_pools(self):
+        with pytest.raises(ValueError):
+            build_cnn((1, 4, 4), 2, conv_channels=(4, 4, 4, 4), seed=0)
+
+    def test_small_cnn(self):
+        model = build_small_cnn((3, 16, 16), 3, seed=0)
+        assert model.validate_shapes((3, 16, 16)) == (3,)
+
+    def test_vgg16_structure(self):
+        model = build_vgg16((3, 32, 32), 10, seed=0)
+        conv_layers = [l for l in model.layers if type(l).__name__ == "Conv2D"]
+        dense_layers = [l for l in model.layers if type(l).__name__ == "Dense"]
+        assert len(conv_layers) == 13
+        assert len(dense_layers) == 3
+        assert model.validate_shapes((3, 32, 32)) == (10,)
+
+    def test_vgg16_config_has_five_blocks(self):
+        assert VGG16_CONFIG.count("M") == 5
+
+    def test_vgg_small_scales_width(self):
+        model = build_vgg_small((3, 32, 32), 10, width_factor=0.125, depth_blocks=2, seed=0)
+        first_conv = next(l for l in model.layers if type(l).__name__ == "Conv2D")
+        assert first_conv.out_channels == 8
+        assert model.validate_shapes((3, 32, 32)) == (10,)
+
+    def test_vgg_small_invalid_depth(self):
+        with pytest.raises(ValueError):
+            build_vgg_small(depth_blocks=6)
+
+    def test_vgg_small_forward(self):
+        model = build_vgg_small((3, 16, 16), 4, width_factor=0.0625, depth_blocks=2, seed=0)
+        out = model.forward(np.random.default_rng(0).uniform(size=(2, 3, 16, 16)))
+        assert out.shape == (2, 4)

@@ -1,0 +1,318 @@
+"""Tests for DNN→SNN weight normalisation and conversion."""
+
+import numpy as np
+import pytest
+
+from repro.ann.layers import BatchNorm, Conv2D, Dense, Flatten, MaxPool2D, ReLU
+from repro.ann.model import Sequential
+from repro.conversion.converter import ConversionConfig, convert_to_snn, fold_batch_norm
+from repro.conversion.normalization import (
+    activation_scales,
+    model_based_scales,
+    normalize_weights,
+)
+from repro.snn.encoding import RealEncoder
+from repro.snn.layers import OutputAccumulator, SpikingAvgPool2D, SpikingConv2D, SpikingDense, SpikingMaxPool2D
+from repro.snn.network import SimulationConfig
+from repro.snn.thresholds import ConstantThreshold, make_threshold
+
+
+def _rate_factory(hidden_index, name):
+    del hidden_index, name
+    return ConstantThreshold(1.0)
+
+
+class TestConversionConfig:
+    def test_defaults(self):
+        ConversionConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"normalization": "magic"},
+            {"reset_mode": "bounce"},
+            {"max_pool_policy": "median"},
+            {"percentile": 0.0},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            ConversionConfig(**kwargs)
+
+
+class TestActivationScales:
+    def test_scales_cover_weight_layers(self, trained_mlp, tiny_image_split):
+        scales = activation_scales(trained_mlp, tiny_image_split.train.x[:20])
+        weight_indices = [
+            i for i, layer in enumerate(trained_mlp.layers) if isinstance(layer, (Dense, Conv2D))
+        ]
+        assert sorted(scales) == weight_indices
+        assert all(value > 0 for value in scales.values())
+
+    def test_percentile_not_larger_than_max(self, trained_mlp, tiny_image_split):
+        x = tiny_image_split.train.x[:20]
+        max_scales = activation_scales(trained_mlp, x, percentile=100.0)
+        robust_scales = activation_scales(trained_mlp, x, percentile=99.0)
+        for key in max_scales:
+            assert robust_scales[key] <= max_scales[key] + 1e-12
+
+    def test_invalid_percentile(self, trained_mlp, tiny_image_split):
+        with pytest.raises(ValueError):
+            activation_scales(trained_mlp, tiny_image_split.train.x[:5], percentile=0.0)
+
+    def test_empty_calibration(self, trained_mlp):
+        with pytest.raises(ValueError):
+            activation_scales(trained_mlp, np.zeros((0, 1, 12, 12)))
+
+
+class TestModelBasedScales:
+    def test_positive_and_monotone_structure(self, trained_mlp):
+        scales = model_based_scales(trained_mlp)
+        assert all(value > 0 for value in scales.values())
+
+    def test_bound_exceeds_data_based(self, trained_mlp, tiny_image_split):
+        """The weight-based bound is at least as large as observed activations."""
+        data_scales = activation_scales(trained_mlp, tiny_image_split.train.x[:20])
+        model_scales = model_based_scales(trained_mlp)
+        for key in data_scales:
+            assert model_scales[key] >= data_scales[key] * 0.999
+
+
+class TestNormalizeWeights:
+    def test_normalised_activations_bounded(self, trained_mlp, tiny_image_split):
+        """After data-based normalisation every ReLU output is ≤ 1 on the
+        calibration set (the property the conversion relies on)."""
+        x = tiny_image_split.train.x[:30]
+        result = normalize_weights(trained_mlp, calibration_x=x, method="data")
+        original = trained_mlp.get_weights()
+        trained_mlp.set_weights(result.weights)
+        try:
+            activations = trained_mlp.forward_collect(x)
+            for index, layer in enumerate(trained_mlp.layers):
+                if isinstance(layer, ReLU):
+                    assert activations[index].max() <= 1.0 + 1e-9
+        finally:
+            trained_mlp.set_weights(original)
+
+    def test_predictions_unchanged_by_normalisation(self, trained_mlp, tiny_image_split):
+        """Per-layer positive rescaling must not change the argmax prediction."""
+        x = tiny_image_split.test.x[:20]
+        before = trained_mlp.predict(x)
+        result = normalize_weights(
+            trained_mlp, calibration_x=tiny_image_split.train.x[:30], method="data"
+        )
+        original = trained_mlp.get_weights()
+        trained_mlp.set_weights(result.weights)
+        try:
+            after = trained_mlp.predict(x)
+        finally:
+            trained_mlp.set_weights(original)
+        assert np.array_equal(before, after)
+
+    def test_none_method_copies_weights(self, trained_mlp):
+        result = normalize_weights(trained_mlp, method="none")
+        for copied, original in zip(result.weights, trained_mlp.get_weights()):
+            for key in original:
+                assert np.array_equal(copied[key], original[key])
+
+    def test_requires_calibration_for_data(self, trained_mlp):
+        with pytest.raises(ValueError):
+            normalize_weights(trained_mlp, method="data")
+
+    def test_model_method_needs_no_data(self, trained_mlp):
+        result = normalize_weights(trained_mlp, method="model")
+        assert result.method == "model"
+        assert len(result.scales) > 0
+
+    def test_unknown_method(self, trained_mlp):
+        with pytest.raises(ValueError):
+            normalize_weights(trained_mlp, method="quantile")
+
+
+class TestFoldBatchNorm:
+    def _bn_model(self):
+        rng = np.random.default_rng(0)
+        dense = Dense(4, 3, seed=0)
+        bn = BatchNorm(3)
+        # give BatchNorm non-trivial learned statistics
+        bn.params["gamma"] = rng.uniform(0.5, 1.5, size=3)
+        bn.params["beta"] = rng.uniform(-0.5, 0.5, size=3)
+        bn.running_mean = rng.uniform(-1, 1, size=3)
+        bn.running_var = rng.uniform(0.5, 2.0, size=3)
+        model = Sequential([dense, bn, ReLU(), Dense(3, 2, seed=1)], input_shape=(4,))
+        return model
+
+    def test_folded_weights_reproduce_bn_model_without_bn(self):
+        """Loading the folded weights into a BN-free copy of the network
+        reproduces the BN model's inference outputs exactly — which is how the
+        converter uses them (the SNN has no BatchNorm layer)."""
+        model = self._bn_model()
+        x = np.random.default_rng(1).uniform(size=(10, 4))
+        before = model.predict_scores(x)
+
+        folded = fold_batch_norm(model)
+        bn_free = Sequential([Dense(4, 3, seed=0), ReLU(), Dense(3, 2, seed=1)], input_shape=(4,))
+        bn_free.set_weights([folded[0], {}, folded[3]])
+        assert np.allclose(before, bn_free.predict_scores(x), atol=1e-10)
+
+    def test_fold_conv_batchnorm(self):
+        conv = Conv2D(1, 2, kernel_size=3, padding=1, seed=0)
+        bn = BatchNorm(2)
+        bn.running_mean = np.array([0.3, -0.2])
+        bn.running_var = np.array([1.5, 0.7])
+        bn.params["gamma"] = np.array([1.2, 0.8])
+        bn.params["beta"] = np.array([0.1, -0.1])
+        model = Sequential(
+            [conv, bn, ReLU(), Flatten(), Dense(2 * 8 * 8, 2, seed=1)], input_shape=(1, 8, 8)
+        )
+        x = np.random.default_rng(2).uniform(size=(4, 1, 8, 8))
+        before = model.predict_scores(x)
+
+        folded = fold_batch_norm(model)
+        bn_free = Sequential(
+            [
+                Conv2D(1, 2, kernel_size=3, padding=1, seed=0),
+                ReLU(),
+                Flatten(),
+                Dense(2 * 8 * 8, 2, seed=1),
+            ],
+            input_shape=(1, 8, 8),
+        )
+        bn_free.set_weights([folded[0], {}, {}, folded[4]])
+        assert np.allclose(before, bn_free.predict_scores(x), atol=1e-10)
+
+    def test_bn_without_weight_layer_raises(self):
+        model = Sequential([BatchNorm(4), Dense(4, 2, seed=0)], input_shape=(4,))
+        with pytest.raises(ValueError):
+            fold_batch_norm(model)
+
+
+class TestConvertToSnn:
+    def test_structure_of_converted_mlp(self, trained_mlp, tiny_image_split):
+        snn = convert_to_snn(
+            trained_mlp,
+            encoder=RealEncoder(),
+            threshold_factory=_rate_factory,
+            calibration_x=tiny_image_split.train.x[:20],
+        )
+        assert isinstance(snn.layers[-1], OutputAccumulator)
+        assert any(isinstance(layer, SpikingDense) for layer in snn.layers)
+        assert snn.num_classes == tiny_image_split.num_classes
+
+    def test_converted_cnn_has_conv_and_pool(self, trained_cnn, tiny_color_split):
+        snn = convert_to_snn(
+            trained_cnn,
+            encoder=RealEncoder(),
+            threshold_factory=_rate_factory,
+            calibration_x=tiny_color_split.train.x[:16],
+        )
+        assert any(isinstance(layer, SpikingConv2D) for layer in snn.layers)
+        assert any(isinstance(layer, SpikingAvgPool2D) for layer in snn.layers)
+
+    def test_max_pool_policies(self, tiny_color_split):
+        model = Sequential(
+            [
+                Conv2D(3, 4, kernel_size=3, padding=1, seed=0),
+                ReLU(),
+                MaxPool2D(2),
+                Flatten(),
+                Dense(4 * 5 * 5, 3, seed=1),
+            ],
+            input_shape=(3, 10, 10),
+        )
+        snn_spiking = convert_to_snn(
+            model, RealEncoder(), _rate_factory,
+            config=ConversionConfig(max_pool_policy="spiking"),
+            calibration_x=tiny_color_split.train.x[:8],
+        )
+        snn_avg = convert_to_snn(
+            model, RealEncoder(), _rate_factory,
+            config=ConversionConfig(max_pool_policy="average"),
+            calibration_x=tiny_color_split.train.x[:8],
+        )
+        assert any(isinstance(l, SpikingMaxPool2D) for l in snn_spiking.layers)
+        assert not any(isinstance(l, SpikingMaxPool2D) for l in snn_avg.layers)
+        assert any(isinstance(l, SpikingAvgPool2D) for l in snn_avg.layers)
+
+    def test_bias_scale_defaults_to_encoder_throughput(self, trained_mlp, tiny_image_split):
+        from repro.snn.encoding import PhaseEncoder
+
+        snn = convert_to_snn(
+            trained_mlp,
+            encoder=PhaseEncoder(period=8),
+            threshold_factory=_rate_factory,
+            calibration_x=tiny_image_split.train.x[:10],
+        )
+        dense_layers = [l for l in snn.layers if isinstance(l, SpikingDense)]
+        assert dense_layers[0].bias_scale == pytest.approx(1 / 8)
+
+    def test_threshold_factory_called_per_hidden_layer(self, trained_mlp, tiny_image_split):
+        calls = []
+
+        def factory(index, name):
+            calls.append((index, name))
+            return ConstantThreshold(1.0)
+
+        convert_to_snn(
+            trained_mlp,
+            encoder=RealEncoder(),
+            threshold_factory=factory,
+            calibration_x=tiny_image_split.train.x[:10],
+        )
+        # the MLP has exactly one hidden Dense layer (the head is the output)
+        assert len(calls) == 1
+        assert calls[0][0] == 0
+
+    def test_requires_dense_head(self):
+        model = Sequential(
+            [Conv2D(1, 2, kernel_size=3, padding=1, seed=0), ReLU()], input_shape=(1, 8, 8)
+        )
+        with pytest.raises(ValueError):
+            convert_to_snn(model, RealEncoder(), _rate_factory, calibration_x=np.zeros((2, 1, 8, 8)))
+
+    def test_batchnorm_model_converts_and_matches_dnn(self, tiny_image_split):
+        """A model with BatchNorm is folded at conversion and the resulting SNN
+        still tracks the DNN's predictions."""
+        from repro.ann.optimizers import Adam
+
+        data = tiny_image_split
+        model = Sequential(
+            [
+                Flatten(),
+                Dense(144, 24, seed=0),
+                BatchNorm(24),
+                ReLU(),
+                Dense(24, data.num_classes, seed=1),
+            ],
+            input_shape=data.input_shape,
+        )
+        model.fit(
+            data.train.x, data.train.y, epochs=10, batch_size=16,
+            optimizer=Adam(2e-3), seed=0,
+        )
+        dnn_predictions = model.predict(data.test.x[:12])
+        snn = convert_to_snn(
+            model,
+            encoder=RealEncoder(),
+            threshold_factory=_rate_factory,
+            calibration_x=data.train.x[:30],
+        )
+        result = snn.run(data.test.x[:12], SimulationConfig(time_steps=80))
+        agreement = float(np.mean(result.predictions() == dnn_predictions))
+        assert agreement >= 0.8
+
+    def test_converted_snn_matches_dnn_predictions(self, trained_mlp, tiny_image_split):
+        """With real input coding and rate hidden coding, the converted SNN's
+        accumulated output agrees with the DNN on most test samples — the
+        fundamental soundness property of the conversion."""
+        x = tiny_image_split.test.x[:16]
+        dnn_predictions = trained_mlp.predict(x)
+        snn = convert_to_snn(
+            trained_mlp,
+            encoder=RealEncoder(),
+            threshold_factory=lambda i, n: make_threshold("rate"),
+            calibration_x=tiny_image_split.train.x[:30],
+        )
+        result = snn.run(x, SimulationConfig(time_steps=80))
+        agreement = float(np.mean(result.predictions() == dnn_predictions))
+        assert agreement >= 0.85

@@ -1,0 +1,128 @@
+"""Tests for the neural coding vocabulary and the hybrid coding scheme."""
+
+import pytest
+
+from repro.core.coding import CodingParams, NeuralCoding
+from repro.core.hybrid import HybridCodingScheme, standard_schemes, table1_schemes
+from repro.snn.encoding import BurstEncoder, PhaseEncoder, PoissonRateEncoder, RealEncoder
+from repro.snn.thresholds import BurstThreshold, ConstantThreshold, PhaseThreshold
+
+
+class TestNeuralCoding:
+    def test_from_string(self):
+        assert NeuralCoding.from_value("burst") is NeuralCoding.BURST
+        assert NeuralCoding.from_value("REAL") is NeuralCoding.REAL
+
+    def test_from_enum(self):
+        assert NeuralCoding.from_value(NeuralCoding.PHASE) is NeuralCoding.PHASE
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            NeuralCoding.from_value("analog")
+
+    def test_hidden_validity(self):
+        assert not NeuralCoding.REAL.valid_for_hidden
+        assert NeuralCoding.BURST.valid_for_hidden
+
+
+class TestCodingParams:
+    def test_defaults(self):
+        params = CodingParams()
+        assert params.beta == 2.0
+        assert params.phase_period == 8
+
+    def test_resolved_v_th_defaults(self):
+        params = CodingParams()
+        assert params.resolved_v_th(NeuralCoding.BURST) == 0.125
+        assert params.resolved_v_th(NeuralCoding.RATE) == 1.0
+        assert params.resolved_v_th(NeuralCoding.PHASE) == 1.0
+
+    def test_resolved_v_th_explicit(self):
+        assert CodingParams(v_th=0.5).resolved_v_th(NeuralCoding.BURST) == 0.5
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"v_th": 0.0}, {"beta": 1.0}, {"phase_period": 0}, {"max_burst_length": 0}]
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            CodingParams(**kwargs)
+
+
+class TestHybridCodingScheme:
+    def test_default_is_phase_burst(self):
+        scheme = HybridCodingScheme()
+        assert scheme.notation == "phase-burst"
+
+    def test_from_notation(self):
+        scheme = HybridCodingScheme.from_notation("real-rate")
+        assert scheme.input_coding is NeuralCoding.REAL
+        assert scheme.hidden_coding is NeuralCoding.RATE
+
+    def test_from_notation_invalid_format(self):
+        with pytest.raises(ValueError):
+            HybridCodingScheme.from_notation("phaseburst")
+
+    def test_from_notation_unknown_coding(self):
+        with pytest.raises(ValueError):
+            HybridCodingScheme.from_notation("phase-magic")
+
+    def test_real_hidden_rejected(self):
+        with pytest.raises(ValueError):
+            HybridCodingScheme.from_notation("phase-real")
+
+    def test_describe_mentions_parameters(self):
+        text = HybridCodingScheme.from_notation("phase-burst", v_th=0.0625).describe()
+        assert "phase-burst" in text and "0.0625" in text
+
+    def test_encoder_types(self):
+        assert isinstance(HybridCodingScheme.from_notation("real-burst").make_encoder(), RealEncoder)
+        assert isinstance(HybridCodingScheme.from_notation("phase-burst").make_encoder(), PhaseEncoder)
+        assert isinstance(HybridCodingScheme.from_notation("burst-burst").make_encoder(), BurstEncoder)
+
+    def test_rate_input_is_poisson_by_default(self):
+        """Rate input coding follows Diehl et al. (Poisson spike trains)."""
+        encoder = HybridCodingScheme.from_notation("rate-burst").make_encoder(seed=0)
+        assert isinstance(encoder, PoissonRateEncoder)
+
+    def test_threshold_factory_types(self):
+        factory = HybridCodingScheme.from_notation("phase-burst", v_th=0.0625).make_threshold_factory()
+        threshold = factory(0, "layer")
+        assert isinstance(threshold, BurstThreshold)
+        assert threshold.v_th == 0.0625
+
+        factory = HybridCodingScheme.from_notation("real-rate").make_threshold_factory()
+        assert isinstance(factory(0, "layer"), ConstantThreshold)
+
+        factory = HybridCodingScheme.from_notation("real-phase").make_threshold_factory()
+        assert isinstance(factory(0, "layer"), PhaseThreshold)
+
+    def test_threshold_factory_returns_fresh_objects(self):
+        """Burst adaptation state must not be shared between layers."""
+        factory = HybridCodingScheme.from_notation("phase-burst").make_threshold_factory()
+        assert factory(0, "a") is not factory(1, "b")
+
+    def test_phase_period_propagates(self):
+        scheme = HybridCodingScheme.from_notation("phase-phase", phase_period=4)
+        assert scheme.make_encoder().period == 4
+        assert scheme.make_threshold_factory()(0, "x").period == 4
+
+
+class TestSchemeCollections:
+    def test_table1_has_nine_combinations(self):
+        schemes = table1_schemes()
+        assert len(schemes) == 9
+        assert len({s.notation for s in schemes}) == 9
+
+    def test_table1_v_th_only_applies_to_burst(self):
+        schemes = table1_schemes(v_th=0.0625)
+        for scheme in schemes:
+            resolved = scheme.hidden_params.resolved_v_th(scheme.hidden_coding)
+            if scheme.hidden_coding is NeuralCoding.BURST:
+                assert resolved == 0.0625
+            else:
+                assert resolved == 1.0
+
+    def test_standard_schemes_include_proposed(self):
+        notations = {s.notation for s in standard_schemes()}
+        assert "phase-burst" in notations
+        assert "rate-rate" in notations

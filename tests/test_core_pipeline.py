@@ -1,0 +1,159 @@
+"""Integration tests for the end-to-end SNN inference pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.hybrid import HybridCodingScheme
+from repro.core.pipeline import PipelineConfig, SNNInferencePipeline
+
+
+@pytest.fixture(scope="module")
+def mlp_pipeline(trained_mlp, tiny_image_split):
+    config = PipelineConfig(time_steps=60, batch_size=16, max_test_images=16, calibration_images=40)
+    return SNNInferencePipeline(trained_mlp, tiny_image_split, config)
+
+
+class TestPipelineConfig:
+    def test_defaults(self):
+        PipelineConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"time_steps": 0},
+            {"batch_size": 0},
+            {"record_outputs_every": 0},
+            {"max_test_images": 0},
+            {"calibration_images": 0},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            PipelineConfig(**kwargs)
+
+
+class TestSNNInferencePipeline:
+    def test_dnn_accuracy_cached(self, mlp_pipeline):
+        first = mlp_pipeline.dnn_accuracy
+        second = mlp_pipeline.dnn_accuracy
+        assert first == second
+        assert 0.0 <= first <= 1.0
+
+    def test_normalization_shared_and_cached(self, mlp_pipeline):
+        assert mlp_pipeline.normalization is mlp_pipeline.normalization
+        assert len(mlp_pipeline.normalization.scales) > 0
+
+    def test_build_snn_structure(self, mlp_pipeline, tiny_image_split):
+        snn = mlp_pipeline.build_snn(HybridCodingScheme.from_notation("phase-burst"))
+        assert snn.num_classes == tiny_image_split.num_classes
+        assert snn.num_neurons() > 0
+
+    def test_run_scheme_produces_consistent_curves(self, mlp_pipeline):
+        run = mlp_pipeline.run_scheme(HybridCodingScheme.from_notation("phase-burst"))
+        assert run.accuracy_curve.shape == run.recorded_steps.shape
+        assert run.cumulative_spikes.shape == (run.time_steps,)
+        assert np.all(np.diff(run.cumulative_spikes) >= 0)
+        assert 0.0 <= run.accuracy <= 1.0
+        assert run.num_images == 16
+        assert run.outputs_final.shape == (16, 4)
+
+    def test_real_burst_reaches_dnn_accuracy(self, mlp_pipeline):
+        """The proposed burst coding must recover the DNN's accuracy — the
+        headline claim of the paper."""
+        run = mlp_pipeline.run_scheme(HybridCodingScheme.from_notation("real-burst"))
+        assert run.accuracy >= run.dnn_accuracy - 0.05
+
+    def test_phase_burst_reaches_dnn_accuracy(self, mlp_pipeline):
+        run = mlp_pipeline.run_scheme(HybridCodingScheme.from_notation("phase-burst"))
+        assert run.accuracy >= run.dnn_accuracy - 0.05
+
+    def test_metrics_row(self, mlp_pipeline):
+        run = mlp_pipeline.run_scheme(HybridCodingScheme.from_notation("real-rate"))
+        metrics = run.metrics()
+        assert metrics.scheme == "real-rate"
+        assert metrics.num_images == run.num_images
+        assert metrics.spikes_per_image == pytest.approx(run.spikes_per_image)
+        with_target = run.metrics(target_accuracy=run.dnn_accuracy * 0.5)
+        assert with_target.latency is not None
+
+    def test_keep_batch_results_with_trains(self, trained_mlp, tiny_image_split):
+        config = PipelineConfig(
+            time_steps=30,
+            batch_size=8,
+            max_test_images=8,
+            record_trains=True,
+            sample_fraction=0.5,
+            calibration_images=20,
+        )
+        pipeline = SNNInferencePipeline(trained_mlp, tiny_image_split, config)
+        run = pipeline.run_scheme(
+            HybridCodingScheme.from_notation("phase-burst"), keep_batch_results=True
+        )
+        assert len(run.batch_results) == 1
+        hidden = next(
+            record for record in run.batch_results[0].record.layers if record.is_spiking
+        )
+        assert hidden.spike_trains().shape[0] == 30
+
+    def test_compare_returns_row_per_scheme(self, mlp_pipeline):
+        schemes = [
+            HybridCodingScheme.from_notation("real-rate"),
+            HybridCodingScheme.from_notation("real-burst"),
+        ]
+        rows = mlp_pipeline.compare(schemes, time_steps=30)
+        assert set(rows) == {"real-rate", "real-burst"}
+
+    def test_time_step_override(self, mlp_pipeline):
+        run = mlp_pipeline.run_scheme(HybridCodingScheme.from_notation("real-rate"), time_steps=10)
+        assert run.time_steps == 10
+        assert run.cumulative_spikes.shape == (10,)
+
+    def test_batching_does_not_change_results(self, trained_mlp, tiny_image_split):
+        """Running the test set in one batch or several must give identical
+        accuracy curves and spike counts (per-sample independence)."""
+        runs = []
+        for batch_size in (4, 16):
+            config = PipelineConfig(
+                time_steps=25, batch_size=batch_size, max_test_images=16, calibration_images=30
+            )
+            pipeline = SNNInferencePipeline(trained_mlp, tiny_image_split, config)
+            runs.append(pipeline.run_scheme(HybridCodingScheme.from_notation("real-burst")))
+        assert np.allclose(runs[0].accuracy_curve, runs[1].accuracy_curve)
+        assert runs[0].total_spikes == runs[1].total_spikes
+
+    def test_empty_test_set_rejected(self, trained_mlp, tiny_image_split):
+        empty_split = type(tiny_image_split)(
+            train=tiny_image_split.train,
+            test=tiny_image_split.train.subset(np.array([], dtype=int)),
+            name="empty",
+        )
+        pipeline = SNNInferencePipeline(trained_mlp, empty_split, PipelineConfig(time_steps=5))
+        with pytest.raises(ValueError):
+            pipeline.run_scheme(HybridCodingScheme.from_notation("real-rate"))
+
+
+class TestCodingSchemeOrdering:
+    """Qualitative orderings the paper reports, checked on the tiny workload."""
+
+    def test_burst_hidden_not_slower_than_rate_hidden(self, mlp_pipeline):
+        """Burst coding converges at least as fast as rate coding in the
+        hidden layers (Fig. 4's qualitative claim), measured by the area
+        under the inference curve."""
+        burst = mlp_pipeline.run_scheme(HybridCodingScheme.from_notation("real-burst"))
+        rate = mlp_pipeline.run_scheme(HybridCodingScheme.from_notation("real-rate"))
+        trapezoid = getattr(np, "trapezoid", None) or np.trapz
+        auc_burst = trapezoid(burst.accuracy_curve, burst.recorded_steps)
+        auc_rate = trapezoid(rate.accuracy_curve, rate.recorded_steps)
+        assert auc_burst >= auc_rate * 0.95
+
+    def test_phase_hidden_generates_more_spikes_than_burst(self, mlp_pipeline):
+        """Phase coding in hidden layers is the spike-hungry configuration
+        (Table 1 / Fig. 3)."""
+        phase = mlp_pipeline.run_scheme(HybridCodingScheme.from_notation("phase-phase"))
+        burst = mlp_pipeline.run_scheme(HybridCodingScheme.from_notation("phase-burst"))
+        assert phase.total_spikes > burst.total_spikes
+
+    def test_real_input_emits_fewer_input_spikes_than_rate(self, mlp_pipeline):
+        real = mlp_pipeline.run_scheme(HybridCodingScheme.from_notation("real-burst"))
+        rate = mlp_pipeline.run_scheme(HybridCodingScheme.from_notation("rate-burst"))
+        assert real.total_spikes < rate.total_spikes

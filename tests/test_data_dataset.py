@@ -1,0 +1,153 @@
+"""Tests for repro.data.dataset."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset, iterate_minibatches, one_hot, train_test_split
+
+
+def _make_dataset(n_per_class=10, num_classes=3, dim=5, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0, 1, size=(n_per_class * num_classes, dim))
+    y = np.repeat(np.arange(num_classes), n_per_class)
+    return Dataset(x=x, y=y, num_classes=num_classes, name="unit")
+
+
+class TestOneHot:
+    def test_basic(self):
+        encoded = one_hot(np.array([0, 2, 1]), 3)
+        assert encoded.shape == (3, 3)
+        assert np.array_equal(encoded.argmax(axis=1), [0, 2, 1])
+        assert np.allclose(encoded.sum(axis=1), 1.0)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            one_hot(np.array([0, 3]), 3)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            one_hot(np.array([-1, 0]), 3)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            one_hot(np.zeros((2, 2)), 3)
+
+    def test_rejects_bad_num_classes(self):
+        with pytest.raises(ValueError):
+            one_hot(np.array([0]), 0)
+
+
+class TestDataset:
+    def test_length_and_shape(self):
+        data = _make_dataset()
+        assert len(data) == 30
+        assert data.input_shape == (5,)
+        assert not data.is_image
+
+    def test_image_flag(self):
+        data = Dataset(np.zeros((4, 1, 8, 8)), np.zeros(4, dtype=int), num_classes=2)
+        assert data.is_image
+        assert data.input_shape == (1, 8, 8)
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((3, 2)), np.zeros(4, dtype=int), num_classes=2)
+
+    def test_labels_above_num_classes_raise(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((3, 2)), np.array([0, 1, 5]), num_classes=2)
+
+    def test_labels_one_hot(self):
+        data = _make_dataset(num_classes=3)
+        encoded = data.labels_one_hot()
+        assert encoded.shape == (len(data), 3)
+
+    def test_subset(self):
+        data = _make_dataset()
+        sub = data.subset(np.array([0, 1, 2]))
+        assert len(sub) == 3
+        assert sub.num_classes == data.num_classes
+
+    def test_take(self):
+        data = _make_dataset()
+        assert len(data.take(7)) == 7
+
+    def test_take_more_than_available(self):
+        data = _make_dataset(n_per_class=2, num_classes=2)
+        assert len(data.take(100)) == 4
+
+    def test_take_negative_raises(self):
+        with pytest.raises(ValueError):
+            _make_dataset().take(-1)
+
+    def test_shuffled_preserves_pairs(self):
+        data = _make_dataset()
+        shuffled = data.shuffled(seed=0)
+        # every (x, y) pair still present
+        original = {tuple(row) + (label,) for row, label in zip(data.x, data.y)}
+        after = {tuple(row) + (label,) for row, label in zip(shuffled.x, shuffled.y)}
+        assert original == after
+
+    def test_class_counts(self):
+        data = _make_dataset(n_per_class=10, num_classes=3)
+        assert np.array_equal(data.class_counts(), [10, 10, 10])
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        data = _make_dataset(n_per_class=10, num_classes=3)
+        split = train_test_split(data, test_fraction=0.2, seed=0)
+        assert len(split.train) + len(split.test) == len(data)
+        assert len(split.test) == 6  # 20% of 30, stratified 2 per class
+
+    def test_stratified_balance(self):
+        data = _make_dataset(n_per_class=20, num_classes=4, seed=1)
+        split = train_test_split(data, test_fraction=0.25, seed=1)
+        counts = split.test.class_counts()
+        assert np.all(counts == counts[0])
+
+    def test_unstratified(self):
+        data = _make_dataset(n_per_class=10, num_classes=3)
+        split = train_test_split(data, test_fraction=0.3, seed=0, stratified=False)
+        assert len(split.test) == 9
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            train_test_split(_make_dataset(), test_fraction=0.0)
+
+    def test_split_exposes_metadata(self):
+        split = train_test_split(_make_dataset(), test_fraction=0.2, seed=0)
+        assert split.num_classes == 3
+        assert split.input_shape == (5,)
+
+
+class TestIterateMinibatches:
+    def test_covers_all_samples(self):
+        x = np.arange(10)[:, None].astype(float)
+        y = np.arange(10)
+        seen = []
+        for bx, by in iterate_minibatches(x, y, batch_size=3, shuffle=False):
+            seen.extend(by.tolist())
+        assert seen == list(range(10))
+
+    def test_drop_last(self):
+        x = np.zeros((10, 1))
+        y = np.zeros(10)
+        batches = list(iterate_minibatches(x, y, batch_size=3, shuffle=False, drop_last=True))
+        assert all(b[0].shape[0] == 3 for b in batches)
+        assert len(batches) == 3
+
+    def test_shuffle_is_seeded(self):
+        x = np.arange(20)[:, None].astype(float)
+        y = np.arange(20)
+        run1 = [by.tolist() for _, by in iterate_minibatches(x, y, 5, shuffle=True, seed=3)]
+        run2 = [by.tolist() for _, by in iterate_minibatches(x, y, 5, shuffle=True, seed=3)]
+        assert run1 == run2
+
+    def test_bad_batch_size(self):
+        with pytest.raises(ValueError):
+            list(iterate_minibatches(np.zeros((2, 1)), np.zeros(2), 0))
+
+    def test_mismatched_inputs(self):
+        with pytest.raises(ValueError):
+            list(iterate_minibatches(np.zeros((2, 1)), np.zeros(3), 1))

@@ -1,0 +1,152 @@
+"""Tests for repro.data.synthetic and repro.data.transforms."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    SyntheticImageConfig,
+    load_dataset,
+    make_cifar10_like,
+    make_cifar100_like,
+    make_classification_images,
+    make_mnist_like,
+)
+from repro.data.transforms import clip01, flatten_images, normalize_minmax, standardize
+
+
+class TestSyntheticImageConfig:
+    def test_defaults_valid(self):
+        SyntheticImageConfig()
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            SyntheticImageConfig(image_shape=(28, 28))
+
+    def test_rejects_zero_classes(self):
+        with pytest.raises(ValueError):
+            SyntheticImageConfig(num_classes=0)
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            SyntheticImageConfig(occlusion_probability=1.5)
+
+
+class TestMakeClassificationImages:
+    def test_shapes_and_ranges(self):
+        config = SyntheticImageConfig(num_classes=3, image_shape=(1, 10, 10), samples_per_class=5)
+        data = make_classification_images(config, seed=0)
+        assert data.x.shape == (15, 1, 10, 10)
+        assert data.y.shape == (15,)
+        assert data.x.min() >= 0.0 and data.x.max() <= 1.0
+        assert data.num_classes == 3
+
+    def test_all_classes_present(self):
+        config = SyntheticImageConfig(num_classes=5, image_shape=(1, 8, 8), samples_per_class=4)
+        data = make_classification_images(config, seed=1)
+        assert set(np.unique(data.y)) == set(range(5))
+
+    def test_deterministic_given_seed(self):
+        config = SyntheticImageConfig(num_classes=2, image_shape=(1, 8, 8), samples_per_class=3)
+        a = make_classification_images(config, seed=5)
+        b = make_classification_images(config, seed=5)
+        assert np.array_equal(a.x, b.x)
+        assert np.array_equal(a.y, b.y)
+
+    def test_different_seeds_differ(self):
+        config = SyntheticImageConfig(num_classes=2, image_shape=(1, 8, 8), samples_per_class=3)
+        a = make_classification_images(config, seed=1)
+        b = make_classification_images(config, seed=2)
+        assert not np.array_equal(a.x, b.x)
+
+    def test_classes_are_distinguishable(self):
+        """Per-class mean images should differ substantially between classes."""
+        config = SyntheticImageConfig(
+            num_classes=3, image_shape=(1, 12, 12), samples_per_class=10, noise_std=0.05
+        )
+        data = make_classification_images(config, seed=2)
+        means = [data.x[data.y == c].mean(axis=0) for c in range(3)]
+        for i in range(3):
+            for j in range(i + 1, 3):
+                assert np.abs(means[i] - means[j]).mean() > 0.02
+
+    def test_noise_free_config(self):
+        config = SyntheticImageConfig(
+            num_classes=2,
+            image_shape=(1, 8, 8),
+            samples_per_class=3,
+            noise_std=0.0,
+            max_shift=0,
+            brightness_jitter=0.0,
+            contrast_jitter=0.0,
+            occlusion_probability=0.0,
+        )
+        data = make_classification_images(config, seed=0)
+        # without augmentation every sample of a class is identical
+        for c in range(2):
+            cls = data.x[data.y == c]
+            assert np.allclose(cls, cls[0])
+
+
+class TestNamedDatasets:
+    def test_mnist_like_shapes(self):
+        split = make_mnist_like(samples_per_class=4, seed=0)
+        assert split.input_shape == (1, 28, 28)
+        assert split.num_classes == 10
+
+    def test_cifar10_like_shapes(self):
+        split = make_cifar10_like(samples_per_class=4, seed=0)
+        assert split.input_shape == (3, 32, 32)
+        assert split.num_classes == 10
+
+    def test_cifar100_like_shapes(self):
+        split = make_cifar100_like(samples_per_class=2, seed=0)
+        assert split.input_shape == (3, 32, 32)
+        assert split.num_classes == 100
+
+    @pytest.mark.parametrize("name", ["mnist", "cifar10", "mnist-like", "CIFAR10"])
+    def test_load_dataset_known_names(self, name):
+        split = load_dataset(name, samples_per_class=4, seed=0)
+        assert len(split.train) > 0 and len(split.test) > 0
+
+    def test_load_dataset_unknown(self):
+        with pytest.raises(ValueError):
+            load_dataset("imagenet")
+
+
+class TestTransforms:
+    def test_normalize_minmax_range(self):
+        x = np.array([-5.0, 0.0, 5.0])
+        normalized = normalize_minmax(x)
+        assert normalized.min() == 0.0 and normalized.max() == 1.0
+
+    def test_normalize_minmax_constant_input(self):
+        assert np.allclose(normalize_minmax(np.full(5, 3.0)), 0.0)
+
+    def test_standardize(self):
+        x = np.random.default_rng(0).normal(5.0, 2.0, size=1000)
+        standardized, mean, std = standardize(x)
+        assert abs(standardized.mean()) < 1e-9
+        assert abs(standardized.std() - 1.0) < 1e-9
+        assert mean == pytest.approx(x.mean())
+        assert std == pytest.approx(x.std())
+
+    def test_standardize_constant(self):
+        standardized, _, std = standardize(np.full(10, 2.0))
+        assert std == 1.0
+        assert np.allclose(standardized, 0.0)
+
+    def test_clip01(self):
+        clipped = clip01(np.array([-1.0, 0.5, 2.0]))
+        assert np.array_equal(clipped, [0.0, 0.5, 1.0])
+
+    def test_flatten_images(self):
+        x = np.zeros((4, 3, 5, 5))
+        assert flatten_images(x).shape == (4, 75)
+
+    def test_flatten_passthrough_2d(self):
+        x = np.zeros((4, 10))
+        assert flatten_images(x).shape == (4, 10)
+
+    def test_flatten_rejects_3d(self):
+        with pytest.raises(ValueError):
+            flatten_images(np.zeros((4, 5, 5)))

@@ -1,0 +1,121 @@
+"""Tests for the TrueNorth / SpiNNaker normalized-energy model."""
+
+import pytest
+
+from repro.energy.architectures import (
+    SPINNAKER,
+    TRUENORTH,
+    ArchitectureEnergyModel,
+    get_architecture,
+)
+from repro.energy.estimator import EnergyWorkload, estimate_energy, normalized_energy
+
+
+class TestArchitectureEnergyModel:
+    def test_fractions_sum_to_one(self):
+        for arch in (TRUENORTH, SPINNAKER):
+            total = arch.computation_fraction + arch.routing_fraction + arch.static_fraction
+            assert total == pytest.approx(1.0)
+
+    def test_rejects_bad_fractions(self):
+        with pytest.raises(ValueError):
+            ArchitectureEnergyModel("x", 0.5, 0.5, 0.5)
+        with pytest.raises(ValueError):
+            ArchitectureEnergyModel("x", -0.1, 0.6, 0.5)
+
+    def test_lookup(self):
+        assert get_architecture("truenorth") is TRUENORTH
+        assert get_architecture("SpiNNaker") is SPINNAKER
+
+    def test_lookup_unknown(self):
+        with pytest.raises(ValueError):
+            get_architecture("loihi")
+
+
+class TestEnergyWorkload:
+    def test_valid(self):
+        EnergyWorkload(spikes_per_image=1e6, density=0.02, latency=1500)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"spikes_per_image": -1, "density": 0.1, "latency": 10},
+            {"spikes_per_image": 1, "density": -0.1, "latency": 10},
+            {"spikes_per_image": 1, "density": 0.1, "latency": 0},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            EnergyWorkload(**kwargs)
+
+
+class TestEstimateEnergy:
+    def _baseline(self):
+        return EnergyWorkload(spikes_per_image=1e5, density=0.02, latency=200, label="baseline")
+
+    def test_baseline_normalises_to_one(self):
+        baseline = self._baseline()
+        for arch in (TRUENORTH, SPINNAKER):
+            estimate = estimate_energy(baseline, baseline, arch)
+            assert estimate.total == pytest.approx(1.0)
+
+    def test_components_scale_with_ratios(self):
+        baseline = self._baseline()
+        workload = EnergyWorkload(
+            spikes_per_image=2e5, density=0.04, latency=400, label="double"
+        )
+        estimate = estimate_energy(workload, baseline, TRUENORTH)
+        assert estimate.total == pytest.approx(2.0)
+        assert estimate.computation == pytest.approx(TRUENORTH.computation_fraction * 2)
+        assert estimate.routing == pytest.approx(TRUENORTH.routing_fraction * 2)
+        assert estimate.static == pytest.approx(TRUENORTH.static_fraction * 2)
+
+    def test_lower_latency_reduces_energy(self):
+        baseline = self._baseline()
+        faster = EnergyWorkload(spikes_per_image=1e5, density=0.02, latency=100, label="fast")
+        assert estimate_energy(faster, baseline, TRUENORTH).total < 1.0
+
+    def test_monotone_in_each_statistic(self):
+        baseline = self._baseline()
+        more_spikes = EnergyWorkload(2e5, 0.02, 200, label="spikes")
+        more_density = EnergyWorkload(1e5, 0.04, 200, label="density")
+        more_latency = EnergyWorkload(1e5, 0.02, 400, label="latency")
+        for workload in (more_spikes, more_density, more_latency):
+            for arch in (TRUENORTH, SPINNAKER):
+                assert estimate_energy(workload, baseline, arch).total > 1.0
+
+    def test_spinnaker_penalises_spikes_more_than_truenorth(self):
+        """SpiNNaker's software per-spike cost makes spike-heavy workloads
+        relatively more expensive than on TrueNorth."""
+        baseline = self._baseline()
+        spike_heavy = EnergyWorkload(1e6, 0.02, 200, label="heavy")
+        tn = estimate_energy(spike_heavy, baseline, TRUENORTH).total
+        sp = estimate_energy(spike_heavy, baseline, SPINNAKER).total
+        assert sp > tn
+
+    def test_zero_baseline_spikes_rejected_when_workload_spikes(self):
+        baseline = EnergyWorkload(0.0, 0.02, 200)
+        workload = EnergyWorkload(10.0, 0.02, 200)
+        with pytest.raises(ValueError):
+            estimate_energy(workload, baseline, TRUENORTH)
+
+
+class TestNormalizedEnergy:
+    def test_table_structure(self):
+        baseline = EnergyWorkload(1e5, 0.02, 200, label="Diehl")
+        ours = EnergyWorkload(7.7e4, 0.12, 27, label="Ours")
+        kim = EnergyWorkload(3e6, 8.2, 16, label="Kim")
+        table = normalized_energy([baseline, kim, ours], baseline, [TRUENORTH, SPINNAKER])
+        assert set(table) == {"Diehl", "Kim", "Ours"}
+        assert set(table["Ours"]) == {"TrueNorth", "SpiNNaker"}
+        assert table["Diehl"]["TrueNorth"] == pytest.approx(1.0)
+
+    def test_paper_shape_ours_cheapest_kim_most_expensive(self):
+        """Reproduces the qualitative ordering of Table 2 (MNIST block):
+        burst coding < rate baseline < weighted-spike phase coding."""
+        baseline = EnergyWorkload(1e5, 0.0219, 200, label="Diehl")
+        kim = EnergyWorkload(3e6, 8.2468, 16, label="Kim")
+        ours = EnergyWorkload(7.7e4, 0.1245, 27, label="Ours")
+        table = normalized_energy([kim, ours], baseline, [TRUENORTH, SPINNAKER])
+        for arch in ("TrueNorth", "SpiNNaker"):
+            assert table["Ours"][arch] < 1.0 < table["Kim"][arch]

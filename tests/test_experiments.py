@@ -1,0 +1,245 @@
+"""Tests for the experiment harness (workloads + one test per table/figure).
+
+These use deliberately tiny workloads so the whole module stays fast; the
+benchmark suite under ``benchmarks/`` runs the paper-sized versions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig1 import format_fig1, run_fig1, run_single_neuron
+from repro.experiments.fig2 import format_fig2, hidden_spike_trains, run_fig2
+from repro.experiments.fig3 import format_fig3, run_fig3
+from repro.experiments.fig4 import format_fig4, run_fig4
+from repro.experiments.fig5 import format_fig5, run_fig5
+from repro.experiments.reporting import render_series, render_table, sparkline
+from repro.experiments.sweep import run_all_schemes
+from repro.experiments.table1 import format_table1, run_table1
+from repro.experiments.table2 import TABLE2_METHODS, format_table2, run_table2
+from repro.experiments.workloads import (
+    WorkloadSpec,
+    build_workload,
+    clear_workload_cache,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_workload():
+    """A very small CNN workload shared by the experiment tests."""
+    clear_workload_cache()
+    spec = WorkloadSpec(
+        dataset="mnist", model="small_cnn", samples_per_class=10, epochs=6,
+        difficulty="easy", seed=0,
+    )
+    return build_workload(spec)
+
+
+@pytest.fixture(scope="module")
+def tiny_runs(tiny_workload):
+    """Per-scheme runs shared by the Table 1 / Fig. 3 / Fig. 4 tests."""
+    return run_all_schemes(tiny_workload, time_steps=40, num_images=8, batch_size=8)
+
+
+class TestReporting:
+    def test_render_table(self):
+        text = render_table("T", ["a", "b"], [{"a": 1, "b": 2}])
+        assert "T" in text and "1" in text
+
+    def test_render_series_subsamples(self):
+        text = render_series("S", list(range(100)), {"acc": [i / 100 for i in range(100)]}, max_points=5)
+        assert text.count("\n") <= 10
+
+    def test_render_series_empty(self):
+        assert "no data" in render_series("S", [], {})
+
+    def test_sparkline_length(self):
+        assert len(sparkline([0, 1, 2, 3], width=4)) == 4
+
+    def test_sparkline_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestWorkloads:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(dataset="imagenet")
+        with pytest.raises(ValueError):
+            WorkloadSpec(model="transformer")
+        with pytest.raises(ValueError):
+            WorkloadSpec(difficulty="impossible")
+
+    def test_build_workload_trains_model(self, tiny_workload):
+        assert tiny_workload.dnn_train_accuracy > 0.5
+        assert 0.0 <= tiny_workload.dnn_test_accuracy <= 1.0
+        assert tiny_workload.name == "mnist-small_cnn"
+
+    def test_workload_cache_reuses_instance(self, tiny_workload):
+        again = build_workload(tiny_workload.spec)
+        assert again is tiny_workload
+
+    def test_override_kwargs_create_new_spec(self, tiny_workload):
+        other = build_workload(tiny_workload.spec, samples_per_class=8)
+        assert other is not tiny_workload
+        assert other.spec.samples_per_class == 8
+
+
+class TestFig1:
+    def test_all_codings_present(self):
+        traces = run_fig1(time_steps=100)
+        assert set(traces) == {"rate", "phase", "burst"}
+
+    def test_rate_spike_count_matches_drive(self):
+        trace = run_single_neuron("rate", drive=0.25, time_steps=100, v_th=1.0)
+        assert trace.total_spikes == pytest.approx(25, abs=1)
+
+    def test_burst_has_more_short_isis_than_rate(self):
+        """Fig. 1 C1 vs C3: burst coding shifts ISI mass towards 1."""
+        traces = run_fig1(drive=0.3, time_steps=300)
+        assert traces["burst"].short_isi_fraction > traces["rate"].short_isi_fraction
+
+    def test_burst_amplitudes_grow_within_burst(self):
+        trace = run_single_neuron("burst", drive=0.9, time_steps=50, v_th=0.125)
+        fired = trace.amplitudes[trace.spike_train]
+        assert fired.max() > fired.min()
+
+    def test_format_mentions_every_coding(self):
+        text = format_fig1(run_fig1(time_steps=50))
+        for coding in ("rate", "phase", "burst"):
+            assert coding in text
+
+    def test_invalid_drive(self):
+        with pytest.raises(ValueError):
+            run_single_neuron("rate", drive=-0.1)
+
+
+class TestFig2:
+    def test_burst_fraction_increases_as_v_th_decreases(self, tiny_workload):
+        points = run_fig2(
+            workload=tiny_workload,
+            v_th_values=(0.5, 0.125, 0.03125),
+            time_steps=30,
+            num_images=4,
+        )
+        fractions = [p.statistics.burst_fraction for p in points]
+        assert fractions[-1] > fractions[0]
+        assert len(points) == 3
+
+    def test_rows_and_formatting(self, tiny_workload):
+        points = run_fig2(
+            workload=tiny_workload, v_th_values=(0.25,), time_steps=20, num_images=2
+        )
+        row = points[0].as_row()
+        assert "burst_%" in row and "len 2 %" in row
+        assert "Fig. 2" in format_fig2(points)
+
+
+class TestTable1:
+    def test_has_nine_rows(self, tiny_runs):
+        rows = run_table1(runs=tiny_runs)
+        assert len(rows) == 9
+        combos = {(r.input_coding, r.hidden_coding) for r in rows}
+        assert len(combos) == 9
+
+    def test_burst_rows_reach_dnn_accuracy(self, tiny_runs):
+        rows = run_table1(runs=tiny_runs)
+        burst_rows = [r for r in rows if r.hidden_coding == "burst" and r.input_coding != "rate"]
+        assert all(r.accuracy >= r.dnn_accuracy - 0.1 for r in burst_rows)
+
+    def test_formatting(self, tiny_runs):
+        text = format_table1(run_table1(runs=tiny_runs))
+        assert "Table 1" in text and "phase" in text
+
+
+class TestFig3:
+    def test_entries_per_scheme_and_target(self, tiny_runs):
+        entries = run_fig3(runs=tiny_runs, target_fractions=(0.99, 0.9))
+        assert len(entries) == len(tiny_runs) * 2
+
+    def test_reached_entries_have_latency_and_spikes(self, tiny_runs):
+        entries = run_fig3(runs=tiny_runs, target_fractions=(0.5,))
+        for entry in entries:
+            if entry.reached:
+                assert entry.latency is not None and entry.spikes is not None
+
+    def test_formatting(self, tiny_runs):
+        assert "Fig. 3" in format_fig3(run_fig3(runs=tiny_runs))
+
+
+class TestFig4:
+    def test_curves_shapes(self, tiny_runs):
+        curves = run_fig4(runs=tiny_runs)
+        assert len(curves) == len(tiny_runs)
+        for curve in curves:
+            assert curve.accuracy_curve.shape == curve.recorded_steps.shape
+            assert 0.0 <= curve.final_accuracy <= 1.0
+            assert 0.0 <= curve.area_under_curve() <= 1.0
+
+    def test_accuracy_at_lookup(self, tiny_runs):
+        curve = run_fig4(runs=tiny_runs)[0]
+        assert curve.accuracy_at(0) == 0.0
+        assert curve.accuracy_at(int(curve.recorded_steps[-1])) == curve.final_accuracy
+
+    def test_formatting(self, tiny_runs):
+        assert "Fig. 4" in format_fig4(run_fig4(runs=tiny_runs))
+
+
+class TestFig5:
+    def test_points_for_selected_schemes(self, tiny_workload):
+        from repro.core.hybrid import HybridCodingScheme
+
+        schemes = [
+            HybridCodingScheme.from_notation("real-burst"),
+            HybridCodingScheme.from_notation("real-phase"),
+        ]
+        points = run_fig5(
+            workload=tiny_workload, schemes=schemes, time_steps=40, num_images=3
+        )
+        assert {p.scheme for p in points} == {"real-burst", "real-phase"}
+        assert "Fig. 5" in format_fig5(points)
+
+    def test_phase_hidden_fires_faster_than_rate_hidden(self, tiny_workload):
+        """Fig. 5's qualitative claim: phase coding in the hidden layers sits
+        at the highest firing rates."""
+        from repro.core.hybrid import HybridCodingScheme
+
+        schemes = [
+            HybridCodingScheme.from_notation("real-phase"),
+            HybridCodingScheme.from_notation("real-rate"),
+        ]
+        points = {p.scheme: p for p in run_fig5(
+            workload=tiny_workload, schemes=schemes, time_steps=60, num_images=3
+        )}
+        assert points["real-phase"].mean_log_rate > points["real-rate"].mean_log_rate
+
+
+class TestHiddenSpikeTrains:
+    def test_empty_without_batch_results(self, tiny_runs):
+        run = next(iter(tiny_runs.values()))
+        assert hidden_spike_trains(run).size == 0
+
+
+class TestTable2:
+    def test_structure_and_energy(self, tiny_workload):
+        rows = run_table2(
+            datasets=("mnist",),
+            workloads={"mnist": tiny_workload},
+            time_steps=40,
+            num_images=8,
+        )
+        assert len(rows) == len(TABLE2_METHODS["mnist"])
+        baseline_rows = [r for r in rows if r.method.startswith("Diehl")]
+        assert baseline_rows[0].energy_truenorth == pytest.approx(1.0)
+        assert baseline_rows[0].energy_spinnaker == pytest.approx(1.0)
+        for row in rows:
+            assert row.energy_truenorth is not None and row.energy_truenorth >= 0
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            run_table2(datasets=("svhn",))
+
+    def test_formatting(self, tiny_workload):
+        rows = run_table2(
+            datasets=("mnist",), workloads={"mnist": tiny_workload}, time_steps=30, num_images=4
+        )
+        text = format_table2(rows)
+        assert "Table 2" in text and "E_TrueNorth" in text

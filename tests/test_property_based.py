@@ -1,0 +1,276 @@
+"""Property-based tests (hypothesis) for the core data structures and
+simulation invariants.
+
+These cover the invariants the whole reproduction rests on:
+
+* charge conservation of reset-by-subtraction IF neurons,
+* exactness of the input encoders' long-run transmission,
+* the burst function's algebraic behaviour (Eq. 8–9),
+* ISI / burst statistics consistency,
+* im2col/col2im adjointness,
+* energy-model normalisation.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.analysis.burst_stats import burst_lengths, burst_statistics
+from repro.analysis.firing import firing_rate, firing_regularity
+from repro.analysis.isi import inter_spike_intervals, isi_histogram
+from repro.ann.activations import softmax
+from repro.ann.im2col import col2im, im2col
+from repro.data.dataset import one_hot
+from repro.energy.architectures import SPINNAKER, TRUENORTH
+from repro.energy.estimator import EnergyWorkload, estimate_energy
+from repro.snn.encoding import PhaseEncoder, RateEncoder
+from repro.snn.neurons import IFNeuronState
+from repro.snn.thresholds import BurstThreshold, PhaseThreshold
+
+# Small deadline-free profile: simulations inside properties can be slow-ish.
+SETTINGS = settings(max_examples=25, deadline=None)
+
+
+# ---------------------------------------------------------------------------
+# numpy / data helpers
+# ---------------------------------------------------------------------------
+class TestDataProperties:
+    @given(labels=st.lists(st.integers(min_value=0, max_value=9), min_size=1, max_size=50))
+    @SETTINGS
+    def test_one_hot_rows_sum_to_one(self, labels):
+        encoded = one_hot(np.asarray(labels), 10)
+        assert np.allclose(encoded.sum(axis=1), 1.0)
+        assert np.array_equal(encoded.argmax(axis=1), labels)
+
+    @given(
+        x=arrays(
+            np.float64,
+            shape=st.tuples(st.integers(1, 4), st.integers(1, 6)),
+            elements=st.floats(-50, 50),
+        )
+    )
+    @SETTINGS
+    def test_softmax_is_probability_distribution(self, x):
+        probs = softmax(x)
+        assert np.all(probs >= 0)
+        assert np.allclose(probs.sum(axis=-1), 1.0)
+
+
+class TestIm2ColProperties:
+    @given(
+        n=st.integers(1, 2),
+        c=st.integers(1, 3),
+        size=st.integers(4, 8),
+        kernel=st.integers(1, 3),
+        stride=st.integers(1, 2),
+        padding=st.integers(0, 1),
+        seed=st.integers(0, 1000),
+    )
+    @SETTINGS
+    def test_adjointness(self, n, c, size, kernel, stride, padding, seed):
+        """<im2col(x), y> == <x, col2im(y)> for every geometry."""
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(n, c, size, size))
+        cols, _, _ = im2col(x, kernel, kernel, stride, padding)
+        y = rng.normal(size=cols.shape)
+        lhs = float(np.sum(cols * y))
+        rhs = float(np.sum(x * col2im(y, x.shape, kernel, kernel, stride, padding)))
+        assert lhs == pytest.approx(rhs, rel=1e-9, abs=1e-9)
+
+
+# ---------------------------------------------------------------------------
+# IF neuron and threshold dynamics
+# ---------------------------------------------------------------------------
+class TestNeuronProperties:
+    @given(
+        drives=st.lists(st.floats(0.0, 1.0), min_size=1, max_size=100),
+        threshold=st.floats(0.05, 2.0),
+    )
+    @SETTINGS
+    def test_charge_conservation(self, drives, threshold):
+        """Reset-by-subtraction: injected = transmitted + residual, and the
+        residual stays below the threshold when inputs are non-negative."""
+        state = IFNeuronState((1, 1), reset_mode="subtract")
+        transmitted = 0.0
+        for drive in drives:
+            _, amplitude = state.step(np.array([[drive]]), np.asarray(threshold))
+            transmitted += float(amplitude.sum())
+        injected = float(np.sum(drives))
+        residual = float(state.v_mem[0, 0])
+        assert injected == pytest.approx(transmitted + residual, abs=1e-9)
+        assert residual >= -1e-12
+        if all(drive <= threshold for drive in drives):
+            # when the per-step drive never exceeds the threshold no backlog
+            # can build up, so the residual stays below one threshold
+            assert residual < threshold + 1e-12
+
+    @given(
+        drives=st.lists(st.floats(-1.0, 1.0), min_size=1, max_size=60),
+        threshold=st.floats(0.1, 1.5),
+    )
+    @SETTINGS
+    def test_at_most_one_spike_per_step(self, drives, threshold):
+        state = IFNeuronState((1, 1))
+        for drive in drives:
+            spikes, _ = state.step(np.array([[drive]]), np.asarray(threshold))
+            assert int(spikes.sum()) in (0, 1)
+
+    @given(
+        spike_pattern=st.lists(st.booleans(), min_size=1, max_size=40),
+        beta=st.floats(1.1, 4.0),
+        v_th=st.floats(0.01, 1.0),
+    )
+    @SETTINGS
+    def test_burst_function_value(self, spike_pattern, beta, v_th):
+        """After n consecutive spikes the burst function equals β^n; after any
+        silent step it is exactly 1 (Eq. 8)."""
+        threshold = BurstThreshold(v_th=v_th, beta=beta)
+        threshold.reset((1, 1))
+        consecutive = 0
+        for spiked in spike_pattern:
+            threshold.update(np.array([[spiked]]))
+            consecutive = consecutive + 1 if spiked else 0
+            expected = beta**consecutive
+            assert threshold.burst_function[0, 0] == pytest.approx(expected, rel=1e-9)
+            assert threshold.thresholds(0)[0, 0] == pytest.approx(v_th * expected, rel=1e-9)
+
+    @given(period=st.integers(1, 16), v_th=st.floats(0.1, 4.0), t=st.integers(0, 200))
+    @SETTINGS
+    def test_phase_threshold_bounds_and_periodicity(self, period, v_th, t):
+        threshold = PhaseThreshold(v_th=v_th, period=period)
+        value = float(threshold.thresholds(t))
+        assert 0 < value <= v_th / 2
+        assert value == pytest.approx(float(threshold.thresholds(t + period)))
+
+
+# ---------------------------------------------------------------------------
+# encoders
+# ---------------------------------------------------------------------------
+class TestEncoderProperties:
+    @given(
+        values=st.lists(st.floats(0.0, 1.0), min_size=1, max_size=8),
+        steps=st.integers(10, 120),
+    )
+    @SETTINGS
+    def test_rate_encoder_transmission_error_bounded(self, values, steps):
+        """The deterministic rate encoder's cumulative transmission never lags
+        x·t by more than one threshold."""
+        x = np.asarray(values)[None, :]
+        encoder = RateEncoder(v_th=1.0)
+        encoder.reset(x)
+        total = np.zeros_like(x)
+        for t in range(steps):
+            total += encoder.step(t).values
+        assert np.all(total <= x * steps + 1e-9)
+        assert np.all(total >= x * steps - 1.0 - 1e-9)
+
+    @given(
+        values=st.lists(st.floats(0.0, 1.0), min_size=1, max_size=8),
+        period=st.integers(2, 10),
+    )
+    @SETTINGS
+    def test_phase_encoder_period_exactness(self, values, period):
+        """One phase period transmits the `period`-bit quantisation of x."""
+        x = np.asarray(values)[None, :]
+        encoder = PhaseEncoder(v_th=1.0, period=period)
+        encoder.reset(x)
+        total = np.zeros_like(x)
+        for t in range(period):
+            total += encoder.step(t).values
+        quantised = np.clip(np.round(x * 2**period), 0, 2**period - 1) / 2**period
+        assert np.allclose(total, quantised, atol=1e-12)
+
+    @given(values=st.lists(st.floats(0.0, 1.0), min_size=1, max_size=6))
+    @SETTINGS
+    def test_encoders_never_emit_negative_amplitudes(self, values):
+        x = np.asarray(values)[None, :]
+        for encoder in (RateEncoder(), PhaseEncoder()):
+            encoder.reset(x)
+            for t in range(12):
+                step = encoder.step(t)
+                assert np.all(step.values >= 0.0)
+                assert step.spike_count <= x.size
+
+
+# ---------------------------------------------------------------------------
+# spike-train analyses
+# ---------------------------------------------------------------------------
+def _spike_train_strategy(max_t=60, max_n=6):
+    return arrays(
+        np.bool_,
+        shape=st.tuples(st.integers(2, max_t), st.integers(1, max_n)),
+        elements=st.booleans(),
+    )
+
+
+class TestAnalysisProperties:
+    @given(trains=_spike_train_strategy())
+    @SETTINGS
+    def test_isi_count_matches_spikes(self, trains):
+        """Every neuron with k ≥ 1 spikes contributes exactly k−1 ISIs."""
+        spikes_per_neuron = trains.sum(axis=0)
+        expected = int(np.sum(np.maximum(spikes_per_neuron - 1, 0)))
+        assert inter_spike_intervals(trains).size == expected
+
+    @given(trains=_spike_train_strategy())
+    @SETTINGS
+    def test_isi_histogram_total(self, trains):
+        _, counts = isi_histogram(trains, max_isi=80)
+        assert counts.sum() == inter_spike_intervals(trains).size
+
+    @given(trains=_spike_train_strategy())
+    @SETTINGS
+    def test_burst_lengths_sum_to_spike_count(self, trains):
+        """The lengths of all runs sum to the total number of spikes."""
+        assert int(burst_lengths(trains).sum()) == int(trains.sum())
+
+    @given(trains=_spike_train_strategy())
+    @SETTINGS
+    def test_burst_fraction_in_unit_interval(self, trains):
+        stats = burst_statistics(trains)
+        assert 0.0 <= stats.burst_fraction <= 1.0
+        assert stats.burst_spikes <= stats.total_spikes
+        assert sum(stats.composition.values()) == pytest.approx(stats.burst_fraction, abs=1e-9)
+
+    @given(isis=st.lists(st.integers(1, 50), min_size=1, max_size=30))
+    @SETTINGS
+    def test_firing_rate_and_regularity_ranges(self, isis):
+        isis = np.asarray(isis, dtype=float)
+        rate = firing_rate(isis)
+        assert 0.0 < rate <= 1.0
+        assert firing_regularity(isis) >= 0.0
+
+
+# ---------------------------------------------------------------------------
+# energy model
+# ---------------------------------------------------------------------------
+class TestEnergyProperties:
+    @given(
+        spikes=st.floats(1e2, 1e8),
+        density=st.floats(1e-4, 10.0),
+        latency=st.floats(1.0, 5000.0),
+        scale=st.floats(0.1, 10.0),
+    )
+    @SETTINGS
+    def test_scaling_every_statistic_scales_energy(self, spikes, density, latency, scale):
+        baseline = EnergyWorkload(spikes, density, latency, label="base")
+        scaled = EnergyWorkload(spikes * scale, density * scale, latency * scale, label="scaled")
+        for architecture in (TRUENORTH, SPINNAKER):
+            assert estimate_energy(baseline, baseline, architecture).total == pytest.approx(1.0)
+            assert estimate_energy(scaled, baseline, architecture).total == pytest.approx(scale)
+
+    @given(
+        spikes=st.floats(1e2, 1e6),
+        density=st.floats(1e-4, 1.0),
+        latency=st.floats(1.0, 2000.0),
+    )
+    @SETTINGS
+    def test_energy_non_negative(self, spikes, density, latency):
+        baseline = EnergyWorkload(1e4, 0.02, 100.0, label="base")
+        workload = EnergyWorkload(spikes, density, latency, label="w")
+        for architecture in (TRUENORTH, SPINNAKER):
+            estimate = estimate_energy(workload, baseline, architecture)
+            assert estimate.total >= 0.0
+            assert estimate.computation >= 0 and estimate.routing >= 0 and estimate.static >= 0

@@ -1,0 +1,247 @@
+"""DNN ↔ SNN equivalence across architectures, codings and converter options.
+
+The fundamental soundness property of the whole reproduction is that a
+converted SNN, given enough time steps, classifies like its source DNN.
+These tests check that property over a grid of architectures (MLP, CNN with
+average and max pooling, with and without biases) and coding schemes, and
+check the converse too: configurations the paper identifies as pathological
+(rate-phase) degrade.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ann.layers import Conv2D, Dense, Flatten, MaxPool2D, ReLU
+from repro.ann.model import Sequential
+from repro.ann.optimizers import Adam
+from repro.conversion.converter import ConversionConfig, convert_to_snn
+from repro.core.hybrid import HybridCodingScheme
+from repro.data.synthetic import SyntheticImageConfig, make_classification_images
+from repro.data.dataset import train_test_split
+from repro.models.cnn import build_cnn
+from repro.models.mlp import build_mlp
+from repro.snn.network import SimulationConfig
+from repro.utils.rng import as_rng
+
+
+@pytest.fixture(scope="module")
+def task():
+    """A small 3-class image task with enough structure to need real weights."""
+    config = SyntheticImageConfig(
+        num_classes=3,
+        image_shape=(1, 10, 10),
+        samples_per_class=24,
+        noise_std=0.06,
+        max_shift=1,
+        occlusion_probability=0.0,
+    )
+    dataset = make_classification_images(config, seed=21, name="equivalence")
+    return train_test_split(dataset, test_fraction=0.25, seed=21)
+
+
+def _train(model, data, epochs=12):
+    model.fit(
+        data.train.x,
+        data.train.y,
+        epochs=epochs,
+        batch_size=12,
+        optimizer=Adam(2e-3),
+        seed=0,
+    )
+    return model
+
+
+def _agreement(snn, model, x, time_steps=80):
+    result = snn.run(x, SimulationConfig(time_steps=time_steps))
+    return float(np.mean(result.predictions() == model.predict(x)))
+
+
+class TestArchitectureGrid:
+    @pytest.mark.parametrize("use_bias", [True, False])
+    def test_mlp_agreement(self, task, use_bias):
+        model = _train(
+            build_mlp(task.input_shape, [24], task.num_classes, use_bias=use_bias, seed=1), task
+        )
+        scheme = HybridCodingScheme.from_notation("real-rate")
+        snn = convert_to_snn(
+            model,
+            encoder=scheme.make_encoder(seed=0),
+            threshold_factory=scheme.make_threshold_factory(),
+            calibration_x=task.train.x[:24],
+        )
+        assert _agreement(snn, model, task.test.x[:12]) >= 0.8
+
+    @pytest.mark.parametrize("pool", ["avg", "max"])
+    def test_cnn_agreement_with_pooling(self, task, pool):
+        model = _train(
+            build_cnn(
+                task.input_shape,
+                task.num_classes,
+                conv_channels=(6,),
+                kernel_size=3,
+                dense_size=24,
+                pool=pool,
+                seed=2,
+            ),
+            task,
+        )
+        scheme = HybridCodingScheme.from_notation("real-burst", v_th=0.125)
+        snn = convert_to_snn(
+            model,
+            encoder=scheme.make_encoder(seed=0),
+            threshold_factory=scheme.make_threshold_factory(),
+            calibration_x=task.train.x[:24],
+        )
+        assert _agreement(snn, model, task.test.x[:12]) >= 0.75
+
+    def test_max_pool_average_replacement_still_agrees(self, task):
+        """Replacing max pooling by average pooling at conversion (the Cao et
+        al. policy) still yields a usable SNN, though agreement may be a bit
+        lower than with spiking max pooling."""
+        model = Sequential(
+            [
+                Conv2D(1, 6, kernel_size=3, padding=1, seed=3),
+                ReLU(),
+                MaxPool2D(2),
+                Flatten(),
+                Dense(6 * 5 * 5, task.num_classes, seed=4),
+            ],
+            input_shape=task.input_shape,
+        )
+        _train(model, task)
+        scheme = HybridCodingScheme.from_notation("real-rate")
+        snn = convert_to_snn(
+            model,
+            encoder=scheme.make_encoder(seed=0),
+            threshold_factory=scheme.make_threshold_factory(),
+            config=ConversionConfig(max_pool_policy="average"),
+            calibration_x=task.train.x[:24],
+        )
+        assert _agreement(snn, model, task.test.x[:12]) >= 0.6
+
+
+class TestCodingGrid:
+    @pytest.fixture(scope="class")
+    def trained(self, task):
+        return _train(build_mlp(task.input_shape, [32], task.num_classes, seed=5), task)
+
+    @pytest.mark.parametrize(
+        "notation", ["real-rate", "real-burst", "phase-burst", "phase-phase", "rate-burst"]
+    )
+    def test_working_schemes_agree_with_dnn(self, task, trained, notation):
+        scheme = HybridCodingScheme.from_notation(notation)
+        snn = convert_to_snn(
+            trained,
+            encoder=scheme.make_encoder(seed=0),
+            threshold_factory=scheme.make_threshold_factory(),
+            calibration_x=task.train.x[:24],
+        )
+        assert _agreement(snn, trained, task.test.x[:12], time_steps=100) >= 0.75
+
+    def test_longer_horizon_does_not_degrade_agreement(self, task, trained):
+        scheme = HybridCodingScheme.from_notation("phase-burst")
+        snn = convert_to_snn(
+            trained,
+            encoder=scheme.make_encoder(seed=0),
+            threshold_factory=scheme.make_threshold_factory(),
+            calibration_x=task.train.x[:24],
+        )
+        x = task.test.x[:12]
+        short = _agreement(snn, trained, x, time_steps=30)
+        snn_long = convert_to_snn(
+            trained,
+            encoder=scheme.make_encoder(seed=0),
+            threshold_factory=scheme.make_threshold_factory(),
+            calibration_x=task.train.x[:24],
+        )
+        long = _agreement(snn_long, trained, x, time_steps=150)
+        assert long >= short - 0.1
+
+    def test_spike_budget_ordering_phase_vs_burst(self, task, trained):
+        """Phase hidden coding spends more spikes than burst hidden coding on
+        the same inputs and horizon (Table 1's ordering, at unit-test scale)."""
+        totals = {}
+        for notation in ("phase-phase", "phase-burst"):
+            scheme = HybridCodingScheme.from_notation(notation)
+            snn = convert_to_snn(
+                trained,
+                encoder=scheme.make_encoder(seed=0),
+                threshold_factory=scheme.make_threshold_factory(),
+                calibration_x=task.train.x[:24],
+            )
+            result = snn.run(task.test.x[:8], SimulationConfig(time_steps=80))
+            totals[notation] = result.total_spikes(include_input=False)
+        assert totals["phase-phase"] > totals["phase-burst"]
+
+
+class TestDeterminism:
+    def test_identical_runs_are_bitwise_identical(self, task):
+        model = _train(build_mlp(task.input_shape, [16], task.num_classes, seed=7), task, epochs=6)
+        scheme = HybridCodingScheme.from_notation("rate-burst")
+        outputs = []
+        for _ in range(2):
+            snn = convert_to_snn(
+                model,
+                encoder=scheme.make_encoder(seed=11),
+                threshold_factory=scheme.make_threshold_factory(),
+                calibration_x=task.train.x[:20],
+            )
+            result = snn.run(task.test.x[:6], SimulationConfig(time_steps=40, seed=11))
+            outputs.append(result.final_outputs)
+        assert np.array_equal(outputs[0], outputs[1])
+
+    def test_different_poisson_seeds_differ(self, task):
+        model = _train(build_mlp(task.input_shape, [16], task.num_classes, seed=7), task, epochs=6)
+        scheme = HybridCodingScheme.from_notation("rate-burst")
+        outputs = []
+        for seed in (1, 2):
+            snn = convert_to_snn(
+                model,
+                encoder=scheme.make_encoder(seed=seed),
+                threshold_factory=scheme.make_threshold_factory(),
+                calibration_x=task.train.x[:20],
+            )
+            result = snn.run(task.test.x[:6], SimulationConfig(time_steps=40, seed=seed))
+            outputs.append(result.final_outputs)
+        assert not np.array_equal(outputs[0], outputs[1])
+
+
+class TestEdgeCases:
+    def test_single_image_batch(self, task):
+        model = _train(build_mlp(task.input_shape, [16], task.num_classes, seed=9), task, epochs=4)
+        scheme = HybridCodingScheme.from_notation("phase-burst")
+        snn = convert_to_snn(
+            model,
+            encoder=scheme.make_encoder(seed=0),
+            threshold_factory=scheme.make_threshold_factory(),
+            calibration_x=task.train.x[:10],
+        )
+        result = snn.run(task.test.x[:1], SimulationConfig(time_steps=20))
+        assert result.final_outputs.shape == (1, task.num_classes)
+
+    def test_all_black_and_all_white_images(self, task):
+        model = _train(build_mlp(task.input_shape, [16], task.num_classes, seed=9), task, epochs=4)
+        scheme = HybridCodingScheme.from_notation("phase-burst")
+        snn = convert_to_snn(
+            model,
+            encoder=scheme.make_encoder(seed=0),
+            threshold_factory=scheme.make_threshold_factory(),
+            calibration_x=task.train.x[:10],
+        )
+        extremes = np.stack(
+            [np.zeros(task.input_shape), np.ones(task.input_shape)], axis=0
+        )
+        result = snn.run(extremes, SimulationConfig(time_steps=25))
+        assert np.all(np.isfinite(result.final_outputs))
+
+    def test_single_time_step(self, task):
+        model = _train(build_mlp(task.input_shape, [16], task.num_classes, seed=9), task, epochs=4)
+        scheme = HybridCodingScheme.from_notation("real-rate")
+        snn = convert_to_snn(
+            model,
+            encoder=scheme.make_encoder(seed=0),
+            threshold_factory=scheme.make_threshold_factory(),
+            calibration_x=task.train.x[:10],
+        )
+        result = snn.run(task.test.x[:4], SimulationConfig(time_steps=1))
+        assert result.output_history.shape == (1, 4, task.num_classes)

@@ -1,0 +1,236 @@
+"""Tests for the spiking layers (dense, conv, pooling, flatten, output)."""
+
+import numpy as np
+import pytest
+
+from repro.snn.layers import (
+    OutputAccumulator,
+    SpikingAvgPool2D,
+    SpikingConv2D,
+    SpikingDense,
+    SpikingFlatten,
+    SpikingMaxPool2D,
+)
+from repro.snn.thresholds import BurstThreshold, ConstantThreshold
+
+
+class TestSpikingDense:
+    def _layer(self, v_th=1.0, bias=None, **kwargs):
+        weight = np.array([[1.0, 0.0], [0.0, 1.0], [0.5, 0.5]])
+        return SpikingDense(weight, bias, ConstantThreshold(v_th), **kwargs)
+
+    def test_requires_reset(self):
+        layer = self._layer()
+        with pytest.raises(RuntimeError):
+            layer.step(np.zeros((1, 3)), 0)
+
+    def test_shapes_and_counts(self):
+        layer = self._layer()
+        layer.reset(batch_size=2)
+        out = layer.step(np.zeros((2, 3)), 0)
+        assert out.shape == (2, 2)
+        assert layer.num_neurons == 2
+        assert layer.output_shape((3,)) == (2,)
+
+    def test_spikes_when_input_exceeds_threshold(self):
+        layer = self._layer(v_th=0.5)
+        layer.reset(batch_size=1)
+        out = layer.step(np.array([[1.0, 0.0, 0.0]]), 0)
+        assert out[0, 0] == 0.5
+        assert out[0, 1] == 0.0
+        assert layer.spike_count() == 1
+
+    def test_membrane_integrates_subthreshold_input(self):
+        layer = self._layer(v_th=1.0)
+        layer.reset(batch_size=1)
+        layer.step(np.array([[0.4, 0.0, 0.0]]), 0)
+        layer.step(np.array([[0.4, 0.0, 0.0]]), 1)
+        out = layer.step(np.array([[0.4, 0.0, 0.0]]), 2)
+        assert out[0, 0] == 1.0  # 1.2 accumulated -> spike
+
+    def test_bias_injected_each_step_scaled(self):
+        layer = self._layer(v_th=10.0, bias=np.array([1.0, 0.0]), bias_scale=0.5)
+        layer.reset(batch_size=1)
+        for t in range(4):
+            layer.step(np.zeros((1, 3)), t)
+        assert layer.membrane()[0, 0] == pytest.approx(2.0)
+
+    def test_conservation_over_time(self):
+        """All injected charge is eventually transmitted (reset-by-subtraction)."""
+        rng = np.random.default_rng(0)
+        weight = rng.uniform(0.1, 0.5, size=(4, 3))
+        layer = SpikingDense(weight, None, ConstantThreshold(0.5))
+        layer.reset(batch_size=1)
+        injected = np.zeros(3)
+        transmitted = np.zeros(3)
+        for t in range(300):
+            incoming = rng.uniform(0, 0.3, size=(1, 4))
+            injected += incoming[0] @ weight
+            out = layer.step(incoming, t)
+            transmitted += out[0]
+        residual = layer.membrane()[0]
+        assert np.allclose(injected, transmitted + residual, atol=1e-9)
+
+    def test_burst_threshold_integration(self):
+        weight = np.eye(1)
+        layer = SpikingDense(weight, None, BurstThreshold(v_th=0.25, beta=2.0))
+        layer.reset(batch_size=1)
+        # big one-shot input drains as a burst with growing amplitudes
+        out0 = layer.step(np.array([[1.0]]), 0)
+        out1 = layer.step(np.array([[0.0]]), 1)
+        assert out0[0, 0] == 0.25
+        assert out1[0, 0] == 0.5
+
+    def test_invalid_weight_shapes(self):
+        with pytest.raises(ValueError):
+            SpikingDense(np.zeros((2, 2, 2)), None, ConstantThreshold())
+        with pytest.raises(ValueError):
+            SpikingDense(np.zeros((3, 2)), np.zeros(3), ConstantThreshold())
+
+    def test_wrong_incoming_width(self):
+        layer = self._layer()
+        layer.reset(batch_size=1)
+        with pytest.raises(ValueError):
+            layer.step(np.zeros((1, 5)), 0)
+
+
+class TestSpikingConv2D:
+    def _layer(self, v_th=1.0):
+        weight = np.ones((1, 1, 2, 2)) * 0.25
+        return SpikingConv2D(
+            weight, None, ConstantThreshold(v_th), stride=2, padding=0, input_shape=(1, 4, 4)
+        )
+
+    def test_output_shape_and_neurons(self):
+        layer = self._layer()
+        assert layer.output_shape((1, 4, 4)) == (1, 2, 2)
+        assert layer.num_neurons == 4
+
+    def test_forward_matches_convolution(self):
+        layer = self._layer(v_th=0.01)
+        layer.reset(batch_size=1)
+        x = np.full((1, 1, 4, 4), 1.0)
+        out = layer.step(x, 0)
+        # every 2x2 window sums to 4*0.25 = 1.0 >= threshold -> all spike
+        assert np.all(out > 0)
+        assert layer.spike_count() == 4
+
+    def test_requires_input_shape(self):
+        with pytest.raises(ValueError):
+            SpikingConv2D(np.ones((1, 1, 2, 2)), None, ConstantThreshold(), input_shape=None)
+
+    def test_channel_mismatch(self):
+        with pytest.raises(ValueError):
+            SpikingConv2D(
+                np.ones((1, 2, 2, 2)), None, ConstantThreshold(), input_shape=(1, 4, 4)
+            )
+
+    def test_bad_incoming_shape(self):
+        layer = self._layer()
+        layer.reset(batch_size=1)
+        with pytest.raises(ValueError):
+            layer.step(np.zeros((1, 2, 4, 4)), 0)
+
+    def test_equivalence_with_spiking_dense(self):
+        """A 1x1 conv over a 1x1 image behaves exactly like a dense layer."""
+        weight = np.array([[[[0.7]]], [[[0.2]]]])  # (2,1,1,1)
+        conv = SpikingConv2D(weight, None, ConstantThreshold(0.5), input_shape=(1, 1, 1))
+        dense = SpikingDense(np.array([[0.7, 0.2]]), None, ConstantThreshold(0.5))
+        conv.reset(1)
+        dense.reset(1)
+        for t in range(10):
+            x = np.array([[[[0.3]]]])
+            out_conv = conv.step(x, t).reshape(1, -1)
+            out_dense = dense.step(x.reshape(1, 1), t)
+            assert np.allclose(out_conv, out_dense)
+
+
+class TestSpikingPooling:
+    def test_avg_pool_averages_amplitudes(self):
+        layer = SpikingAvgPool2D(2)
+        layer.reset(1)
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out = layer.step(x, 0)
+        assert np.allclose(out[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_avg_pool_has_no_neurons(self):
+        assert SpikingAvgPool2D(2).num_neurons == 0
+        assert not SpikingAvgPool2D(2).is_spiking
+
+    def test_max_pool_gates_on_cumulative_evidence(self):
+        layer = SpikingMaxPool2D(2)
+        layer.reset(1)
+        # neuron (0,0) fires strongly at first, then (1,1) dominates cumulatively
+        first = np.zeros((1, 1, 2, 2))
+        first[0, 0, 0, 0] = 1.0
+        out = layer.step(first, 0)
+        assert out[0, 0, 0, 0] == 1.0
+        second = np.zeros((1, 1, 2, 2))
+        second[0, 0, 1, 1] = 3.0
+        out = layer.step(second, 1)
+        # cumulative winner is now (1,1) with 3 > 1, so its amplitude is forwarded
+        assert out[0, 0, 0, 0] == 3.0
+
+    def test_max_pool_shape_change_detection(self):
+        layer = SpikingMaxPool2D(2)
+        layer.reset(1)
+        layer.step(np.zeros((1, 1, 4, 4)), 0)
+        with pytest.raises(ValueError):
+            layer.step(np.zeros((1, 2, 4, 4)), 1)
+
+    def test_pool_output_shapes(self):
+        assert SpikingAvgPool2D(2).output_shape((3, 8, 8)) == (3, 4, 4)
+        assert SpikingMaxPool2D(2).output_shape((3, 8, 8)) == (3, 4, 4)
+
+    def test_invalid_pool_size(self):
+        with pytest.raises(ValueError):
+            SpikingAvgPool2D(0)
+        with pytest.raises(ValueError):
+            SpikingMaxPool2D(0)
+
+
+class TestSpikingFlatten:
+    def test_reshape(self):
+        layer = SpikingFlatten()
+        layer.reset(2)
+        out = layer.step(np.zeros((2, 3, 4, 4)), 0)
+        assert out.shape == (2, 48)
+        assert layer.output_shape((3, 4, 4)) == (48,)
+
+
+class TestOutputAccumulator:
+    def test_accumulates_logits(self):
+        weight = np.array([[1.0, -1.0]])
+        layer = OutputAccumulator(weight, np.array([0.1, 0.0]))
+        layer.reset(1)
+        layer.step(np.array([[1.0]]), 0)
+        layer.step(np.array([[1.0]]), 1)
+        assert np.allclose(layer.logits, [[2.2, -2.0]])
+
+    def test_num_classes(self):
+        assert OutputAccumulator(np.zeros((4, 10)), None).num_classes == 10
+
+    def test_is_not_spiking(self):
+        layer = OutputAccumulator(np.zeros((4, 2)), None)
+        assert not layer.is_spiking
+        assert layer.num_neurons == 0
+
+    def test_requires_reset(self):
+        layer = OutputAccumulator(np.zeros((2, 2)), None)
+        with pytest.raises(RuntimeError):
+            layer.step(np.zeros((1, 2)), 0)
+        with pytest.raises(RuntimeError):
+            _ = layer.logits
+
+    def test_bias_scale(self):
+        layer = OutputAccumulator(np.zeros((1, 2)), np.array([1.0, 1.0]), bias_scale=0.25)
+        layer.reset(1)
+        for t in range(4):
+            layer.step(np.zeros((1, 1)), t)
+        assert np.allclose(layer.logits, 1.0)
+
+    def test_incoming_shape_mismatch(self):
+        layer = OutputAccumulator(np.zeros((3, 2)), None)
+        layer.reset(1)
+        with pytest.raises(ValueError):
+            layer.step(np.zeros((1, 4)), 0)

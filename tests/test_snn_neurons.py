@@ -1,0 +1,133 @@
+"""Tests for the IF neuron population (Eqs. 1–4)."""
+
+import numpy as np
+import pytest
+
+from repro.snn.neurons import IFNeuronState, ResetMode, expected_rate_spike_count
+
+
+class TestResetMode:
+    def test_from_string(self):
+        assert ResetMode.from_value("subtract") is ResetMode.SUBTRACT
+        assert ResetMode.from_value("zero") is ResetMode.ZERO
+
+    def test_from_enum_passthrough(self):
+        assert ResetMode.from_value(ResetMode.ZERO) is ResetMode.ZERO
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            ResetMode.from_value("bounce")
+
+
+class TestIFNeuronState:
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError):
+            IFNeuronState((0, 3))
+
+    def test_no_spike_below_threshold(self):
+        state = IFNeuronState((1, 2))
+        spikes, amplitudes = state.step(np.array([[0.4, 0.2]]), np.asarray(1.0))
+        assert not spikes.any()
+        assert np.allclose(amplitudes, 0.0)
+        assert np.allclose(state.v_mem, [[0.4, 0.2]])
+
+    def test_spike_at_threshold(self):
+        state = IFNeuronState((1, 1))
+        spikes, amplitudes = state.step(np.array([[1.0]]), np.asarray(1.0))
+        assert spikes.all()
+        assert amplitudes[0, 0] == 1.0
+
+    def test_reset_by_subtraction_keeps_residual(self):
+        state = IFNeuronState((1, 1), reset_mode="subtract")
+        state.step(np.array([[1.7]]), np.asarray(1.0))
+        assert state.v_mem[0, 0] == pytest.approx(0.7)
+
+    def test_reset_to_zero_discards_residual(self):
+        state = IFNeuronState((1, 1), reset_mode="zero")
+        state.step(np.array([[1.7]]), np.asarray(1.0))
+        assert state.v_mem[0, 0] == 0.0
+
+    def test_amplitude_equals_threshold(self):
+        state = IFNeuronState((1, 1))
+        _, amplitudes = state.step(np.array([[5.0]]), np.asarray(0.25))
+        assert amplitudes[0, 0] == 0.25
+
+    def test_per_neuron_thresholds(self):
+        state = IFNeuronState((1, 2))
+        spikes, amplitudes = state.step(
+            np.array([[0.3, 0.3]]), np.array([[0.25, 0.5]])
+        )
+        assert spikes[0, 0] and not spikes[0, 1]
+        assert amplitudes[0, 0] == 0.25
+
+    def test_negative_input_allowed_by_default(self):
+        state = IFNeuronState((1, 1))
+        state.step(np.array([[-0.5]]), np.asarray(1.0))
+        assert state.v_mem[0, 0] == -0.5
+
+    def test_negative_membrane_clamped_when_disallowed(self):
+        state = IFNeuronState((1, 1), allow_negative_membrane=False)
+        state.step(np.array([[-0.5]]), np.asarray(1.0))
+        assert state.v_mem[0, 0] == 0.0
+
+    def test_non_positive_threshold_rejected(self):
+        state = IFNeuronState((1, 1))
+        with pytest.raises(ValueError):
+            state.step(np.array([[0.1]]), np.asarray(0.0))
+
+    def test_total_spike_counter(self):
+        state = IFNeuronState((2, 3))
+        state.step(np.full((2, 3), 1.5), np.asarray(1.0))
+        state.step(np.full((2, 3), 1.5), np.asarray(1.0))
+        assert state.total_spikes == 12
+
+    def test_reset_clears_state(self):
+        state = IFNeuronState((1, 1))
+        state.step(np.array([[2.0]]), np.asarray(1.0))
+        state.reset()
+        assert state.total_spikes == 0
+        assert state.v_mem[0, 0] == 0.0
+
+    def test_num_neurons(self):
+        assert IFNeuronState((4, 3, 2, 2)).num_neurons == 12
+
+    def test_conservation_reset_by_subtraction(self):
+        """Injected charge = transmitted charge + residual membrane."""
+        rng = np.random.default_rng(0)
+        state = IFNeuronState((1, 5), reset_mode="subtract")
+        injected = np.zeros(5)
+        transmitted = np.zeros(5)
+        for _ in range(100):
+            z = rng.uniform(0, 0.4, size=(1, 5))
+            injected += z[0]
+            _, amplitudes = state.step(z, np.asarray(0.3))
+            transmitted += amplitudes[0]
+        assert np.allclose(injected, transmitted + state.v_mem[0], atol=1e-9)
+
+    def test_rate_coding_spike_count_formula(self):
+        """Constant drive under constant threshold matches the analytic count
+        (up to one spike of floating-point accumulation slack)."""
+        for value, threshold, steps in [(0.3, 1.0, 100), (0.05, 0.5, 200), (1.5, 1.0, 50)]:
+            state = IFNeuronState((1, 1))
+            count = 0
+            for _ in range(steps):
+                spikes, _ = state.step(np.array([[value]]), np.asarray(threshold))
+                count += int(spikes.sum())
+            assert abs(count - expected_rate_spike_count(value, threshold, steps)) <= 1
+
+
+class TestExpectedRateSpikeCount:
+    def test_zero_value(self):
+        assert expected_rate_spike_count(0.0, 1.0, 100) == 0
+
+    def test_capped_at_time_steps(self):
+        assert expected_rate_spike_count(5.0, 1.0, 10) == 10
+
+    def test_simple_case(self):
+        assert expected_rate_spike_count(0.25, 1.0, 100) == 25
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            expected_rate_spike_count(0.1, 0.0, 10)
+        with pytest.raises(ValueError):
+            expected_rate_spike_count(0.1, 1.0, -1)

@@ -1,0 +1,166 @@
+"""Tests for the threshold dynamics (rate / phase / burst coding, Eqs. 6–10)."""
+
+import numpy as np
+import pytest
+
+from repro.snn.thresholds import (
+    BurstThreshold,
+    ConstantThreshold,
+    PhaseThreshold,
+    make_threshold,
+)
+
+
+class TestConstantThreshold:
+    def test_value(self):
+        th = ConstantThreshold(0.5)
+        th.reset((1, 3))
+        assert float(th.thresholds(0)) == 0.5
+        assert float(th.thresholds(100)) == 0.5
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            ConstantThreshold(0.0)
+
+    def test_describe(self):
+        assert "0.5" in ConstantThreshold(0.5).describe()
+
+
+class TestPhaseThreshold:
+    def test_oscillation_values(self):
+        """Π(t) = 2^-(1+mod(t,k)) exactly as Eq. 6."""
+        th = PhaseThreshold(v_th=1.0, period=8)
+        assert th.oscillation(0) == 0.5
+        assert th.oscillation(1) == 0.25
+        assert th.oscillation(7) == pytest.approx(2.0**-8)
+        assert th.oscillation(8) == 0.5  # periodic
+
+    def test_threshold_scales_with_v_th(self):
+        th = PhaseThreshold(v_th=2.0, period=4)
+        assert float(th.thresholds(0)) == 1.0
+
+    def test_period_sum_close_to_v_th(self):
+        th = PhaseThreshold(v_th=1.0, period=8)
+        total = sum(th.oscillation(t) for t in range(8))
+        assert total == pytest.approx(1.0 - 2.0**-8)
+
+    def test_phase_offset(self):
+        th = PhaseThreshold(v_th=1.0, period=8, phase_offset=1)
+        assert th.oscillation(0) == 0.25
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            PhaseThreshold(period=0)
+        with pytest.raises(ValueError):
+            PhaseThreshold(phase_offset=-1)
+
+
+class TestBurstThreshold:
+    def test_initial_threshold(self):
+        th = BurstThreshold(v_th=0.125, beta=2.0)
+        th.reset((1, 2))
+        assert np.allclose(th.thresholds(0), 0.125)
+
+    def test_requires_reset(self):
+        th = BurstThreshold()
+        with pytest.raises(RuntimeError):
+            th.thresholds(0)
+        with pytest.raises(RuntimeError):
+            th.update(np.array([[True]]))
+
+    def test_growth_on_consecutive_spikes(self):
+        """g doubles after every spike (Eq. 8 with β = 2)."""
+        th = BurstThreshold(v_th=0.125, beta=2.0)
+        th.reset((1, 1))
+        spikes = np.array([[True]])
+        th.update(spikes)
+        assert np.allclose(th.thresholds(1), 0.25)
+        th.update(spikes)
+        assert np.allclose(th.thresholds(2), 0.5)
+
+    def test_reset_to_one_after_silence(self):
+        th = BurstThreshold(v_th=0.125, beta=2.0)
+        th.reset((1, 1))
+        th.update(np.array([[True]]))
+        th.update(np.array([[False]]))
+        assert np.allclose(th.thresholds(2), 0.125)
+
+    def test_per_neuron_independence(self):
+        th = BurstThreshold(v_th=0.1, beta=2.0)
+        th.reset((1, 2))
+        th.update(np.array([[True, False]]))
+        thresholds = th.thresholds(1)
+        assert thresholds[0, 0] == pytest.approx(0.2)
+        assert thresholds[0, 1] == pytest.approx(0.1)
+
+    def test_effective_weight_interpretation(self):
+        """ŵ = w·g (Eq. 10): the burst function is exposed for analysis."""
+        th = BurstThreshold(v_th=0.125, beta=2.0)
+        th.reset((1, 1))
+        th.update(np.array([[True]]))
+        assert th.burst_function[0, 0] == pytest.approx(2.0)
+
+    def test_max_burst_length_caps_growth(self):
+        th = BurstThreshold(v_th=0.1, beta=2.0, max_burst_length=2)
+        th.reset((1, 1))
+        spikes = np.array([[True]])
+        th.update(spikes)  # consecutive = 1, grown
+        th.update(spikes)  # consecutive = 2 -> capped
+        th.update(spikes)
+        assert th.thresholds(3)[0, 0] == pytest.approx(0.2)
+
+    def test_invalid_beta(self):
+        with pytest.raises(ValueError):
+            BurstThreshold(beta=1.0)
+
+    def test_invalid_cap(self):
+        with pytest.raises(ValueError):
+            BurstThreshold(max_burst_length=0)
+
+    def test_burst_transmits_large_value_logarithmically(self):
+        """A backlog V is drained in O(log V / v_th) burst spikes — the core
+        mechanism making burst coding fast."""
+        from repro.snn.neurons import IFNeuronState
+
+        v_th = 0.125
+        backlog = 0.9
+        state = IFNeuronState((1, 1))
+        th = BurstThreshold(v_th=v_th, beta=2.0)
+        th.reset((1, 1))
+        # inject the whole backlog at t=0, then nothing
+        transmitted = 0.0
+        spikes_used = 0
+        for t in range(20):
+            z = np.array([[backlog]]) if t == 0 else np.zeros((1, 1))
+            spikes, amplitudes = state.step(z, th.thresholds(t))
+            th.update(spikes)
+            transmitted += float(amplitudes.sum())
+            spikes_used += int(spikes.sum())
+        constant_spikes = int(np.floor(backlog / v_th))  # what rate coding would need
+        assert spikes_used < constant_spikes
+        assert transmitted == pytest.approx(backlog, abs=v_th)
+
+
+class TestMakeThreshold:
+    def test_rate_default(self):
+        th = make_threshold("rate")
+        assert isinstance(th, ConstantThreshold)
+        assert th.v_th == 1.0
+
+    def test_phase_period_forwarded(self):
+        th = make_threshold("phase", phase_period=4)
+        assert isinstance(th, PhaseThreshold)
+        assert th.period == 4
+
+    def test_burst_defaults(self):
+        th = make_threshold("burst")
+        assert isinstance(th, BurstThreshold)
+        assert th.v_th == 0.125
+        assert th.beta == 2.0
+
+    def test_burst_custom_v_th(self):
+        assert make_threshold("burst", v_th=0.0625).v_th == 0.0625
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_threshold("real")

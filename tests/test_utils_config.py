@@ -1,0 +1,73 @@
+"""Tests for repro.utils.config."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.utils.config import (
+    FrozenConfig,
+    validate_in,
+    validate_positive,
+    validate_probability,
+)
+
+
+@dataclass(frozen=True)
+class _ExampleConfig(FrozenConfig):
+    alpha: float = 1.0
+    steps: int = 10
+
+
+class TestFrozenConfig:
+    def test_to_dict(self):
+        cfg = _ExampleConfig(alpha=2.0)
+        assert cfg.to_dict() == {"alpha": 2.0, "steps": 10}
+
+    def test_replace_returns_new_instance(self):
+        cfg = _ExampleConfig()
+        other = cfg.replace(steps=20)
+        assert other.steps == 20
+        assert cfg.steps == 10
+
+    def test_describe_contains_fields(self):
+        text = _ExampleConfig().describe()
+        assert "alpha" in text and "steps" in text
+
+    def test_replace_on_non_dataclass_raises(self):
+        class Plain(FrozenConfig):
+            pass
+
+        with pytest.raises(TypeError):
+            Plain().replace(x=1)
+
+
+class TestValidators:
+    def test_validate_positive_accepts_positive(self):
+        validate_positive("x", 0.5)
+
+    def test_validate_positive_rejects_zero(self):
+        with pytest.raises(ValueError):
+            validate_positive("x", 0)
+
+    def test_validate_positive_allows_zero_when_asked(self):
+        validate_positive("x", 0, allow_zero=True)
+
+    def test_validate_positive_rejects_negative_even_with_zero_allowed(self):
+        with pytest.raises(ValueError):
+            validate_positive("x", -1, allow_zero=True)
+
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_validate_probability_accepts(self, value):
+        validate_probability("p", value)
+
+    @pytest.mark.parametrize("value", [-0.1, 1.1])
+    def test_validate_probability_rejects(self, value):
+        with pytest.raises(ValueError):
+            validate_probability("p", value)
+
+    def test_validate_in_accepts_member(self):
+        validate_in("mode", "a", ("a", "b"))
+
+    def test_validate_in_rejects_non_member(self):
+        with pytest.raises(ValueError):
+            validate_in("mode", "c", ("a", "b"))

@@ -1,0 +1,76 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import RngMixin, as_rng, spawn_rngs
+
+
+class TestAsRng:
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = as_rng(42).integers(0, 1000, size=10)
+        b = as_rng(42).integers(0, 1000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_rng(1).integers(0, 10**9, size=10)
+        b = as_rng(2).integers(0, 10**9, size=10)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_rng(gen) is gen
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_children_are_independent(self):
+        children = spawn_rngs(0, 2)
+        a = children[0].integers(0, 10**9, size=20)
+        b = children[1].integers(0, 10**9, size=20)
+        assert not np.array_equal(a, b)
+
+    def test_deterministic_given_seed(self):
+        a = [g.integers(0, 10**6) for g in spawn_rngs(99, 3)]
+        b = [g.integers(0, 10**6) for g in spawn_rngs(99, 3)]
+        assert a == b
+
+    def test_spawn_from_generator(self):
+        children = spawn_rngs(np.random.default_rng(5), 3)
+        assert len(children) == 3
+        assert all(isinstance(c, np.random.Generator) for c in children)
+
+
+class TestRngMixin:
+    class Dummy(RngMixin):
+        def __init__(self, seed=None):
+            self._init_rng(seed)
+
+    def test_rng_property(self):
+        obj = self.Dummy(seed=1)
+        assert isinstance(obj.rng, np.random.Generator)
+
+    def test_lazy_rng_without_init(self):
+        class Lazy(RngMixin):
+            pass
+
+        assert isinstance(Lazy().rng, np.random.Generator)
+
+    def test_reseed_reproduces_stream(self):
+        obj = self.Dummy(seed=7)
+        first = obj.rng.integers(0, 1000, size=5)
+        obj.reseed(7)
+        second = obj.rng.integers(0, 1000, size=5)
+        assert np.array_equal(first, second)

@@ -1,0 +1,90 @@
+"""Tests for saving / loading model weights (repro.utils.serialization)."""
+
+import numpy as np
+import pytest
+
+from repro.models.mlp import build_mlp
+from repro.models.cnn import build_small_cnn
+from repro.utils.serialization import (
+    arrays_to_weights,
+    load_model_weights,
+    save_model_weights,
+    weights_to_arrays,
+)
+
+
+class TestWeightFlattening:
+    def test_roundtrip(self):
+        weights = [{"weight": np.arange(6).reshape(2, 3), "bias": np.zeros(3)}, {}, {"weight": np.ones((3, 1))}]
+        arrays = weights_to_arrays(weights)
+        rebuilt = arrays_to_weights(arrays, num_layers=3)
+        assert np.array_equal(rebuilt[0]["weight"], weights[0]["weight"])
+        assert np.array_equal(rebuilt[0]["bias"], weights[0]["bias"])
+        assert rebuilt[1] == {}
+        assert np.array_equal(rebuilt[2]["weight"], weights[2]["weight"])
+
+    def test_bad_layer_index(self):
+        with pytest.raises(ValueError):
+            arrays_to_weights({"5::weight": np.zeros(2)}, num_layers=2)
+
+    def test_malformed_key(self):
+        with pytest.raises(ValueError):
+            arrays_to_weights({"nonsense": np.zeros(2)}, num_layers=1)
+
+
+class TestSaveLoadModel:
+    def test_mlp_roundtrip(self, tmp_path):
+        model = build_mlp((1, 8, 8), [16], 4, seed=0)
+        x = np.random.default_rng(0).uniform(size=(5, 1, 8, 8))
+        before = model.predict_scores(x)
+
+        path = save_model_weights(model, tmp_path / "mlp_weights")
+        assert path.exists()
+
+        fresh = build_mlp((1, 8, 8), [16], 4, seed=99)  # different init
+        assert not np.allclose(fresh.predict_scores(x), before)
+        load_model_weights(fresh, path)
+        assert np.allclose(fresh.predict_scores(x), before)
+
+    def test_cnn_roundtrip(self, tmp_path):
+        model = build_small_cnn((3, 10, 10), 3, seed=1)
+        x = np.random.default_rng(1).uniform(size=(3, 3, 10, 10))
+        before = model.predict_scores(x)
+        path = save_model_weights(model, tmp_path / "cnn.npz")
+        fresh = build_small_cnn((3, 10, 10), 3, seed=7)
+        load_model_weights(fresh, path)
+        assert np.allclose(fresh.predict_scores(x), before)
+
+    def test_load_without_npz_suffix(self, tmp_path):
+        model = build_mlp((4,), [4], 2, seed=0)
+        save_model_weights(model, tmp_path / "weights")
+        fresh = build_mlp((4,), [4], 2, seed=3)
+        load_model_weights(fresh, tmp_path / "weights")
+
+    def test_architecture_mismatch_rejected(self, tmp_path):
+        model = build_mlp((4,), [4], 2, seed=0)
+        path = save_model_weights(model, tmp_path / "w.npz")
+        other = build_mlp((4,), [4, 4], 2, seed=0)
+        with pytest.raises(ValueError):
+            load_model_weights(other, path)
+
+    def test_strict_name_check(self, tmp_path):
+        model = build_mlp((4,), [4], 2, seed=0, name="alpha")
+        path = save_model_weights(model, tmp_path / "w.npz")
+        same_arch = build_mlp((4,), [4], 2, seed=1, name="beta")
+        with pytest.raises(ValueError):
+            load_model_weights(same_arch, path, strict_name=True)
+        # non-strict load succeeds
+        load_model_weights(same_arch, path)
+
+    def test_not_an_archive(self, tmp_path):
+        bogus = tmp_path / "bogus.npz"
+        np.savez_compressed(bogus, something=np.zeros(3))
+        model = build_mlp((4,), [4], 2, seed=0)
+        with pytest.raises(ValueError):
+            load_model_weights(model, bogus)
+
+    def test_creates_parent_directories(self, tmp_path):
+        model = build_mlp((4,), [4], 2, seed=0)
+        path = save_model_weights(model, tmp_path / "nested" / "dir" / "w.npz")
+        assert path.exists()

@@ -1,0 +1,96 @@
+"""Tests for repro.utils.tables and repro.utils.logging."""
+
+import logging
+
+import pytest
+
+from repro.utils.logging import RunLogger, get_logger
+from repro.utils.tables import Table, format_float, format_int, format_si
+
+
+class TestFormatters:
+    def test_format_float_basic(self):
+        assert format_float(1.23456, 2) == "1.23"
+
+    def test_format_float_none(self):
+        assert format_float(None) == "-"
+
+    def test_format_float_nan(self):
+        assert format_float(float("nan")) == "nan"
+
+    def test_format_int(self):
+        assert format_int(1234567) == "1,234,567"
+
+    def test_format_int_none(self):
+        assert format_int(None) == "-"
+
+    def test_format_si_millions(self):
+        assert format_si(6_920_000) == "6.92M"
+
+    def test_format_si_thousands(self):
+        assert format_si(1500) == "1.50k"
+
+    def test_format_si_small(self):
+        assert format_si(12.3) == "12.30"
+
+    def test_format_si_billions(self):
+        assert format_si(2.5e9) == "2.50G"
+
+
+class TestTable:
+    def test_requires_columns(self):
+        with pytest.raises(ValueError):
+            Table([])
+
+    def test_render_contains_header_and_rows(self):
+        table = Table(["scheme", "accuracy"], title="Results")
+        table.add_row({"scheme": "phase-burst", "accuracy": 0.9141})
+        text = table.render()
+        assert "Results" in text
+        assert "scheme" in text
+        assert "phase-burst" in text
+        assert "0.9141" in text
+
+    def test_missing_cell_renders_dash(self):
+        table = Table(["a", "b"])
+        table.add_row({"a": 1})
+        assert "-" in table.render().splitlines()[-1]
+
+    def test_add_rows_bulk(self):
+        table = Table(["x"])
+        table.add_rows([{"x": i} for i in range(3)])
+        assert len(table.rows) == 3
+
+    def test_columns_are_aligned(self):
+        table = Table(["name", "value"])
+        table.add_row({"name": "a", "value": 1})
+        table.add_row({"name": "longer-name", "value": 2})
+        lines = table.render().splitlines()
+        # header and the two data rows all have the same width
+        assert len(lines[-1]) == len(lines[-2])
+
+
+class TestLogging:
+    def test_get_logger_returns_logger(self):
+        assert isinstance(get_logger(), logging.Logger)
+
+    def test_get_logger_child(self):
+        child = get_logger("sub")
+        assert child.name.endswith("sub")
+
+    def test_run_logger_records(self):
+        run = RunLogger("test")
+        run.log(accuracy=0.9, scheme="phase-burst")
+        run.log(accuracy=0.8, scheme="rate-rate")
+        assert len(run) == 2
+        assert run.column("accuracy") == [0.9, 0.8]
+
+    def test_run_logger_elapsed_added(self):
+        run = RunLogger("test")
+        record = run.log(value=1)
+        assert "elapsed_s" in record
+
+    def test_run_logger_iterates(self):
+        run = RunLogger("test")
+        run.log(a=1)
+        assert [r["a"] for r in run] == [1]
