@@ -89,8 +89,9 @@ def transmission_trace(
     if not 0.0 <= value:
         raise ValueError(f"value must be non-negative, got {value}")
     threshold = make_threshold(coding, v_th=v_th, beta=beta, phase_period=phase_period)
-    state = IFNeuronState((1, 1), reset_mode=ResetMode.SUBTRACT)
-    threshold.reset((1, 1))
+    # single-neuron analysis is precision-sensitive, not a hot path: pin float64
+    state = IFNeuronState((1, 1), reset_mode=ResetMode.SUBTRACT, dtype=np.float64)
+    threshold.reset((1, 1), dtype=np.float64)
 
     transmitted = np.zeros(time_steps, dtype=np.float64)
     spikes = np.zeros(time_steps, dtype=np.int64)

@@ -11,6 +11,7 @@ for every layer, minibatch training loops, and per-layer activation capture
 (needed by the data-based weight-normalisation step of the conversion).
 """
 
+from repro.ann.im2col import Im2colPlan, col2im, conv_output_size, im2col
 from repro.ann.initializers import he_normal, he_uniform, xavier_uniform, zeros_init
 from repro.ann.activations import relu, relu_grad, softmax, sigmoid
 from repro.ann.layers import (
@@ -30,6 +31,10 @@ from repro.ann.model import Sequential, TrainingHistory
 from repro.ann.metrics import accuracy, top_k_accuracy, confusion_matrix
 
 __all__ = [
+    "Im2colPlan",
+    "col2im",
+    "conv_output_size",
+    "im2col",
     "he_normal",
     "he_uniform",
     "xavier_uniform",

@@ -5,11 +5,22 @@ single matrix multiplication by unfolding every receptive field into a column.
 The same unfolding is reused by the pooling layers and by the spiking
 convolution layer in :mod:`repro.snn.layers`, which keeps the ANN forward pass
 and the SNN per-time-step pass numerically identical for the same weights.
+
+Two entry points are provided:
+
+* :func:`im2col` — the one-shot form used by the ANN forward/backward passes
+  (geometry recomputed and a fresh column matrix allocated per call);
+* :class:`Im2colPlan` — the cached form used by the SNN engine, which unfolds
+  the *same* geometry hundreds of times (once per simulation step).  The plan
+  precomputes the output geometry and the strided-window view once, owns a
+  reusable padded input buffer and column buffer, and each :meth:`fill` is a
+  single strided copy with no allocations.  The column layout is identical to
+  :func:`im2col`'s, so results are bit-for-bit the same.
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -57,6 +68,131 @@ def im2col(
     )
     cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n * out_h * out_w, c * kernel_h * kernel_w)
     return np.ascontiguousarray(cols), out_h, out_w
+
+
+class Im2colPlan:
+    """Cached im2col execution plan for a fixed unfold geometry.
+
+    The SNN engine unfolds the same ``(N, C, H, W)`` geometry at every
+    simulation step.  This plan computes the geometry once, owns
+
+    * a reusable (padded) input buffer,
+    * the strided sliding-window view over that buffer, and
+    * a reusable column buffer laid out exactly like :func:`im2col`'s output,
+
+    so that each :meth:`fill` call is two strided copies (input → padded
+    buffer, window view → column buffer) with zero allocations.  Column
+    values are bit-for-bit identical to ``im2col(x, ...)[0]``.
+
+    Parameters
+    ----------
+    batch_size, channels, height, width:
+        Input geometry (per step), batch dimension included.
+    kernel_h, kernel_w, stride, padding:
+        Unfold geometry, as in :func:`im2col`.
+    dtype:
+        dtype of the buffers (the simulation dtype of the owning layer).
+    """
+
+    def __init__(
+        self,
+        batch_size: int,
+        channels: int,
+        height: int,
+        width: int,
+        kernel_h: int,
+        kernel_w: int,
+        stride: int,
+        padding: int,
+        dtype: "np.dtype | type" = np.float64,
+    ) -> None:
+        if batch_size <= 0 or channels <= 0 or height <= 0 or width <= 0:
+            raise ValueError(
+                f"invalid input geometry ({batch_size}, {channels}, {height}, {width})"
+            )
+        self.input_shape = (batch_size, channels, height, width)
+        self.kernel_h = int(kernel_h)
+        self.kernel_w = int(kernel_w)
+        self.stride = int(stride)
+        self.padding = int(padding)
+        self.dtype = np.dtype(dtype)
+        self.out_h = conv_output_size(height, kernel_h, stride, padding)
+        self.out_w = conv_output_size(width, kernel_w, stride, padding)
+
+        n, c = batch_size, channels
+        padded_h = height + 2 * padding
+        padded_w = width + 2 * padding
+        # Padded input buffer; the zero border is written once and never
+        # touched again (fill() only overwrites the interior).
+        self._padded = np.zeros((n, c, padded_h, padded_w), dtype=self.dtype)
+        if padding > 0:
+            self._interior = self._padded[
+                :, :, padding : padding + height, padding : padding + width
+            ]
+        else:
+            self._interior = self._padded
+
+        stride_n, stride_c, stride_h, stride_w = self._padded.strides
+        windows = np.lib.stride_tricks.as_strided(
+            self._padded,
+            shape=(n, c, self.out_h, self.out_w, self.kernel_h, self.kernel_w),
+            strides=(
+                stride_n,
+                stride_c,
+                stride_h * self.stride,
+                stride_w * self.stride,
+                stride_h,
+                stride_w,
+            ),
+            writeable=False,
+        )
+        # Source view in the column ordering (N, out_h, out_w, C, kh, kw); the
+        # destination buffer is C-contiguous so its 2-D reshape is a free view.
+        self._windows = windows.transpose(0, 2, 3, 1, 4, 5)
+        self._cols6 = np.empty(
+            (n, self.out_h, self.out_w, c, self.kernel_h, self.kernel_w), dtype=self.dtype
+        )
+        self.cols = self._cols6.reshape(
+            n * self.out_h * self.out_w, c * self.kernel_h * self.kernel_w
+        )
+        # Copy strategy: one 6-D strided copy, or one 4-D copy per kernel
+        # position.  The 6-D iterator wins only for very small channel counts;
+        # per-position slabs win everywhere else (and always for pooling,
+        # where stride == kernel).  Values are identical either way.
+        self._use_slabs = c >= 4 or self.kernel_h * self.kernel_w <= 4
+        self._slab_pairs = []
+        for ky in range(self.kernel_h):
+            for kx in range(self.kernel_w):
+                src = self._padded[
+                    :,
+                    :,
+                    ky : ky + self.out_h * self.stride : self.stride,
+                    kx : kx + self.out_w * self.stride : self.stride,
+                ].transpose(0, 2, 3, 1)
+                self._slab_pairs.append((self._cols6[:, :, :, :, ky, kx], src))
+
+    @property
+    def num_rows(self) -> int:
+        n = self.input_shape[0]
+        return n * self.out_h * self.out_w
+
+    def fill(self, x: np.ndarray) -> np.ndarray:
+        """Unfold ``x`` into the plan's column buffer and return it.
+
+        The returned array is the plan's reusable buffer: it is overwritten by
+        the next ``fill`` call.
+        """
+        if x.shape != self.input_shape:
+            raise ValueError(
+                f"im2col plan built for input shape {self.input_shape}, got {x.shape}"
+            )
+        self._interior[...] = x
+        if self._use_slabs:
+            for dst, src in self._slab_pairs:
+                np.copyto(dst, src)
+        else:
+            np.copyto(self._cols6, self._windows)
+        return self.cols
 
 
 def col2im(

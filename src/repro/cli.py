@@ -36,6 +36,13 @@ def build_parser() -> argparse.ArgumentParser:
         "Burst Spikes in Deep Spiking Neural Networks' (DAC 2019)",
     )
     parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    parser.add_argument(
+        "--dtype",
+        choices=["float32", "float64"],
+        default=None,
+        help="simulation precision for every run in this invocation "
+        "(default: the project dtype policy, float32)",
+    )
     subparsers = parser.add_subparsers(dest="command")
 
     experiment = subparsers.add_parser(
@@ -148,6 +155,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.dtype is not None:
+        from repro.utils.dtypes import set_simulation_dtype
+
+        set_simulation_dtype(args.dtype)
     if args.command == "experiment":
         return _command_experiment(args)
     if args.command == "compare":

@@ -9,6 +9,14 @@ non-spiking output accumulator.
 The neural coding of the hidden layers is injected through a
 ``threshold_factory`` callback so the converter stays independent of the
 hybrid-coding logic in :mod:`repro.core`.
+
+Precision: conversion (BatchNorm folding, weight normalisation) always runs
+in float64 on the ANN's float64 weights, and the spiking layers keep those
+float64 masters.  The *simulation* precision is chosen per run — the engine
+casts the masters once per ``reset`` to the dtype resolved from
+``SimulationConfig.dtype`` / the project policy (float32 by default, see
+:mod:`repro.utils.dtypes`) — so one converted network can be simulated at
+either precision without reconversion.
 """
 
 from __future__ import annotations

@@ -54,8 +54,9 @@ def run_single_neuron(
     if not 0.0 <= drive:
         raise ValueError(f"drive must be non-negative, got {drive}")
     threshold = make_threshold(coding, v_th=v_th, beta=beta, phase_period=phase_period)
-    state = IFNeuronState((1, 1), reset_mode=ResetMode.SUBTRACT)
-    threshold.reset((1, 1))
+    # single-neuron traces are precision-sensitive, not a hot path: pin float64
+    state = IFNeuronState((1, 1), reset_mode=ResetMode.SUBTRACT, dtype=np.float64)
+    threshold.reset((1, 1), dtype=np.float64)
 
     spikes = np.zeros(time_steps, dtype=bool)
     amplitudes = np.zeros(time_steps, dtype=np.float64)

@@ -19,6 +19,15 @@ Throughput conventions (important for hybrid coding, see DESIGN.md):
 
 The pipeline uses ``throughput_factor`` to scale per-step bias injection so
 biases stay proportionate to the rate at which evidence arrives.
+
+Performance contract
+--------------------
+``reset(x, dtype=...)`` converts the input batch to the simulation dtype once
+(float32 policy default, float64 opt-in — see :mod:`repro.utils.dtypes`) and
+preallocates the per-step value/spike buffers; ``step`` is then
+allocation-free.  The arrays inside the returned :class:`EncodedStep` are
+reusable buffers, **valid only until the encoder's next step** — copy them if
+they must survive longer.
 """
 
 from __future__ import annotations
@@ -31,6 +40,7 @@ import numpy as np
 from repro.snn.neurons import IFNeuronState, ResetMode
 from repro.snn.thresholds import BurstThreshold
 from repro.utils.config import validate_positive
+from repro.utils.dtypes import DTypeLike, resolve_dtype
 from repro.utils.rng import SeedLike, as_rng
 
 
@@ -69,9 +79,14 @@ class InputEncoder:
     #: average fraction of the analog value transmitted per time step
     throughput_factor = 1.0
 
-    def reset(self, x: np.ndarray) -> None:
-        """Load a new input batch (clipped to ``[0, 1]``)."""
-        x = np.asarray(x, dtype=np.float64)
+    def reset(self, x: np.ndarray, dtype: DTypeLike = None) -> None:
+        """Load a new input batch (clipped to ``[0, 1]``).
+
+        ``dtype`` selects the simulation precision (``None`` resolves through
+        the project dtype policy).
+        """
+        self.dtype = resolve_dtype(dtype)
+        x = np.asarray(x, dtype=self.dtype)
         if np.any(x < -1e-9) or np.any(x > 1.0 + 1e-9):
             raise ValueError(
                 "input encoders expect values in [0, 1]; normalise inputs first "
@@ -97,16 +112,20 @@ class RealEncoder(InputEncoder):
     """Real coding: deliver the analog value itself at every step.
 
     No spikes are emitted — the first layer receives an analog current, as in
-    Rueckauer et al. [12, 13] ("real" input in Table 1).
+    Rueckauer et al. [12, 13] ("real" input in Table 1).  The same value and
+    (empty) spike buffers are returned every step.
     """
 
     coding = "real"
     throughput_factor = 1.0
 
+    def reset(self, x: np.ndarray, dtype: DTypeLike = None) -> None:
+        super().reset(x, dtype)
+        self._no_spikes = np.zeros(self._x.shape, dtype=bool)
+
     def step(self, t: int) -> EncodedStep:
         del t
-        x = self.input
-        return EncodedStep(values=x.copy(), spikes=np.zeros(x.shape, dtype=bool))
+        return EncodedStep(values=self.input, spikes=self._no_spikes)
 
 
 class RateEncoder(InputEncoder):
@@ -126,16 +145,20 @@ class RateEncoder(InputEncoder):
         validate_positive("v_th", v_th)
         self.v_th = float(v_th)
         self._state: Optional[IFNeuronState] = None
+        self._threshold: Optional[np.ndarray] = None
 
-    def reset(self, x: np.ndarray) -> None:
-        super().reset(x)
-        self._state = IFNeuronState(self.input.shape, reset_mode=ResetMode.SUBTRACT)
+    def reset(self, x: np.ndarray, dtype: DTypeLike = None) -> None:
+        super().reset(x, dtype)
+        self._state = IFNeuronState(
+            self.input.shape, reset_mode=ResetMode.SUBTRACT, dtype=self.dtype
+        )
+        self._threshold = np.asarray(self.v_th, dtype=self.dtype)
 
     def step(self, t: int) -> EncodedStep:
         del t
-        if self._state is None:
+        if self._state is None or self._threshold is None:
             raise RuntimeError("encoder.reset(x) must be called before step()")
-        spikes, amplitudes = self._state.step(self.input, np.asarray(self.v_th))
+        spikes, amplitudes = self._state.step(self.input, self._threshold)
         return EncodedStep(values=amplitudes, spikes=spikes)
 
 
@@ -154,12 +177,22 @@ class PoissonRateEncoder(InputEncoder):
         validate_positive("v_th", v_th)
         self.v_th = float(v_th)
         self._rng = as_rng(seed)
+        self._spikes: Optional[np.ndarray] = None
+        self._values: Optional[np.ndarray] = None
+
+    def reset(self, x: np.ndarray, dtype: DTypeLike = None) -> None:
+        super().reset(x, dtype)
+        self._spikes = np.empty(self._x.shape, dtype=bool)
+        self._values = np.empty(self._x.shape, dtype=self.dtype)
 
     def step(self, t: int) -> EncodedStep:
         del t
         x = self.input
-        spikes = self._rng.uniform(size=x.shape) < x
-        return EncodedStep(values=spikes.astype(np.float64) * self.v_th, spikes=spikes)
+        if self._spikes is None or self._values is None:
+            raise RuntimeError("encoder.reset(x) must be called before step()")
+        np.less(self._rng.uniform(size=x.shape), x, out=self._spikes)
+        np.multiply(self._spikes, self.v_th, out=self._values)
+        return EncodedStep(values=self._values, spikes=self._spikes)
 
 
 class PhaseEncoder(InputEncoder):
@@ -180,29 +213,32 @@ class PhaseEncoder(InputEncoder):
         self.v_th = float(v_th)
         self.period = int(period)
         self._bits: Optional[np.ndarray] = None
+        self._values: Optional[np.ndarray] = None
 
     @property
     def throughput_factor(self) -> float:  # type: ignore[override]
         return 1.0 / self.period
 
-    def reset(self, x: np.ndarray) -> None:
-        super().reset(x)
+    def reset(self, x: np.ndarray, dtype: DTypeLike = None) -> None:
+        super().reset(x, dtype)
         # Quantise to `period` bits: x ≈ sum_p bit_p 2^-(p+1)
-        scaled = np.round(self.input * (2**self.period)).astype(np.int64)
+        scaled = np.round(np.asarray(self.input, dtype=np.float64) * (2**self.period)).astype(np.int64)
         scaled = np.clip(scaled, 0, 2**self.period - 1)
         bits = np.empty((self.period,) + self.input.shape, dtype=bool)
         for p in range(self.period):
             # bit for weight 2^-(p+1) is bit (period-1-p) of the integer
             bits[p] = (scaled >> (self.period - 1 - p)) & 1
         self._bits = bits
+        self._values = np.empty(self.input.shape, dtype=self.dtype)
 
     def step(self, t: int) -> EncodedStep:
-        if self._bits is None:
+        if self._bits is None or self._values is None:
             raise RuntimeError("encoder.reset(x) must be called before step()")
         phase = t % self.period
         spikes = self._bits[phase]
         amplitude = (2.0 ** (-(1 + phase))) * self.v_th
-        return EncodedStep(values=spikes.astype(np.float64) * amplitude, spikes=spikes)
+        np.multiply(spikes, amplitude, out=self._values)
+        return EncodedStep(values=self._values, spikes=spikes)
 
 
 class BurstEncoder(InputEncoder):
@@ -221,10 +257,12 @@ class BurstEncoder(InputEncoder):
         self.threshold = BurstThreshold(v_th=v_th, beta=beta)
         self._state: Optional[IFNeuronState] = None
 
-    def reset(self, x: np.ndarray) -> None:
-        super().reset(x)
-        self._state = IFNeuronState(self.input.shape, reset_mode=ResetMode.SUBTRACT)
-        self.threshold.reset(self.input.shape)
+    def reset(self, x: np.ndarray, dtype: DTypeLike = None) -> None:
+        super().reset(x, dtype)
+        self._state = IFNeuronState(
+            self.input.shape, reset_mode=ResetMode.SUBTRACT, dtype=self.dtype
+        )
+        self.threshold.reset(self.input.shape, dtype=self.dtype)
 
     def step(self, t: int) -> EncodedStep:
         if self._state is None:

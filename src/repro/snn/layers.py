@@ -12,17 +12,51 @@ carry no neurons of their own (the paper's neuron counts likewise exclude
 them); max pooling uses the standard spiking gating approach of Rueckauer et
 al. [12]: each window forwards the amplitude of the input unit with the
 largest cumulative transmitted value.
+
+Performance contract
+--------------------
+``step`` is called once per layer per simulation time step and is
+allocation-free in the steady state:
+
+* weights are kept as float64 masters and cast **once per reset** to the
+  simulation dtype (float32 by default, float64 opt-in — see
+  :mod:`repro.utils.dtypes`); per-step bias injection uses a precomputed
+  ``bias_scale·b`` vector;
+* conv / pooling layers unfold their inputs through a cached
+  :class:`~repro.ann.im2col.Im2colPlan` (geometry and strided-view parameters
+  computed once, a reusable column buffer refilled each step);
+* GEMMs write into preallocated output buffers, and the max-pool gather uses
+  precomputed index arithmetic instead of unfolding its input a second time;
+* the arrays returned by ``step`` are reusable buffers, **valid only until
+  the layer's next step** — copy them if they must survive longer.
+
+In float64 mode every operation matches the original (allocating) engine
+bit for bit.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.ann.im2col import conv_output_size, im2col
+from repro.ann.im2col import Im2colPlan, conv_output_size
 from repro.snn.neurons import IFNeuronState, ResetMode
 from repro.snn.thresholds import ThresholdDynamics
+from repro.utils.dtypes import DTypeLike, resolve_dtype
+
+
+def _cast_cached(cache: Dict[str, np.ndarray], key: str, master: np.ndarray, dtype: np.dtype) -> np.ndarray:
+    """Fetch (or create) the ``dtype`` cast of a master array.
+
+    ``np.asarray`` returns the master itself when the dtype already matches,
+    so float64 simulations run directly on the float64 masters.
+    """
+    cached = cache.get(key)
+    if cached is None or cached.dtype != dtype:
+        cached = np.asarray(master, dtype=dtype)
+        cache[key] = cached
+    return cached
 
 
 class SpikingLayer:
@@ -34,14 +68,21 @@ class SpikingLayer:
     def __init__(self, name: str) -> None:
         self.name = name
         self.batch_size: Optional[int] = None
+        #: simulation dtype resolved at the most recent reset()
+        self.dtype: np.dtype = resolve_dtype(None)
         #: boolean spike array of the most recent step (spiking layers only)
         self.last_spikes: Optional[np.ndarray] = None
 
-    def reset(self, batch_size: int) -> None:
-        """Allocate per-simulation state for a batch of ``batch_size`` samples."""
+    def reset(self, batch_size: int, dtype: DTypeLike = None) -> None:
+        """Allocate per-simulation state for a batch of ``batch_size`` samples.
+
+        ``dtype`` selects the simulation precision for this run (``None``
+        resolves through the project dtype policy).
+        """
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
         self.batch_size = batch_size
+        self.dtype = resolve_dtype(dtype)
         self.last_spikes = None
 
     def step(self, incoming: np.ndarray, t: int) -> np.ndarray:
@@ -84,15 +125,20 @@ class _SpikingNeuronLayer(SpikingLayer):
         self.reset_mode = ResetMode.from_value(reset_mode)
         self.bias_scale = float(bias_scale)
         self.state: Optional[IFNeuronState] = None
+        self._cast_cache: Dict[str, np.ndarray] = {}
 
     def _state_shape(self, batch_size: int) -> Tuple[int, ...]:
         raise NotImplementedError
 
-    def reset(self, batch_size: int) -> None:
-        super().reset(batch_size)
+    def _prepare_buffers(self, batch_size: int) -> None:
+        """Hook for subclasses to (re)build their per-run scratch buffers."""
+
+    def reset(self, batch_size: int, dtype: DTypeLike = None) -> None:
+        super().reset(batch_size, dtype)
         shape = self._state_shape(batch_size)
-        self.state = IFNeuronState(shape, reset_mode=self.reset_mode)
-        self.threshold.reset(shape)
+        self.state = IFNeuronState(shape, reset_mode=self.reset_mode, dtype=self.dtype)
+        self.threshold.reset(shape, dtype=self.dtype)
+        self._prepare_buffers(batch_size)
 
     def _synaptic_input(self, incoming: np.ndarray) -> np.ndarray:
         raise NotImplementedError
@@ -100,7 +146,7 @@ class _SpikingNeuronLayer(SpikingLayer):
     def step(self, incoming: np.ndarray, t: int) -> np.ndarray:
         if self.state is None:
             raise RuntimeError(f"{self.name}: reset(batch_size) must be called before step()")
-        z = self._synaptic_input(np.asarray(incoming, dtype=np.float64))
+        z = self._synaptic_input(np.asarray(incoming))
         thresholds = self.threshold.thresholds(t)
         spikes, amplitudes = self.state.step(z, thresholds)
         self.threshold.update(spikes)
@@ -120,7 +166,8 @@ class SpikingDense(_SpikingNeuronLayer):
     Parameters
     ----------
     weight:
-        Normalised weight matrix of shape ``(in_features, out_features)``.
+        Normalised weight matrix of shape ``(in_features, out_features)``;
+        kept as a float64 master and cast to the simulation dtype at reset.
     bias:
         Optional bias of shape ``(out_features,)``; injected every time step
         scaled by ``bias_scale``.
@@ -149,6 +196,9 @@ class SpikingDense(_SpikingNeuronLayer):
                 f"{name}: bias shape {self.bias.shape} does not match out features "
                 f"{weight.shape[1]}"
             )
+        self._w_sim: Optional[np.ndarray] = None
+        self._scaled_bias: Optional[np.ndarray] = None
+        self._z: Optional[np.ndarray] = None
 
     @property
     def in_features(self) -> int:
@@ -165,15 +215,26 @@ class SpikingDense(_SpikingNeuronLayer):
     def _state_shape(self, batch_size: int) -> Tuple[int, ...]:
         return (batch_size, self.out_features)
 
+    def _prepare_buffers(self, batch_size: int) -> None:
+        self._w_sim = _cast_cached(self._cast_cache, "weight", self.weight, self.dtype)
+        if self.bias is not None:
+            self._scaled_bias = _cast_cached(
+                self._cast_cache, "scaled_bias", self.bias_scale * self.bias, self.dtype
+            )
+        if self._z is None or self._z.shape != (batch_size, self.out_features) or self._z.dtype != self.dtype:
+            self._z = np.empty((batch_size, self.out_features), dtype=self.dtype)
+
     def _synaptic_input(self, incoming: np.ndarray) -> np.ndarray:
         if incoming.ndim != 2 or incoming.shape[1] != self.in_features:
             raise ValueError(
                 f"{self.name}: expected incoming shape (N, {self.in_features}), "
                 f"got {incoming.shape}"
             )
-        z = incoming @ self.weight
-        if self.bias is not None:
-            z = z + self.bias_scale * self.bias
+        z = self._z
+        assert z is not None and self._w_sim is not None
+        np.matmul(incoming, self._w_sim, out=z)
+        if self._scaled_bias is not None:
+            z += self._scaled_bias
         return z
 
     def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
@@ -181,7 +242,13 @@ class SpikingDense(_SpikingNeuronLayer):
 
 
 class SpikingConv2D(_SpikingNeuronLayer):
-    """Convolutional spiking layer (im2col-based, channel-first)."""
+    """Convolutional spiking layer (im2col-based, channel-first).
+
+    The unfold geometry is captured in a cached
+    :class:`~repro.ann.im2col.Im2colPlan` at reset, so the per-step work is
+    one strided refill of the column buffer plus one GEMM into a preallocated
+    output buffer.
+    """
 
     def __init__(
         self,
@@ -224,6 +291,11 @@ class SpikingConv2D(_SpikingNeuronLayer):
             )
         self._out_shape = self.output_shape(self.input_shape)
         self._weight_matrix = self.weight.reshape(self.weight.shape[0], -1)
+        self._plan: Optional[Im2colPlan] = None
+        self._wmat_t: Optional[np.ndarray] = None
+        self._scaled_bias: Optional[np.ndarray] = None
+        self._z2d: Optional[np.ndarray] = None
+        self._z4: Optional[np.ndarray] = None
 
     @property
     def out_channels(self) -> int:
@@ -241,21 +313,43 @@ class SpikingConv2D(_SpikingNeuronLayer):
     def _state_shape(self, batch_size: int) -> Tuple[int, ...]:
         return (batch_size,) + self._out_shape
 
+    def _prepare_buffers(self, batch_size: int) -> None:
+        c, h, w = self.input_shape
+        out_c, out_h, out_w = self._out_shape
+        if (
+            self._plan is None
+            or self._plan.input_shape != (batch_size, c, h, w)
+            or self._plan.dtype != self.dtype
+        ):
+            self._plan = Im2colPlan(
+                batch_size, c, h, w,
+                self.kernel_size, self.kernel_size, self.stride, self.padding,
+                dtype=self.dtype,
+            )
+            self._z2d = np.empty((batch_size * out_h * out_w, out_c), dtype=self.dtype)
+            # (N, out_h, out_w, out_c) -> (N, out_c, out_h, out_w) view, built once
+            self._z4 = self._z2d.reshape(batch_size, out_h, out_w, out_c).transpose(0, 3, 1, 2)
+        wmat = _cast_cached(self._cast_cache, "weight_matrix", self._weight_matrix, self.dtype)
+        self._wmat_t = wmat.T
+        if self.bias is not None:
+            self._scaled_bias = _cast_cached(
+                self._cast_cache, "scaled_bias", self.bias_scale * self.bias, self.dtype
+            )
+
     def _synaptic_input(self, incoming: np.ndarray) -> np.ndarray:
-        expected = (self.input_shape[0],)
-        if incoming.ndim != 4 or incoming.shape[1] != expected[0]:
+        expected_c = self.input_shape[0]
+        if incoming.ndim != 4 or incoming.shape[1] != expected_c:
             raise ValueError(
-                f"{self.name}: expected incoming shape (N, {expected[0]}, H, W), "
+                f"{self.name}: expected incoming shape (N, {expected_c}, H, W), "
                 f"got {incoming.shape}"
             )
-        n = incoming.shape[0]
-        cols, out_h, out_w = im2col(
-            incoming, self.kernel_size, self.kernel_size, self.stride, self.padding
-        )
-        z = cols @ self._weight_matrix.T
-        if self.bias is not None:
-            z = z + self.bias_scale * self.bias
-        return z.reshape(n, out_h, out_w, self.out_channels).transpose(0, 3, 1, 2)
+        plan = self._plan
+        assert plan is not None and self._z2d is not None and self._z4 is not None
+        cols = plan.fill(incoming)
+        np.matmul(cols, self._wmat_t, out=self._z2d)
+        if self._scaled_bias is not None:
+            self._z2d += self._scaled_bias
+        return self._z4
 
     def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
         c, h, w = input_shape
@@ -265,7 +359,11 @@ class SpikingConv2D(_SpikingNeuronLayer):
 
 
 class SpikingAvgPool2D(SpikingLayer):
-    """Average pooling of spike amplitudes (linear, neuron-free)."""
+    """Average pooling of spike amplitudes (linear, neuron-free).
+
+    Uses a cached im2col plan (built lazily on the first step, when the input
+    geometry is known) and a preallocated output buffer.
+    """
 
     def __init__(self, pool_size: int = 2, stride: Optional[int] = None, name: str = "spiking_avgpool") -> None:
         super().__init__(name)
@@ -273,15 +371,63 @@ class SpikingAvgPool2D(SpikingLayer):
             raise ValueError(f"{name}: pool_size must be positive, got {pool_size}")
         self.pool_size = pool_size
         self.stride = stride if stride is not None else pool_size
+        self._plan: Optional[Im2colPlan] = None
+        self._shape: Optional[Tuple[int, int, int, int]] = None
+        self._out: Optional[np.ndarray] = None
+        self._mean_flat: Optional[np.ndarray] = None
+
+    @property
+    def _slab_mode(self) -> bool:
+        """2×2 / stride-2 pooling (the only config the models use) averages
+        four strided slab views directly — ~10× faster than unfold + mean and
+        bit-identical (same sequential add order, same final divide)."""
+        return self.pool_size == 2 and self.stride == 2
+
+    def _ensure_buffers(self, shape: Tuple[int, int, int, int]) -> None:
+        n, c, h, w = shape
+        if self._shape == shape and self._out is not None and self._out.dtype == self.dtype:
+            return
+        self._shape = shape
+        if self._slab_mode:
+            out_h = conv_output_size(h, self.pool_size, self.stride, 0)
+            out_w = conv_output_size(w, self.pool_size, self.stride, 0)
+            self._plan = None
+            self._out = np.empty((n, c, out_h, out_w), dtype=self.dtype)
+            self._mean_flat = None
+        else:
+            self._plan = Im2colPlan(
+                n * c, 1, h, w, self.pool_size, self.pool_size, self.stride, 0, dtype=self.dtype
+            )
+            self._out = np.empty((n, c, self._plan.out_h, self._plan.out_w), dtype=self.dtype)
+            self._mean_flat = self._out.reshape(-1)
 
     def step(self, incoming: np.ndarray, t: int) -> np.ndarray:
         del t
-        incoming = np.asarray(incoming, dtype=np.float64)
+        incoming = np.asarray(incoming)
+        if not incoming.flags.c_contiguous:
+            incoming = np.ascontiguousarray(incoming)
         n, c, h, w = incoming.shape
-        cols, out_h, out_w = im2col(
-            incoming.reshape(n * c, 1, h, w), self.pool_size, self.pool_size, self.stride, 0
-        )
-        return cols.mean(axis=1).reshape(n, c, out_h, out_w)
+        self._ensure_buffers((n, c, h, w))
+        out = self._out
+        assert out is not None
+        if self._slab_mode:
+            oh, ow = out.shape[2], out.shape[3]
+            # window-column order (0,0), (0,1), (1,0), (1,1) — the same
+            # sequential reduction order as cols.mean(axis=1)
+            np.add(
+                incoming[:, :, 0 : oh * 2 : 2, 0 : ow * 2 : 2],
+                incoming[:, :, 0 : oh * 2 : 2, 1 : ow * 2 : 2],
+                out=out,
+            )
+            out += incoming[:, :, 1 : oh * 2 : 2, 0 : ow * 2 : 2]
+            out += incoming[:, :, 1 : oh * 2 : 2, 1 : ow * 2 : 2]
+            out /= 4
+            return out
+        plan = self._plan
+        assert plan is not None and self._mean_flat is not None
+        cols = plan.fill(incoming.reshape(n * c, 1, h, w))
+        cols.mean(axis=1, out=self._mean_flat)
+        return out
 
     def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
         c, h, w = input_shape
@@ -296,6 +442,11 @@ class SpikingMaxPool2D(SpikingLayer):
     Each pooling window forwards the current amplitude of the input unit whose
     *cumulative* transmitted amplitude is largest so far — the output-gating
     scheme proposed for converted SNNs by Rueckauer et al. [12].
+
+    Only the cumulative evidence is unfolded (through a cached im2col plan);
+    the winning input amplitudes are gathered directly from the incoming
+    array with precomputed index arithmetic, eliminating the second unfold the
+    original implementation performed every step.
     """
 
     def __init__(self, pool_size: int = 2, stride: Optional[int] = None, name: str = "spiking_maxpool") -> None:
@@ -305,37 +456,87 @@ class SpikingMaxPool2D(SpikingLayer):
         self.pool_size = pool_size
         self.stride = stride if stride is not None else pool_size
         self._cumulative: Optional[np.ndarray] = None
+        self._plan: Optional[Im2colPlan] = None
+        self._steps_seen = 0
+        # gather machinery (built with the plan)
+        self._winners: Optional[np.ndarray] = None
+        self._ky: Optional[np.ndarray] = None
+        self._kx: Optional[np.ndarray] = None
+        self._base_y: Optional[np.ndarray] = None
+        self._base_x: Optional[np.ndarray] = None
+        self._base_off: Optional[np.ndarray] = None
+        self._gated: Optional[np.ndarray] = None
+        self._gated_flat: Optional[np.ndarray] = None
 
-    def reset(self, batch_size: int) -> None:
-        super().reset(batch_size)
-        self._cumulative = None
+    def reset(self, batch_size: int, dtype: DTypeLike = None) -> None:
+        super().reset(batch_size, dtype)
+        self._steps_seen = 0
+        if self._cumulative is not None:
+            self._cumulative.fill(0.0)
+
+    def _ensure_buffers(self, shape: Tuple[int, int, int, int]) -> None:
+        n, c, h, w = shape
+        if (
+            self._cumulative is not None
+            and self._cumulative.shape == shape
+            and self._cumulative.dtype == self.dtype
+        ):
+            return
+        self._cumulative = np.zeros(shape, dtype=self.dtype)
+        self._plan = Im2colPlan(
+            n * c, 1, h, w, self.pool_size, self.pool_size, self.stride, 0, dtype=self.dtype
+        )
+        out_h, out_w = self._plan.out_h, self._plan.out_w
+        rows = n * c * out_h * out_w
+        position = np.arange(rows, dtype=np.intp)
+        oy = (position // out_w) % out_h
+        ox = position % out_w
+        nc = position // (out_h * out_w)
+        self._base_y = oy * self.stride
+        self._base_x = ox * self.stride
+        self._base_off = nc * (h * w)
+        self._winners = np.empty(rows, dtype=np.intp)
+        self._ky = np.empty(rows, dtype=np.intp)
+        self._kx = np.empty(rows, dtype=np.intp)
+        self._gated = np.empty((n, c, out_h, out_w), dtype=self.dtype)
+        self._gated_flat = self._gated.reshape(-1)
 
     def step(self, incoming: np.ndarray, t: int) -> np.ndarray:
         del t
-        incoming = np.asarray(incoming, dtype=np.float64)
-        if self._cumulative is None:
-            self._cumulative = np.zeros_like(incoming)
-        elif self._cumulative.shape != incoming.shape:
+        incoming = np.asarray(incoming)
+        if not incoming.flags.c_contiguous:
+            incoming = np.ascontiguousarray(incoming)
+        if (
+            self._steps_seen > 0
+            and self._cumulative is not None
+            and self._cumulative.shape != incoming.shape
+        ):
             raise ValueError(
                 f"{self.name}: incoming shape changed mid-simulation "
                 f"({self._cumulative.shape} -> {incoming.shape})"
             )
-        self._cumulative += incoming
-
         n, c, h, w = incoming.shape
-        cum_cols, out_h, out_w = im2col(
-            self._cumulative.reshape(n * c, 1, h, w),
-            self.pool_size,
-            self.pool_size,
-            self.stride,
-            0,
-        )
-        in_cols, _, _ = im2col(
-            incoming.reshape(n * c, 1, h, w), self.pool_size, self.pool_size, self.stride, 0
-        )
-        winners = cum_cols.argmax(axis=1)
-        gated = in_cols[np.arange(in_cols.shape[0]), winners]
-        return gated.reshape(n, c, out_h, out_w)
+        self._ensure_buffers((n, c, h, w))
+        self._steps_seen += 1
+        cumulative = self._cumulative
+        plan = self._plan
+        assert cumulative is not None and plan is not None
+        cumulative += incoming
+
+        cum_cols = plan.fill(cumulative.reshape(n * c, 1, h, w))
+        winners, ky, kx = self._winners, self._ky, self._kx
+        assert winners is not None and ky is not None and kx is not None
+        np.argmax(cum_cols, axis=1, out=winners)
+        # winner index within the window -> absolute flat index into `incoming`
+        np.floor_divide(winners, self.pool_size, out=ky)
+        np.remainder(winners, self.pool_size, out=kx)
+        ky += self._base_y
+        kx += self._base_x
+        ky *= w
+        ky += kx
+        ky += self._base_off
+        np.take(incoming.reshape(-1), ky, out=self._gated_flat)
+        return self._gated
 
     def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
         c, h, w = input_shape
@@ -345,14 +546,14 @@ class SpikingMaxPool2D(SpikingLayer):
 
 
 class SpikingFlatten(SpikingLayer):
-    """Reshape ``(N, C, H, W)`` amplitudes to ``(N, C*H*W)`` rows."""
+    """Reshape ``(N, C, H, W)`` amplitudes to ``(N, C*H*W)`` rows (a view)."""
 
     def __init__(self, name: str = "spiking_flatten") -> None:
         super().__init__(name)
 
     def step(self, incoming: np.ndarray, t: int) -> np.ndarray:
         del t
-        incoming = np.asarray(incoming, dtype=np.float64)
+        incoming = np.asarray(incoming)
         return incoming.reshape(incoming.shape[0], -1)
 
     def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
@@ -384,30 +585,40 @@ class OutputAccumulator(SpikingLayer):
         self.weight = weight
         self.bias = None if bias is None else np.asarray(bias, dtype=np.float64)
         self.bias_scale = float(bias_scale)
+        self._cast_cache: Dict[str, np.ndarray] = {}
+        self._w_sim: Optional[np.ndarray] = None
+        self._scaled_bias: Optional[np.ndarray] = None
+        self._update: Optional[np.ndarray] = None
         self._logits: Optional[np.ndarray] = None
 
     @property
     def num_classes(self) -> int:
         return int(self.weight.shape[1])
 
-    def reset(self, batch_size: int) -> None:
-        super().reset(batch_size)
-        self._logits = np.zeros((batch_size, self.num_classes), dtype=np.float64)
+    def reset(self, batch_size: int, dtype: DTypeLike = None) -> None:
+        super().reset(batch_size, dtype)
+        self._w_sim = _cast_cached(self._cast_cache, "weight", self.weight, self.dtype)
+        if self.bias is not None:
+            self._scaled_bias = _cast_cached(
+                self._cast_cache, "scaled_bias", self.bias_scale * self.bias, self.dtype
+            )
+        self._logits = np.zeros((batch_size, self.num_classes), dtype=self.dtype)
+        self._update = np.empty((batch_size, self.num_classes), dtype=self.dtype)
 
     def step(self, incoming: np.ndarray, t: int) -> np.ndarray:
         del t
-        if self._logits is None:
+        if self._logits is None or self._update is None or self._w_sim is None:
             raise RuntimeError(f"{self.name}: reset(batch_size) must be called before step()")
-        incoming = np.asarray(incoming, dtype=np.float64)
+        incoming = np.asarray(incoming)
         if incoming.ndim != 2 or incoming.shape[1] != self.weight.shape[0]:
             raise ValueError(
                 f"{self.name}: expected incoming shape (N, {self.weight.shape[0]}), "
                 f"got {incoming.shape}"
             )
-        update = incoming @ self.weight
-        if self.bias is not None:
-            update = update + self.bias_scale * self.bias
-        self._logits += update
+        np.matmul(incoming, self._w_sim, out=self._update)
+        if self._scaled_bias is not None:
+            self._update += self._scaled_bias
+        self._logits += self._update
         return self._logits
 
     @property

@@ -18,6 +18,7 @@ from repro.snn.encoding import InputEncoder
 from repro.snn.layers import OutputAccumulator, SpikingLayer
 from repro.snn.recording import SpikeRecord
 from repro.utils.config import FrozenConfig, validate_positive
+from repro.utils.dtypes import resolve_dtype
 from repro.utils.rng import SeedLike
 
 
@@ -39,6 +40,11 @@ class SimulationConfig(FrozenConfig):
         Fraction of neurons per layer whose trains are recorded (paper: 10%).
     seed:
         Seed for neuron sampling (and stochastic encoders if any).
+    dtype:
+        Simulation precision: ``"float32"``, ``"float64"`` or ``None`` to use
+        the project dtype policy (float32 by default; see
+        :mod:`repro.utils.dtypes`).  Float64 runs reproduce the original
+        engine's outputs bit for bit.
     """
 
     time_steps: int = 100
@@ -46,6 +52,7 @@ class SimulationConfig(FrozenConfig):
     record_trains: bool = False
     sample_fraction: float = 0.1
     seed: int = 0
+    dtype: Optional[str] = None
 
     def __post_init__(self) -> None:
         validate_positive("time_steps", self.time_steps)
@@ -54,6 +61,7 @@ class SimulationConfig(FrozenConfig):
             raise ValueError(
                 f"sample_fraction must be in (0, 1], got {self.sample_fraction}"
             )
+        resolve_dtype(self.dtype)  # fail fast on unsupported dtypes
 
 
 @dataclass
@@ -229,7 +237,8 @@ class SpikingNetwork:
             Optional ground-truth labels stored on the result for convenience.
         """
         config = config or SimulationConfig()
-        x = np.asarray(x, dtype=np.float64)
+        dtype = resolve_dtype(config.dtype)
+        x = np.asarray(x, dtype=dtype)
         if x.shape[1:] != self.input_shape:
             raise ValueError(
                 f"input shape {x.shape[1:]} does not match network input {self.input_shape}"
@@ -248,13 +257,23 @@ class SpikingNetwork:
             record.register_layer(layer.name, layer.num_neurons, layer.is_spiking)
             for layer in self.layers
         ]
+        record.preallocate(config.time_steps, batch_size)
 
-        self.encoder.reset(x)
+        self.encoder.reset(x, dtype=dtype)
         for layer in self.layers:
-            layer.reset(batch_size)
+            layer.reset(batch_size, dtype=dtype)
 
-        outputs: List[np.ndarray] = []
-        recorded_steps: List[int] = []
+        # Snapshot steps are known up front, so the output history is one
+        # preallocated block filled in place instead of a stack of copies.
+        recorded_steps = [
+            t + 1
+            for t in range(config.time_steps)
+            if (t + 1) % config.record_outputs_every == 0 or t == config.time_steps - 1
+        ]
+        output_history = np.empty(
+            (len(recorded_steps), batch_size, self.num_classes), dtype=dtype
+        )
+        snapshot = 0
         for t in range(config.time_steps):
             encoded = self.encoder.step(t)
             input_record.record_step(encoded.spikes, config.record_trains)
@@ -265,12 +284,12 @@ class SpikingNetwork:
                     layer.last_spikes if layer.is_spiking else None, config.record_trains
                 )
             record.advance()
-            if (t + 1) % config.record_outputs_every == 0 or t == config.time_steps - 1:
-                outputs.append(self.output_layer.logits.copy())
-                recorded_steps.append(t + 1)
+            if snapshot < len(recorded_steps) and t + 1 == recorded_steps[snapshot]:
+                np.copyto(output_history[snapshot], self.output_layer.logits)
+                snapshot += 1
 
         return SimulationResult(
-            output_history=np.stack(outputs, axis=0),
+            output_history=output_history,
             recorded_steps=np.asarray(recorded_steps, dtype=np.int64),
             record=record,
             time_steps=config.time_steps,

@@ -14,6 +14,23 @@ once (vectorised over the batch and the neuron dimensions):
 The spike *amplitude* transmitted downstream equals the neuron's threshold at
 firing time (weighted spikes, Eq. 5), which is what makes phase and burst
 coding transmit more than one "unit" of information per spike.
+
+Performance contract
+--------------------
+:meth:`IFNeuronState.step` is the innermost loop of the simulation engine and
+is allocation-free in the steady state: the membrane is updated in place and
+the spike / amplitude arrays returned are preallocated scratch buffers owned
+by the state.  **The returned arrays are only valid until the next**
+``step()`` **call** — callers that need to keep them across steps must copy.
+Precision follows the project dtype policy (:mod:`repro.utils.dtypes`):
+float32 by default, float64 opt-in, with float64 results bit-identical to the
+original non-in-place implementation.
+
+Threshold positivity is validated once per simulation (on the first step
+after ``reset``) rather than every step; the threshold dynamics classes
+already guarantee positivity structurally (``v_th > 0`` at construction,
+burst/phase modulation factors are positive).  Scalar (0-d) thresholds are
+cheap enough to check every step and still are.
 """
 
 from __future__ import annotations
@@ -22,6 +39,8 @@ import enum
 from typing import Optional, Tuple
 
 import numpy as np
+
+from repro.utils.dtypes import DTypeLike, resolve_dtype
 
 
 class ResetMode(str, enum.Enum):
@@ -60,6 +79,9 @@ class IFNeuronState:
         If False the membrane is clamped at ``v_rest`` from below, which some
         neuromorphic hardware enforces.  The paper's model allows negative
         potentials, so the default is True.
+    dtype:
+        Simulation precision; ``None`` resolves through the project dtype
+        policy (float32 default, see :mod:`repro.utils.dtypes`).
     """
 
     def __init__(
@@ -68,6 +90,7 @@ class IFNeuronState:
         reset_mode: "ResetMode | str" = ResetMode.SUBTRACT,
         v_rest: float = 0.0,
         allow_negative_membrane: bool = True,
+        dtype: DTypeLike = None,
     ) -> None:
         if not shape or any(int(dim) <= 0 for dim in shape):
             raise ValueError(f"shape must contain positive dimensions, got {shape}")
@@ -75,16 +98,22 @@ class IFNeuronState:
         self.reset_mode = ResetMode.from_value(reset_mode)
         self.v_rest = float(v_rest)
         self.allow_negative_membrane = allow_negative_membrane
-        self.v_mem = np.full(self.shape, self.v_rest, dtype=np.float64)
+        self.dtype = resolve_dtype(dtype)
+        self.v_mem = np.full(self.shape, self.v_rest, dtype=self.dtype)
         self.total_spikes = 0
+        # Preallocated per-step scratch buffers (returned by step()).
+        self._spikes = np.zeros(self.shape, dtype=bool)
+        self._amplitudes = np.zeros(self.shape, dtype=self.dtype)
+        self._threshold_validated = False
 
     def reset(self) -> None:
         """Return the membrane to the resting potential and clear counters."""
         self.v_mem.fill(self.v_rest)
         self.total_spikes = 0
+        self._threshold_validated = False
 
     def step(self, z: np.ndarray, threshold: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-        """Advance the population by one time step.
+        """Advance the population by one time step (in place, allocation-free).
 
         Parameters
         ----------
@@ -101,25 +130,35 @@ class IFNeuronState:
         amplitudes:
             Weighted spike amplitudes (``spikes * threshold``) transmitted to
             the next layer.
-        """
-        z = np.asarray(z, dtype=np.float64)
-        threshold = np.broadcast_to(np.asarray(threshold, dtype=np.float64), self.shape)
-        if np.any(threshold <= 0):
-            raise ValueError("thresholds must be strictly positive")
 
-        self.v_mem = self.v_mem + z
-        spikes = self.v_mem >= threshold
-        amplitudes = np.where(spikes, threshold, 0.0)
+        Both returned arrays are scratch buffers owned by this state and are
+        overwritten by the next ``step()`` call.
+        """
+        z = np.asarray(z, dtype=self.dtype)
+        threshold = np.asarray(threshold, dtype=self.dtype)
+        if threshold.ndim == 0 or not self._threshold_validated:
+            if np.any(threshold <= 0):
+                raise ValueError("thresholds must be strictly positive")
+            self._threshold_validated = True
+
+        v_mem = self.v_mem
+        spikes = self._spikes
+        amplitudes = self._amplitudes
+
+        v_mem += z
+        np.greater_equal(v_mem, threshold, out=spikes)
+        # amplitude = threshold where spiking, 0 elsewhere (bool * threshold)
+        np.multiply(threshold, spikes, out=amplitudes)
 
         if self.reset_mode is ResetMode.SUBTRACT:
-            self.v_mem = self.v_mem - amplitudes
+            v_mem -= amplitudes
         else:
-            self.v_mem = np.where(spikes, self.v_rest, self.v_mem)
+            np.copyto(v_mem, self.dtype.type(self.v_rest), where=spikes)
 
         if not self.allow_negative_membrane:
-            np.maximum(self.v_mem, self.v_rest, out=self.v_mem)
+            np.maximum(v_mem, self.v_rest, out=v_mem)
 
-        self.total_spikes += int(spikes.sum())
+        self.total_spikes += int(np.count_nonzero(spikes))
         return spikes, amplitudes
 
     @property

@@ -10,11 +10,19 @@ Two levels of detail are supported:
   burst-length composition of Fig. 2, the firing rate / regularity scatter of
   Fig. 5).  Sampling mirrors the paper, which analyses 10% of the neurons of
   each layer.
+
+Storage strategy
+----------------
+When the simulation horizon is known up front the engine calls
+:meth:`SpikeRecord.preallocate` and every :class:`LayerRecord` records into
+arrays sized to ``time_steps`` (an int64 count vector and, when trains are
+recorded, one ``(T, batch, n_sampled)`` boolean block) — no per-step list
+appends or allocations.  Records used standalone (without ``preallocate``)
+fall back to growable Python lists with identical semantics.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -22,40 +30,99 @@ import numpy as np
 from repro.utils.rng import SeedLike, as_rng
 
 
-@dataclass
 class LayerRecord:
-    """Recorded spiking activity of one layer."""
+    """Recorded spiking activity of one layer.
 
-    name: str
-    num_neurons: int
-    is_spiking: bool
-    #: spikes emitted by the whole layer at each time step, length T
-    spike_counts: List[int] = field(default_factory=list)
-    #: flat indices (within a sample's neuron array) of the sampled neurons
-    sampled_indices: Optional[np.ndarray] = None
-    #: per-step boolean arrays of shape (batch, n_sampled); stacked on demand
-    _train_steps: List[np.ndarray] = field(default_factory=list)
+    Parameters
+    ----------
+    name, num_neurons, is_spiking:
+        Identity of the recorded layer.
+    """
 
+    def __init__(self, name: str, num_neurons: int, is_spiking: bool) -> None:
+        self.name = name
+        self.num_neurons = int(num_neurons)
+        self.is_spiking = bool(is_spiking)
+        #: flat indices (within a sample's neuron array) of the sampled neurons
+        self.sampled_indices: Optional[np.ndarray] = None
+        #: batch size of the recorded simulation (set by :meth:`preallocate`)
+        self.batch_size: int = 1
+        # growable fallback storage (standalone use)
+        self._count_list: List[int] = []
+        self._train_steps: List[np.ndarray] = []
+        # preallocated storage (engine use)
+        self._counts: Optional[np.ndarray] = None
+        self._trains: Optional[np.ndarray] = None
+        self._cursor = 0
+
+    # -- setup -----------------------------------------------------------
+    def preallocate(self, time_steps: int, batch_size: int, record_trains: bool) -> None:
+        """Switch to preallocated storage for a run of known length."""
+        if time_steps <= 0:
+            raise ValueError(f"time_steps must be positive, got {time_steps}")
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.batch_size = int(batch_size)
+        self._counts = np.zeros(time_steps, dtype=np.int64)
+        self._cursor = 0
+        self._count_list = []
+        self._train_steps = []
+        n_sampled = 0 if self.sampled_indices is None else int(self.sampled_indices.size)
+        if record_trains and n_sampled:
+            self._trains = np.zeros((time_steps, batch_size, n_sampled), dtype=bool)
+        else:
+            self._trains = None
+
+    # -- recording -------------------------------------------------------
     def record_step(self, spikes: Optional[np.ndarray], record_trains: bool) -> None:
         """Record one simulation step given the layer's boolean spike array."""
+        record_train = record_trains and self.sampled_indices is not None and self.sampled_indices.size
+        if self._counts is not None:
+            t = self._cursor
+            if t >= self._counts.shape[0]:
+                raise RuntimeError(
+                    f"{self.name}: recorded more steps than the preallocated "
+                    f"{self._counts.shape[0]}"
+                )
+            if spikes is not None:
+                self._counts[t] = np.count_nonzero(spikes)
+                if record_train and self._trains is not None:
+                    flat = spikes.reshape(spikes.shape[0], -1)
+                    np.take(flat, self.sampled_indices, axis=1, out=self._trains[t])
+            # a None / non-spiking step leaves the preallocated zeros in place
+            self._cursor = t + 1
+            return
+        # growable fallback (standalone LayerRecord use)
         if spikes is None:
-            self.spike_counts.append(0)
-            if record_trains and self.sampled_indices is not None:
+            self._count_list.append(0)
+            if record_train:
                 self._train_steps.append(
-                    np.zeros((1, len(self.sampled_indices)), dtype=bool)
+                    np.zeros((self.batch_size, len(self.sampled_indices)), dtype=bool)
                 )
             return
-        self.spike_counts.append(int(np.count_nonzero(spikes)))
-        if record_trains and self.sampled_indices is not None and self.sampled_indices.size:
+        self._count_list.append(int(np.count_nonzero(spikes)))
+        if record_train:
             flat = spikes.reshape(spikes.shape[0], -1)
             self._train_steps.append(flat[:, self.sampled_indices].copy())
 
+    # -- views -----------------------------------------------------------
+    @property
+    def spike_counts(self) -> "np.ndarray | List[int]":
+        """Spikes emitted by the whole layer at each recorded step, length T."""
+        if self._counts is not None:
+            return self._counts[: self._cursor]
+        return self._count_list
+
     @property
     def total_spikes(self) -> int:
-        return int(sum(self.spike_counts))
+        if self._counts is not None:
+            return int(self._counts[: self._cursor].sum())
+        return int(sum(self._count_list))
 
     def spike_trains(self) -> np.ndarray:
         """Sampled spike trains as a boolean array of shape (T, batch, n_sampled)."""
+        if self._trains is not None:
+            return self._trains[: self._cursor]
         if not self._train_steps:
             return np.zeros((0, 0, 0), dtype=bool)
         return np.stack(self._train_steps, axis=0)
@@ -108,6 +175,11 @@ class SpikeRecord:
             record.sampled_indices = self._sample_indices(num_neurons)
         self.layers.append(record)
         return record
+
+    def preallocate(self, time_steps: int, batch_size: int) -> None:
+        """Preallocate every registered record for a run of ``time_steps``."""
+        for record in self.all_records:
+            record.preallocate(time_steps, batch_size, self.record_trains)
 
     def _sample_indices(self, num_neurons: int) -> np.ndarray:
         if not self.record_trains or num_neurons == 0:

@@ -15,6 +15,17 @@ Because spikes are *weighted* by the presynaptic threshold at firing time
 amplitudes ``v_th, β·v_th, β²·v_th, …`` — this is the "synaptic potentiation"
 effect that lets a neuron drain a large membrane backlog in logarithmically
 many steps, which is the paper's central mechanism.
+
+Performance contract
+--------------------
+``thresholds(t)`` is called once per layer per simulation step, so it must
+not allocate: :class:`ConstantThreshold` caches its 0-d array,
+:class:`PhaseThreshold` caches one 0-d array per phase of the period, and
+:class:`BurstThreshold` writes ``g·v_th`` into a preallocated buffer (only
+valid until the next call — copy if you keep it).  ``reset`` accepts the
+simulation dtype from the owning layer (policy default float32, see
+:mod:`repro.utils.dtypes`); positivity of ``v_th`` is validated once at
+construction rather than per step.
 """
 
 from __future__ import annotations
@@ -24,6 +35,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.utils.config import validate_positive
+from repro.utils.dtypes import DTypeLike, resolve_dtype
 
 
 class ThresholdDynamics:
@@ -38,12 +50,22 @@ class ThresholdDynamics:
     #: short name used in configuration strings ("rate", "phase", "burst")
     coding = "base"
 
-    def reset(self, shape: Tuple[int, ...]) -> None:
+    def reset(self, shape: Tuple[int, ...], dtype: DTypeLike = None) -> None:
         """Prepare internal state for a layer of the given state shape."""
         self._shape = tuple(shape)
+        self._dtype = resolve_dtype(dtype)
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Effective dtype of the threshold arrays (policy default until reset)."""
+        return getattr(self, "_dtype", None) or resolve_dtype(None)
 
     def thresholds(self, t: int) -> np.ndarray:
-        """Threshold values ``V_th(t)`` (broadcastable to the layer shape)."""
+        """Threshold values ``V_th(t)`` (broadcastable to the layer shape).
+
+        May return a cached / reused array; treat it as read-only and copy it
+        if it must survive past the next call.
+        """
         raise NotImplementedError
 
     def update(self, spikes: np.ndarray) -> None:
@@ -56,17 +78,28 @@ class ThresholdDynamics:
 
 
 class ConstantThreshold(ThresholdDynamics):
-    """Rate coding: a fixed threshold ``v_th`` for every neuron and step."""
+    """Rate coding: a fixed threshold ``v_th`` for every neuron and step.
+
+    The 0-d threshold array is built once per ``reset`` (or lazily on first
+    use) instead of on every step of every layer.
+    """
 
     coding = "rate"
 
     def __init__(self, v_th: float = 1.0) -> None:
         validate_positive("v_th", v_th)
         self.v_th = float(v_th)
+        self._cached: Optional[np.ndarray] = None
+
+    def reset(self, shape: Tuple[int, ...], dtype: DTypeLike = None) -> None:
+        super().reset(shape, dtype)
+        self._cached = np.asarray(self.v_th, dtype=self._dtype)
 
     def thresholds(self, t: int) -> np.ndarray:
         del t
-        return np.asarray(self.v_th, dtype=np.float64)
+        if self._cached is None:
+            self._cached = np.asarray(self.v_th, dtype=self.dtype)
+        return self._cached
 
     def describe(self) -> str:
         return f"ConstantThreshold(v_th={self.v_th})"
@@ -78,6 +111,7 @@ class PhaseThreshold(ThresholdDynamics):
     ``V_th(t) = 2^-(1 + mod(t, k)) · v_th`` (Eq. 6–7).  The same oscillation is
     shared by every neuron in the layer (it is a *global reference*), so a
     spike's amplitude encodes the bit-position of the phase at which it fired.
+    The ``k`` per-phase 0-d arrays are precomputed once and reused.
     """
 
     coding = "phase"
@@ -91,14 +125,27 @@ class PhaseThreshold(ThresholdDynamics):
         self.v_th = float(v_th)
         self.period = int(period)
         self.phase_offset = int(phase_offset)
+        self._table: Optional[Tuple[np.ndarray, ...]] = None
 
     def oscillation(self, t: int) -> float:
         """The phase function ``Π(t)`` of Eq. 6."""
         phase = (t + self.phase_offset) % self.period
         return float(2.0 ** (-(1 + phase)))
 
+    def reset(self, shape: Tuple[int, ...], dtype: DTypeLike = None) -> None:
+        super().reset(shape, dtype)
+        self._table = self._build_table(self._dtype)
+
+    def _build_table(self, dtype: np.dtype) -> Tuple[np.ndarray, ...]:
+        return tuple(
+            np.asarray(2.0 ** (-(1 + phase)) * self.v_th, dtype=dtype)
+            for phase in range(self.period)
+        )
+
     def thresholds(self, t: int) -> np.ndarray:
-        return np.asarray(self.oscillation(t) * self.v_th, dtype=np.float64)
+        if self._table is None:
+            self._table = self._build_table(self.dtype)
+        return self._table[(t + self.phase_offset) % self.period]
 
     def describe(self) -> str:
         return f"PhaseThreshold(v_th={self.v_th}, period={self.period})"
@@ -112,6 +159,10 @@ class BurstThreshold(ThresholdDynamics):
     amplitude; as soon as the neuron stays silent for one step the function
     resets to 1 (Eq. 8).  ``V_th(t) = g(t)·v_th`` (Eq. 9) and the effective
     synaptic weight during a burst is ``ŵ = w·g`` (Eq. 10).
+
+    All per-step state (``g``, the consecutive-spike counter, the threshold
+    and growth scratch buffers) is preallocated at ``reset`` and updated in
+    place; ``thresholds`` / ``update`` allocate nothing.
 
     Parameters
     ----------
@@ -146,28 +197,57 @@ class BurstThreshold(ThresholdDynamics):
         self.max_burst_length = max_burst_length
         self._g: Optional[np.ndarray] = None
         self._consecutive: Optional[np.ndarray] = None
+        self._th_buf: Optional[np.ndarray] = None
+        self._grown: Optional[np.ndarray] = None
+        self._silent: Optional[np.ndarray] = None
 
-    def reset(self, shape: Tuple[int, ...]) -> None:
-        super().reset(shape)
-        self._g = np.ones(shape, dtype=np.float64)
+    def reset(self, shape: Tuple[int, ...], dtype: DTypeLike = None) -> None:
+        super().reset(shape, dtype)
+        self._g = np.ones(shape, dtype=self._dtype)
         self._consecutive = np.zeros(shape, dtype=np.int64)
+        self._th_buf = np.empty(shape, dtype=self._dtype)
+        self._grown = np.empty(shape, dtype=self._dtype)
+        self._silent = np.empty(shape, dtype=bool)
+        self._ceiling = np.finfo(self._dtype).max
+        if self.max_burst_length is not None:
+            self._cons_scratch = np.empty(shape, dtype=np.int64)
+            self._capped = np.empty(shape, dtype=bool)
 
     def thresholds(self, t: int) -> np.ndarray:
         del t
-        if self._g is None:
+        if self._g is None or self._th_buf is None:
             raise RuntimeError("BurstThreshold.reset(shape) must be called before use")
-        return self._g * self.v_th
+        np.multiply(self._g, self.v_th, out=self._th_buf)
+        return self._th_buf
 
     def update(self, spikes: np.ndarray) -> None:
         if self._g is None or self._consecutive is None:
             raise RuntimeError("BurstThreshold.reset(shape) must be called before use")
-        spikes = np.asarray(spikes, dtype=bool)
-        grown = self._g * self.beta
+        g = self._g
+        grown = self._grown
+        silent = self._silent
+        consecutive = self._consecutive
+        if spikes.dtype != np.bool_:
+            spikes = np.asarray(spikes, dtype=bool)
+        np.logical_not(spikes, out=silent)
+
+        np.multiply(g, self.beta, out=grown)
+        # Clamp to the largest finite value: an extreme burst can overflow
+        # g·β to inf, and the mask-free combine below would then produce
+        # inf·0 = NaN on the first silent step and poison g permanently.
+        # A neuron at the ceiling behaves like one at inf (the threshold is
+        # unreachable, so it falls silent and resets to 1 next step).
+        np.minimum(grown, self._ceiling, out=grown)
         if self.max_burst_length is not None:
-            capped = self._consecutive + 1 >= self.max_burst_length
-            grown = np.where(capped, self._g, grown)
-        self._g = np.where(spikes, grown, 1.0)
-        self._consecutive = np.where(spikes, self._consecutive + 1, 0)
+            # stop growing once the burst reaches the cap
+            np.add(consecutive, 1, out=self._cons_scratch)
+            np.greater_equal(self._cons_scratch, self.max_burst_length, out=self._capped)
+            np.copyto(grown, g, where=self._capped)
+            np.multiply(self._cons_scratch, spikes, out=consecutive)
+        # g ← spikes ? grown : 1, as three unmasked passes (masked copyto is
+        # far slower).  Exact for finite grown: x·1 = x, x·0 = 0, 0+1 = 1.
+        np.multiply(grown, spikes, out=grown)
+        np.add(grown, silent, out=g)
 
     @property
     def burst_function(self) -> np.ndarray:

@@ -6,13 +6,39 @@ can import them without cycles.
 
 from repro.utils.rng import RngMixin, as_rng, spawn_rngs
 from repro.utils.config import FrozenConfig, validate_positive, validate_probability, validate_in
+from repro.utils.dtypes import (
+    DEFAULT_SIMULATION_DTYPE,
+    resolve_dtype,
+    set_simulation_dtype,
+    simulation_dtype,
+    simulation_precision,
+)
 from repro.utils.logging import RunLogger, get_logger
 from repro.utils.tables import Table, format_float, format_int, format_si
+from repro.utils.timing import (
+    Timer,
+    TimingResult,
+    load_bench_json,
+    machine_info,
+    time_callable,
+    write_bench_json,
+)
 from repro.utils.serialization import load_model_weights, save_model_weights
 
 __all__ = [
     "load_model_weights",
     "save_model_weights",
+    "DEFAULT_SIMULATION_DTYPE",
+    "resolve_dtype",
+    "set_simulation_dtype",
+    "simulation_dtype",
+    "simulation_precision",
+    "Timer",
+    "TimingResult",
+    "load_bench_json",
+    "machine_info",
+    "time_callable",
+    "write_bench_json",
     "RngMixin",
     "as_rng",
     "spawn_rngs",

@@ -1,0 +1,151 @@
+"""Tests for the cached im2col plan and the pooling fast paths.
+
+The zero-allocation engine replaces per-step ``im2col`` calls with cached
+:class:`~repro.ann.im2col.Im2colPlan` objects and replaces 2×2 pooling with
+strided slab arithmetic.  These tests pin the load-bearing equivalences:
+
+* a plan's column buffer equals ``im2col``'s output bit for bit, for both
+  copy strategies, across geometries (padding, stride, odd sizes);
+* repeated fills reuse the same buffer (the zero-allocation contract);
+* the spiking avg/max pooling layers match the original unfold-based
+  formulation exactly in float64, including the cumulative-evidence gating
+  and argmax tie-breaking of max pooling.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ann.im2col import Im2colPlan, im2col
+from repro.snn.layers import SpikingAvgPool2D, SpikingMaxPool2D
+
+
+GEOMETRIES = [
+    # (n, c, h, w, kernel, stride, padding)
+    (2, 3, 8, 8, 3, 1, 1),
+    (1, 1, 6, 6, 2, 2, 0),
+    (2, 8, 5, 7, 3, 1, 0),
+    (1, 4, 9, 9, 3, 2, 1),
+    (3, 1, 4, 4, 4, 4, 0),
+    (1, 2, 5, 5, 2, 1, 2),
+]
+
+
+class TestIm2colPlan:
+    @pytest.mark.parametrize("geometry", GEOMETRIES)
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_matches_one_shot_im2col(self, geometry, dtype):
+        n, c, h, w, k, s, p = geometry
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(n, c, h, w)).astype(dtype)
+        plan = Im2colPlan(n, c, h, w, k, k, s, p, dtype=dtype)
+        cols = plan.fill(x)
+        expected, out_h, out_w = im2col(x.astype(np.float64), k, k, s, p)
+        assert plan.out_h == out_h and plan.out_w == out_w
+        assert cols.shape == expected.shape
+        assert np.array_equal(cols, expected.astype(dtype))
+
+    @pytest.mark.parametrize("geometry", GEOMETRIES)
+    def test_both_copy_strategies_agree(self, geometry):
+        n, c, h, w, k, s, p = geometry
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(n, c, h, w))
+        plan = Im2colPlan(n, c, h, w, k, k, s, p, dtype=np.float64)
+        forced = Im2colPlan(n, c, h, w, k, k, s, p, dtype=np.float64)
+        forced._use_slabs = not plan._use_slabs
+        a = plan.fill(x).copy()
+        b = forced.fill(x)
+        assert np.array_equal(a, b)
+
+    def test_fill_reuses_buffer(self):
+        plan = Im2colPlan(1, 2, 6, 6, 3, 3, 1, 1, dtype=np.float32)
+        x = np.random.default_rng(2).random((1, 2, 6, 6)).astype(np.float32)
+        first = plan.fill(x)
+        second = plan.fill(x * 2)
+        assert first is second  # same preallocated buffer
+
+    def test_padding_border_stays_zero(self):
+        plan = Im2colPlan(1, 1, 3, 3, 3, 3, 1, 1, dtype=np.float64)
+        x = np.ones((1, 1, 3, 3))
+        cols = plan.fill(x)
+        # corner window: only the bottom-right 2x2 of the kernel sees input
+        assert cols[0].sum() == 4.0
+        plan.fill(x)  # refill must not accumulate into the border
+        assert cols[0].sum() == 4.0
+
+    def test_shape_mismatch_rejected(self):
+        plan = Im2colPlan(1, 1, 4, 4, 2, 2, 2, 0, dtype=np.float64)
+        with pytest.raises(ValueError):
+            plan.fill(np.zeros((1, 1, 5, 5)))
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            Im2colPlan(0, 1, 4, 4, 2, 2, 1, 0)
+
+
+def _seed_avg_pool(x, pool, stride):
+    """The original unfold-based average pooling."""
+    n, c, h, w = x.shape
+    cols, out_h, out_w = im2col(x.reshape(n * c, 1, h, w), pool, pool, stride, 0)
+    return cols.mean(axis=1).reshape(n, c, out_h, out_w)
+
+
+def _seed_max_pool_gate(cumulative, incoming, pool, stride):
+    """The original two-unfold cumulative-evidence gating."""
+    n, c, h, w = incoming.shape
+    cum_cols, out_h, out_w = im2col(cumulative.reshape(n * c, 1, h, w), pool, pool, stride, 0)
+    in_cols, _, _ = im2col(incoming.reshape(n * c, 1, h, w), pool, pool, stride, 0)
+    winners = cum_cols.argmax(axis=1)
+    return in_cols[np.arange(in_cols.shape[0]), winners].reshape(n, c, out_h, out_w)
+
+
+class TestPoolingFastPaths:
+    @pytest.mark.parametrize("shape", [(2, 3, 8, 8), (1, 1, 6, 6), (2, 2, 5, 5), (1, 4, 7, 9)])
+    def test_avg_pool_matches_seed_formulation_exactly(self, shape):
+        rng = np.random.default_rng(3)
+        x = rng.random(shape)
+        layer = SpikingAvgPool2D(2)
+        layer.reset(shape[0], dtype=np.float64)
+        out = layer.step(x, 0)
+        assert np.array_equal(out, _seed_avg_pool(x, 2, 2))
+
+    def test_avg_pool_non_default_stride_uses_plan_path(self):
+        rng = np.random.default_rng(4)
+        x = rng.random((1, 2, 6, 6))
+        layer = SpikingAvgPool2D(3, stride=1)
+        layer.reset(1, dtype=np.float64)
+        out = layer.step(x, 0)
+        assert np.array_equal(out, _seed_avg_pool(x, 3, 1))
+
+    @pytest.mark.parametrize("shape", [(2, 3, 8, 8), (1, 1, 2, 2), (2, 2, 5, 5)])
+    def test_max_pool_matches_seed_gating_exactly(self, shape):
+        rng = np.random.default_rng(5)
+        layer = SpikingMaxPool2D(2)
+        layer.reset(shape[0], dtype=np.float64)
+        cumulative = np.zeros(shape)
+        for t in range(6):
+            incoming = rng.random(shape)
+            cumulative += incoming
+            out = layer.step(incoming, t)
+            assert np.array_equal(out, _seed_max_pool_gate(cumulative, incoming, 2, 2)), t
+
+    def test_max_pool_argmax_tie_breaks_to_first(self):
+        """Equal cumulative evidence must forward the first window element,
+        exactly like np.argmax in the original implementation."""
+        layer = SpikingMaxPool2D(2)
+        layer.reset(1, dtype=np.float64)
+        incoming = np.array([[[[0.5, 0.5], [0.5, 0.5]]]])  # all-tied window
+        out = layer.step(incoming, 0)
+        marked = np.array([[[[0.0, 1.0], [2.0, 3.0]]]])
+        out = layer.step(marked, 1)  # cumulative still tied at 0.5+...
+        # cumulative after step 1: [0.5, 1.5, 2.5, 3.5] -> winner is (1,1)
+        assert out[0, 0, 0, 0] == 3.0
+
+    def test_buffers_rebuilt_across_batch_sizes(self):
+        layer = SpikingAvgPool2D(2)
+        rng = np.random.default_rng(6)
+        for batch in (1, 3, 2):
+            layer.reset(batch, dtype=np.float64)
+            x = rng.random((batch, 2, 4, 4))
+            out = layer.step(x, 0)
+            assert out.shape == (batch, 2, 2, 2)
+            assert np.array_equal(out, _seed_avg_pool(x, 2, 2))

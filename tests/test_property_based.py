@@ -91,8 +91,10 @@ class TestNeuronProperties:
     @SETTINGS
     def test_charge_conservation(self, drives, threshold):
         """Reset-by-subtraction: injected = transmitted + residual, and the
-        residual stays below the threshold when inputs are non-negative."""
-        state = IFNeuronState((1, 1), reset_mode="subtract")
+        residual stays below the threshold when inputs are non-negative.
+
+        Exact-arithmetic property: pin float64 (the policy default is float32)."""
+        state = IFNeuronState((1, 1), reset_mode="subtract", dtype=np.float64)
         transmitted = 0.0
         for drive in drives:
             _, amplitude = state.step(np.array([[drive]]), np.asarray(threshold))
@@ -125,9 +127,11 @@ class TestNeuronProperties:
     @SETTINGS
     def test_burst_function_value(self, spike_pattern, beta, v_th):
         """After n consecutive spikes the burst function equals β^n; after any
-        silent step it is exactly 1 (Eq. 8)."""
+        silent step it is exactly 1 (Eq. 8).
+
+        Exact-arithmetic property: pin float64 (the policy default is float32)."""
         threshold = BurstThreshold(v_th=v_th, beta=beta)
-        threshold.reset((1, 1))
+        threshold.reset((1, 1), dtype=np.float64)
         consecutive = 0
         for spiked in spike_pattern:
             threshold.update(np.array([[spiked]]))
@@ -140,6 +144,8 @@ class TestNeuronProperties:
     @SETTINGS
     def test_phase_threshold_bounds_and_periodicity(self, period, v_th, t):
         threshold = PhaseThreshold(v_th=v_th, period=period)
+        # exact bound `value <= v_th / 2`: pin float64 (policy default is float32)
+        threshold.reset((1,), dtype=np.float64)
         value = float(threshold.thresholds(t))
         assert 0 < value <= v_th / 2
         assert value == pytest.approx(float(threshold.thresholds(t + period)))
@@ -156,10 +162,12 @@ class TestEncoderProperties:
     @SETTINGS
     def test_rate_encoder_transmission_error_bounded(self, values, steps):
         """The deterministic rate encoder's cumulative transmission never lags
-        x·t by more than one threshold."""
+        x·t by more than one threshold.
+
+        Exact-arithmetic property: pin float64 (the policy default is float32)."""
         x = np.asarray(values)[None, :]
         encoder = RateEncoder(v_th=1.0)
-        encoder.reset(x)
+        encoder.reset(x, dtype=np.float64)
         total = np.zeros_like(x)
         for t in range(steps):
             total += encoder.step(t).values
@@ -172,10 +180,12 @@ class TestEncoderProperties:
     )
     @SETTINGS
     def test_phase_encoder_period_exactness(self, values, period):
-        """One phase period transmits the `period`-bit quantisation of x."""
+        """One phase period transmits the `period`-bit quantisation of x.
+
+        The quantisation boundary depends on the input precision: pin float64."""
         x = np.asarray(values)[None, :]
         encoder = PhaseEncoder(v_th=1.0, period=period)
-        encoder.reset(x)
+        encoder.reset(x, dtype=np.float64)
         total = np.zeros_like(x)
         for t in range(period):
             total += encoder.step(t).values

@@ -75,11 +75,12 @@ class TestSpikingDense:
         weight = np.eye(1)
         layer = SpikingDense(weight, None, BurstThreshold(v_th=0.25, beta=2.0))
         layer.reset(batch_size=1)
-        # big one-shot input drains as a burst with growing amplitudes
-        out0 = layer.step(np.array([[1.0]]), 0)
-        out1 = layer.step(np.array([[0.0]]), 1)
-        assert out0[0, 0] == 0.25
-        assert out1[0, 0] == 0.5
+        # big one-shot input drains as a burst with growing amplitudes; the
+        # returned array is a reusable buffer, so read it before the next step
+        amp0 = float(layer.step(np.array([[1.0]]), 0)[0, 0])
+        amp1 = float(layer.step(np.array([[0.0]]), 1)[0, 0])
+        assert amp0 == 0.25
+        assert amp1 == 0.5
 
     def test_invalid_weight_shapes(self):
         with pytest.raises(ValueError):

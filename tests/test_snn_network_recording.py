@@ -197,3 +197,52 @@ class TestLayerRecord:
         record = LayerRecord(name="x", num_neurons=3, is_spiking=False)
         record.record_step(None, record_trains=False)
         assert record.spike_counts == [0]
+
+    def test_none_spikes_placeholder_uses_batch_size(self):
+        """The non-spiking placeholder train must match the (batch, n_sampled)
+        shape of the real train steps, also for batch > 1."""
+        record = LayerRecord(name="x", num_neurons=4, is_spiking=True)
+        record.sampled_indices = np.array([0, 2])
+        record.batch_size = 3
+        record.record_step(np.zeros((3, 4), dtype=bool), record_trains=True)
+        record.record_step(None, record_trains=True)
+        trains = record.spike_trains()
+        assert trains.shape == (2, 3, 2)
+
+    def test_preallocated_matches_fallback(self):
+        """Preallocated and growable storage record identical data."""
+        rng = np.random.default_rng(0)
+        steps = [rng.random((2, 5)) > 0.5 for _ in range(4)]
+        pre = LayerRecord(name="a", num_neurons=5, is_spiking=True)
+        pre.sampled_indices = np.array([1, 3])
+        pre.preallocate(time_steps=4, batch_size=2, record_trains=True)
+        fall = LayerRecord(name="b", num_neurons=5, is_spiking=True)
+        fall.sampled_indices = np.array([1, 3])
+        for spikes in steps:
+            pre.record_step(spikes, record_trains=True)
+            fall.record_step(spikes, record_trains=True)
+        assert np.array_equal(np.asarray(pre.spike_counts), np.asarray(fall.spike_counts))
+        assert pre.total_spikes == fall.total_spikes
+        assert np.array_equal(pre.spike_trains(), fall.spike_trains())
+
+    def test_preallocated_partial_run_views(self):
+        record = LayerRecord(name="a", num_neurons=2, is_spiking=True)
+        record.preallocate(time_steps=10, batch_size=1, record_trains=False)
+        record.record_step(np.array([[True, True]]), record_trains=False)
+        record.record_step(np.array([[True, False]]), record_trains=False)
+        assert list(record.spike_counts) == [2, 1]
+        assert record.total_spikes == 3
+
+    def test_preallocated_overflow_rejected(self):
+        record = LayerRecord(name="a", num_neurons=1, is_spiking=True)
+        record.preallocate(time_steps=1, batch_size=1, record_trains=False)
+        record.record_step(np.array([[True]]), record_trains=False)
+        with pytest.raises(RuntimeError):
+            record.record_step(np.array([[True]]), record_trains=False)
+
+    def test_preallocate_validates_arguments(self):
+        record = LayerRecord(name="a", num_neurons=1, is_spiking=True)
+        with pytest.raises(ValueError):
+            record.preallocate(time_steps=0, batch_size=1, record_trains=False)
+        with pytest.raises(ValueError):
+            record.preallocate(time_steps=1, batch_size=0, record_trains=False)
