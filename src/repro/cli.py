@@ -75,6 +75,20 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--images", type=int, default=16)
     compare.add_argument("--v-th", type=float, default=0.125, help="burst base threshold")
     compare.add_argument("--seed", type=int, default=0)
+    compare.add_argument(
+        "--num-workers",
+        type=int,
+        default=None,
+        help="shard batch evaluation across this many worker processes "
+        "(falls back to in-process execution on single-CPU machines)",
+    )
+    compare.add_argument(
+        "--early-exit-patience",
+        type=int,
+        default=None,
+        help="freeze images whose output ranking has been stable for this many "
+        "steps (default: simulate every image for the full time budget)",
+    )
 
     subparsers.add_parser("info", help="print version and available components")
     return parser
@@ -115,6 +129,8 @@ def _command_compare(args: argparse.Namespace) -> int:
             batch_size=16,
             max_test_images=args.images,
             seed=args.seed,
+            num_workers=args.num_workers,
+            early_exit_patience=args.early_exit_patience,
         ),
     )
     table = Table(

@@ -12,12 +12,30 @@ Every experiment in the paper follows the same workflow:
 Figures 2–5 are all driven through one code path, with the weight
 normalisation shared across coding schemes (so every scheme sees identical
 weights, as in the paper).
+
+Sharded evaluation
+------------------
+``PipelineConfig(num_workers=N)`` splits the test set into contiguous shards
+of whole batches and simulates them in worker processes, merging the
+per-shard statistics deterministically: shards are reduced in order, each
+shard runs the exact sequential code path, and the parent's kernel
+calibrations (timing-probed crossovers and conv-engine choices) are fixed
+before the fan-out and shipped to every worker, so the workers dispatch to
+the same kernels a sequential run would.  In float64 the merged
+:class:`AggregatedRun` is bit-identical to a sequential run by construction;
+in float32 it is bit-identical whenever the calibration state covers every
+shard's geometry (always, for uniform batches) and within the engine's
+documented float32 tolerance otherwise.  On single-CPU machines the pipeline
+logs a note and falls back to in-process execution instead of spawning
+workers that would only add overhead (``REPRO_FORCE_SHARDING=1`` overrides
+the guard, for tests).
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -58,6 +76,14 @@ class PipelineConfig(FrozenConfig):
         DNN→SNN conversion options.
     seed:
         Seed for neuron sampling and any stochastic encoder.
+    early_exit_patience:
+        Forwarded to :class:`~repro.snn.network.SimulationConfig`: freeze
+        images whose output argmax has been stable for this many steps
+        (``None`` disables, leaving results identical to the seed engine).
+    num_workers:
+        Shard batch evaluation across this many worker processes (``None`` or
+        1 = sequential).  Falls back to in-process execution on single-CPU
+        machines.
     """
 
     time_steps: int = 200
@@ -69,6 +95,8 @@ class PipelineConfig(FrozenConfig):
     calibration_images: int = 128
     conversion: ConversionConfig = field(default_factory=ConversionConfig)
     seed: int = 0
+    early_exit_patience: Optional[int] = None
+    num_workers: Optional[int] = None
 
     def __post_init__(self) -> None:
         validate_positive("time_steps", self.time_steps)
@@ -77,6 +105,10 @@ class PipelineConfig(FrozenConfig):
         validate_positive("calibration_images", self.calibration_images)
         if self.max_test_images is not None:
             validate_positive("max_test_images", self.max_test_images)
+        if self.early_exit_patience is not None:
+            validate_positive("early_exit_patience", self.early_exit_patience)
+        if self.num_workers is not None:
+            validate_positive("num_workers", self.num_workers)
 
 
 @dataclass
@@ -128,6 +160,47 @@ class AggregatedRun:
         )
 
 
+@dataclass
+class _ShardResult:
+    """Statistics of one contiguous shard of test batches (merge-ready)."""
+
+    recorded_steps: np.ndarray
+    correct_per_step: np.ndarray
+    cumulative_spikes: np.ndarray
+    outputs_final: np.ndarray
+    num_images: int
+    batch_results: List[SimulationResult]
+
+
+def _simulate_shard_worker(
+    pipeline: "SNNInferencePipeline",
+    scheme: HybridCodingScheme,
+    time_steps: int,
+    start: int,
+    stop: int,
+    keep_batch_results: bool,
+    calibration_caches: Optional[Tuple[dict, dict]] = None,
+) -> _ShardResult:
+    """Worker-process entry point: simulate one shard of the test set.
+
+    Module-level so it pickles; the pipeline arrives with its normalisation
+    cache warm, so the worker only converts and simulates.
+    ``calibration_caches`` carries the parent's kernel-calibration state
+    (sparse/dense crossovers and direct-conv engine choices) so every worker
+    dispatches to the same kernels the parent would.
+    """
+    if calibration_caches is not None:
+        from repro.ann.im2col import install_direct_engine_cache
+        from repro.utils.sparsity import install_calibration_cache
+
+        install_calibration_cache(calibration_caches[0])
+        install_direct_engine_cache(calibration_caches[1])
+    snn = pipeline.build_snn(scheme)
+    sim_config = pipeline._sim_config(time_steps)
+    x, y = pipeline._test_arrays()
+    return pipeline._simulate_range(snn, sim_config, x, y, start, stop, keep_batch_results)
+
+
 class SNNInferencePipeline:
     """Convert a trained DNN and evaluate coding schemes on a dataset.
 
@@ -153,6 +226,17 @@ class SNNInferencePipeline:
         self.config = config or PipelineConfig()
         self._dnn_accuracy: Optional[float] = None
         self._normalization: Optional[NormalizationResult] = None
+        # built SNNs are cached per scheme: the conversion and the engine's
+        # per-geometry plans/buffers survive across run_scheme calls (state is
+        # re-initialised by every run's reset)
+        self._snn_cache: Dict[str, SpikingNetwork] = {}
+
+    def __getstate__(self):
+        # the SNN cache holds large reusable buffers and strided views; drop
+        # it when the pipeline is shipped to shard workers
+        state = self.__dict__.copy()
+        state["_snn_cache"] = {}
+        return state
 
     # -- cached intermediate results --------------------------------------
     @property
@@ -194,9 +278,21 @@ class SNNInferencePipeline:
 
     # -- building and running ---------------------------------------------
     def build_snn(self, scheme: HybridCodingScheme) -> SpikingNetwork:
-        """Convert the DNN into an SNN configured for ``scheme``."""
+        """Convert the DNN into an SNN configured for ``scheme`` (cached).
+
+        The converted network (and, with it, the engine's per-geometry plans
+        and buffers) is reused across ``run_scheme`` calls; ``reset``
+        re-initialises all dynamic state on every simulation run.  Networks
+        built around a *stochastic* encoder are rebuilt each call instead, so
+        every ``run_scheme`` starts from the identically seeded RNG the
+        pre-cache pipeline gave it.
+        """
+        key = repr(scheme)
+        cached = self._snn_cache.get(key)
+        if cached is not None:
+            return cached
         encoder = scheme.make_encoder(seed=self.config.seed)
-        return convert_to_snn(
+        snn = convert_to_snn(
             self.model,
             encoder=encoder,
             threshold_factory=scheme.make_threshold_factory(),
@@ -204,6 +300,112 @@ class SNNInferencePipeline:
             normalization_result=self.normalization,
             name=f"{self.model.name}-{scheme.notation}",
         )
+        if getattr(encoder, "deterministic", True):
+            self._snn_cache[key] = snn
+        return snn
+
+    def _sim_config(self, time_steps: int) -> SimulationConfig:
+        config = self.config
+        return SimulationConfig(
+            time_steps=time_steps,
+            record_outputs_every=config.record_outputs_every,
+            record_trains=config.record_trains,
+            sample_fraction=config.sample_fraction,
+            seed=config.seed,
+            early_exit_patience=config.early_exit_patience,
+        )
+
+    def _simulate_range(
+        self,
+        snn: SpikingNetwork,
+        sim_config: SimulationConfig,
+        x: np.ndarray,
+        y: np.ndarray,
+        start: int,
+        stop: int,
+        keep_batch_results: bool,
+    ) -> _ShardResult:
+        """Simulate the image range ``[start, stop)`` batch by batch.
+
+        The per-range final outputs are written into one preallocated array
+        sized from the known image count (instead of an ever-growing list of
+        batch arrays), capping peak memory on large test sets.
+        """
+        config = self.config
+        time_steps = sim_config.time_steps
+        recorded_steps: Optional[np.ndarray] = None
+        correct_per_step: Optional[np.ndarray] = None
+        cumulative_spikes = np.zeros(time_steps, dtype=np.float64)
+        outputs_final: Optional[np.ndarray] = None
+        batch_results: List[SimulationResult] = []
+        count = 0
+
+        for batch_start in range(start, stop, config.batch_size):
+            batch_stop = min(batch_start + config.batch_size, stop)
+            batch_x = x[batch_start:batch_stop]
+            batch_y = y[batch_start:batch_stop]
+            result = snn.run(batch_x, sim_config, labels=batch_y)
+            if recorded_steps is None:
+                recorded_steps = result.recorded_steps
+                correct_per_step = np.zeros(len(recorded_steps), dtype=np.float64)
+                outputs_final = np.empty(
+                    (stop - start, result.final_outputs.shape[1]),
+                    dtype=result.final_outputs.dtype,
+                )
+            predicted = result.output_history.argmax(axis=2)
+            correct_per_step += (predicted == batch_y[None, :]).sum(axis=1)
+            batch_cumulative = result.record.cumulative_spikes()
+            if batch_cumulative.size < time_steps:
+                # early exit froze the whole batch before the horizon: the
+                # cumulative spike count stays flat for the remaining steps
+                padded = np.empty(time_steps, dtype=batch_cumulative.dtype)
+                padded[: batch_cumulative.size] = batch_cumulative
+                padded[batch_cumulative.size :] = (
+                    batch_cumulative[-1] if batch_cumulative.size else 0
+                )
+                batch_cumulative = padded
+            cumulative_spikes += batch_cumulative
+            outputs_final[count : count + batch_x.shape[0]] = result.final_outputs
+            count += batch_x.shape[0]
+            if keep_batch_results:
+                batch_results.append(result)
+
+        assert recorded_steps is not None and outputs_final is not None
+        return _ShardResult(
+            recorded_steps=recorded_steps,
+            correct_per_step=correct_per_step,
+            cumulative_spikes=cumulative_spikes,
+            outputs_final=outputs_final,
+            num_images=count,
+            batch_results=batch_results,
+        )
+
+    def _resolve_workers(self, num_batches: int) -> int:
+        """Effective worker count, guarding the shard path on 1-CPU machines."""
+        requested = self.config.num_workers
+        if not requested or requested <= 1 or num_batches <= 1:
+            return 1
+        cpus = os.cpu_count() or 1
+        if cpus <= 1 and not os.environ.get("REPRO_FORCE_SHARDING"):
+            logger.info(
+                "num_workers=%d requested, but this machine has a single CPU; "
+                "running the shards in-process instead of spawning workers",
+                requested,
+            )
+            return 1
+        return min(requested, num_batches, max(cpus, 2))
+
+    def _shard_ranges(self, num_images: int, workers: int) -> List[Tuple[int, int]]:
+        """Split the test range into ``workers`` contiguous whole-batch shards."""
+        batch = self.config.batch_size
+        num_batches = -(-num_images // batch)
+        per_shard = -(-num_batches // workers)
+        ranges = []
+        for first_batch in range(0, num_batches, per_shard):
+            start = first_batch * batch
+            stop = min((first_batch + per_shard) * batch, num_images)
+            ranges.append((start, stop))
+        return ranges
 
     def run_scheme(
         self,
@@ -211,42 +413,63 @@ class SNNInferencePipeline:
         time_steps: Optional[int] = None,
         keep_batch_results: bool = False,
     ) -> AggregatedRun:
-        """Simulate ``scheme`` over the test set and aggregate the curves."""
+        """Simulate ``scheme`` over the test set and aggregate the curves.
+
+        With ``PipelineConfig(num_workers > 1)`` the batches are sharded
+        across worker processes; the merge is deterministic and identical to
+        the sequential result (shards run the same code on the same slices
+        and are reduced in shard order).
+        """
         config = self.config
         time_steps = time_steps or config.time_steps
         x, y = self._test_arrays()
+        num_images = x.shape[0]
+        sim_config = self._sim_config(time_steps)
         snn = self.build_snn(scheme)
-        sim_config = SimulationConfig(
-            time_steps=time_steps,
-            record_outputs_every=config.record_outputs_every,
-            record_trains=config.record_trains,
-            sample_fraction=config.sample_fraction,
-            seed=config.seed,
-        )
 
-        correct_per_step: Optional[np.ndarray] = None
-        recorded_steps: Optional[np.ndarray] = None
+        num_batches = -(-num_images // config.batch_size)
+        workers = self._resolve_workers(num_batches)
+        if workers > 1 and not getattr(snn.encoder, "deterministic", True):
+            logger.info(
+                "scheme %s uses a stochastic encoder; sharding would re-split its "
+                "random stream across workers — running sequentially",
+                scheme.notation,
+            )
+            workers = 1
+        if workers <= 1:
+            shards = [
+                self._simulate_range(snn, sim_config, x, y, 0, num_images, keep_batch_results)
+            ]
+        else:
+            # warm the shared caches so every worker inherits them via pickle,
+            # and reset the parent's SNN once so the kernel calibrations
+            # (timing-probed, process-wide) are fixed here rather than probed
+            # independently — and possibly differently — inside each worker
+            self.dnn_accuracy
+            self.normalization
+            from repro.utils.dtypes import resolve_dtype
+
+            reset_dtype = resolve_dtype(sim_config.dtype)
+            for layer in snn.layers:
+                layer.reset(min(config.batch_size, num_images), dtype=reset_dtype)
+            shards = self._run_sharded(scheme, time_steps, num_images, workers, keep_batch_results)
+
+        recorded_steps = shards[0].recorded_steps
+        correct_per_step = np.zeros(len(recorded_steps), dtype=np.float64)
         cumulative_spikes = np.zeros(time_steps, dtype=np.float64)
-        outputs_final: List[np.ndarray] = []
+        outputs_final = np.empty(
+            (num_images, shards[0].outputs_final.shape[1]),
+            dtype=shards[0].outputs_final.dtype,
+        )
         batch_results: List[SimulationResult] = []
         total_images = 0
+        for shard in shards:
+            correct_per_step += shard.correct_per_step
+            cumulative_spikes += shard.cumulative_spikes
+            outputs_final[total_images : total_images + shard.num_images] = shard.outputs_final
+            batch_results.extend(shard.batch_results)
+            total_images += shard.num_images
 
-        for start in range(0, x.shape[0], config.batch_size):
-            batch_x = x[start : start + config.batch_size]
-            batch_y = y[start : start + config.batch_size]
-            result = snn.run(batch_x, sim_config, labels=batch_y)
-            if recorded_steps is None:
-                recorded_steps = result.recorded_steps
-                correct_per_step = np.zeros(len(recorded_steps), dtype=np.float64)
-            predicted = result.output_history.argmax(axis=2)
-            correct_per_step += (predicted == batch_y[None, :]).sum(axis=1)
-            cumulative_spikes += result.record.cumulative_spikes()
-            outputs_final.append(result.final_outputs)
-            total_images += batch_x.shape[0]
-            if keep_batch_results:
-                batch_results.append(result)
-
-        assert recorded_steps is not None and correct_per_step is not None
         accuracy_curve = correct_per_step / total_images
         run = AggregatedRun(
             scheme=scheme.notation,
@@ -258,7 +481,7 @@ class SNNInferencePipeline:
             num_neurons=snn.num_neurons(),
             dnn_accuracy=self.dnn_accuracy,
             labels=y[:total_images],
-            outputs_final=np.concatenate(outputs_final, axis=0),
+            outputs_final=outputs_final,
             batch_results=batch_results,
         )
         logger.info(
@@ -269,6 +492,44 @@ class SNNInferencePipeline:
             run.spikes_per_image,
         )
         return run
+
+    def _run_sharded(
+        self,
+        scheme: HybridCodingScheme,
+        time_steps: int,
+        num_images: int,
+        workers: int,
+        keep_batch_results: bool,
+    ) -> List[_ShardResult]:
+        """Fan the shards out to worker processes and collect them in order."""
+        import concurrent.futures
+        import multiprocessing
+
+        from repro.ann.im2col import direct_engine_cache_snapshot
+        from repro.utils.sparsity import calibration_cache_snapshot
+
+        ranges = self._shard_ranges(num_images, workers)
+        # the platform-default start method is deliberate: forcing fork on
+        # platforms that default to spawn (macOS) is unsafe after the parent
+        # has run BLAS work; the calibration snapshot below keeps spawned
+        # workers' kernel choices identical to the parent's either way
+        context = multiprocessing.get_context()
+        caches = (calibration_cache_snapshot(), direct_engine_cache_snapshot())
+        logger.info(
+            "sharding %d images over %d workers (%d shards)",
+            num_images, workers, len(ranges),
+        )
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=workers, mp_context=context
+        ) as pool:
+            futures = [
+                pool.submit(
+                    _simulate_shard_worker,
+                    self, scheme, time_steps, start, stop, keep_batch_results, caches,
+                )
+                for start, stop in ranges
+            ]
+            return [future.result() for future in futures]
 
     def compare(
         self,

@@ -78,6 +78,34 @@ class InputEncoder:
     coding = "base"
     #: average fraction of the analog value transmitted per time step
     throughput_factor = 1.0
+    #: True when the transmitted values are nonzero exactly where spikes were
+    #: emitted (weighted-spike encoders); real coding transmits dense analog
+    #: values without spikes and overrides this to False
+    values_nonzero_tracks_spikes = True
+    #: False for stochastic encoders whose RNG stream advances across runs;
+    #: the pipeline neither caches nor shards networks built around them
+    #: (reuse or re-splitting would change which random numbers each batch
+    #: sees relative to one sequential pass)
+    deterministic = True
+
+    @property
+    def steady_period(self) -> Optional[int]:
+        """Period (in steps) after which the encoder's output repeats exactly.
+
+        ``None`` for encoders whose output is stateful or stochastic.  When a
+        period is declared, the simulation engine caches the first layer's
+        synaptic input per phase and replays it — bit-exact, since the cached
+        arrays are the identical earlier results.
+        """
+        return None
+
+    def shrink_batch(self, keep: np.ndarray) -> None:
+        """Keep only the batch rows ``keep`` (converged-image early exit)."""
+        keep = np.asarray(keep, dtype=np.intp)
+        if keep.size == 0:
+            raise ValueError("shrink_batch requires at least one kept row")
+        if hasattr(self, "_x"):
+            self._x = np.ascontiguousarray(self._x[keep])
 
     def reset(self, x: np.ndarray, dtype: DTypeLike = None) -> None:
         """Load a new input batch (clipped to ``[0, 1]``).
@@ -118,9 +146,18 @@ class RealEncoder(InputEncoder):
 
     coding = "real"
     throughput_factor = 1.0
+    values_nonzero_tracks_spikes = False  # analog values, no spikes
+
+    @property
+    def steady_period(self) -> Optional[int]:
+        return 1  # the analog values are re-delivered unchanged every step
 
     def reset(self, x: np.ndarray, dtype: DTypeLike = None) -> None:
         super().reset(x, dtype)
+        self._no_spikes = np.zeros(self._x.shape, dtype=bool)
+
+    def shrink_batch(self, keep: np.ndarray) -> None:
+        super().shrink_batch(keep)
         self._no_spikes = np.zeros(self._x.shape, dtype=bool)
 
     def step(self, t: int) -> EncodedStep:
@@ -154,6 +191,11 @@ class RateEncoder(InputEncoder):
         )
         self._threshold = np.asarray(self.v_th, dtype=self.dtype)
 
+    def shrink_batch(self, keep: np.ndarray) -> None:
+        super().shrink_batch(keep)
+        if self._state is not None:
+            self._state.shrink_batch(np.asarray(keep, dtype=np.intp))
+
     def step(self, t: int) -> EncodedStep:
         del t
         if self._state is None or self._threshold is None:
@@ -172,6 +214,7 @@ class PoissonRateEncoder(InputEncoder):
 
     coding = "rate-poisson"
     throughput_factor = 1.0
+    deterministic = False
 
     def __init__(self, v_th: float = 1.0, seed: SeedLike = None) -> None:
         validate_positive("v_th", v_th)
@@ -182,6 +225,11 @@ class PoissonRateEncoder(InputEncoder):
 
     def reset(self, x: np.ndarray, dtype: DTypeLike = None) -> None:
         super().reset(x, dtype)
+        self._spikes = np.empty(self._x.shape, dtype=bool)
+        self._values = np.empty(self._x.shape, dtype=self.dtype)
+
+    def shrink_batch(self, keep: np.ndarray) -> None:
+        super().shrink_batch(keep)
         self._spikes = np.empty(self._x.shape, dtype=bool)
         self._values = np.empty(self._x.shape, dtype=self.dtype)
 
@@ -218,6 +266,16 @@ class PhaseEncoder(InputEncoder):
     @property
     def throughput_factor(self) -> float:  # type: ignore[override]
         return 1.0 / self.period
+
+    @property
+    def steady_period(self) -> Optional[int]:
+        return self.period  # the quantised bit pattern repeats every period
+
+    def shrink_batch(self, keep: np.ndarray) -> None:
+        super().shrink_batch(keep)
+        if self._bits is not None:
+            self._bits = np.ascontiguousarray(self._bits[:, np.asarray(keep, dtype=np.intp)])
+            self._values = np.empty(self._x.shape, dtype=self.dtype)
 
     def reset(self, x: np.ndarray, dtype: DTypeLike = None) -> None:
         super().reset(x, dtype)
@@ -264,12 +322,21 @@ class BurstEncoder(InputEncoder):
         )
         self.threshold.reset(self.input.shape, dtype=self.dtype)
 
+    def shrink_batch(self, keep: np.ndarray) -> None:
+        super().shrink_batch(keep)
+        keep = np.asarray(keep, dtype=np.intp)
+        if self._state is not None:
+            self._state.shrink_batch(keep)
+        self.threshold.shrink_batch(keep)
+
     def step(self, t: int) -> EncodedStep:
         if self._state is None:
             raise RuntimeError("encoder.reset(x) must be called before step()")
         thresholds = self.threshold.thresholds(t)
         spikes, amplitudes = self._state.step(self.input, thresholds)
-        self.threshold.update(spikes)
+        self.threshold.update(
+            spikes, self._state.spike_signals, spike_count=self._state.last_spike_count
+        )
         return EncodedStep(values=amplitudes, spikes=spikes)
 
 

@@ -16,19 +16,36 @@ largest cumulative transmitted value.
 Performance contract
 --------------------
 ``step`` is called once per layer per simulation time step and is
-allocation-free in the steady state:
+allocation-free in the steady state (modulo the small per-step index arrays
+of the sparse paths):
 
 * weights are kept as float64 masters and cast **once per reset** to the
   simulation dtype (float32 by default, float64 opt-in — see
   :mod:`repro.utils.dtypes`); per-step bias injection uses a precomputed
   ``bias_scale·b`` vector;
-* conv / pooling layers unfold their inputs through a cached
-  :class:`~repro.ann.im2col.Im2colPlan` (geometry and strided-view parameters
-  computed once, a reusable column buffer refilled each step);
+* every synaptic layer dispatches each step through a per-layer
+  :class:`~repro.utils.sparsity.SparsityDispatcher`: an all-zero incoming
+  tensor short-circuits to a precomputed bias response (exact in every
+  dtype); on the tolerance-based float32 path, measured activity below the
+  layer's auto-calibrated crossover selects a **sparse kernel** —
+  gather-matmul over the active input features for :class:`SpikingDense`, a
+  channel-packed :class:`~repro.ann.im2col.DirectConvPlan` for
+  :class:`SpikingConv2D` — and dense float32 stride-1 convolutions run on
+  the direct (halo) plan rather than the column fill;
+* the float64 exact path keeps the canonical cached
+  :class:`~repro.ann.im2col.Im2colPlan` + GEMM pipeline, so float64 runs
+  stay bit-identical to the seed engine;
+* layers whose incoming drive is *periodic* (a phase- or real-coded input
+  encoder feeding the first layer) can cache their synaptic input per phase
+  via :meth:`_SpikingNeuronLayer.enable_input_caching` — bit-exact in every
+  dtype, since the cached array is the identical GEMM result;
 * GEMMs write into preallocated output buffers, and the max-pool gather uses
   precomputed index arithmetic instead of unfolding its input a second time;
 * the arrays returned by ``step`` are reusable buffers, **valid only until
-  the layer's next step** — copy them if they must survive longer.
+  the layer's next step** — copy them if they must survive longer;
+* :meth:`SpikingLayer.shrink_batch` drops converged images mid-run (the
+  engine's early-exit path), slicing carry-over state and rebuilding the
+  per-batch scratch buffers.
 
 In float64 mode every operation matches the original (allocating) engine
 bit for bit.
@@ -36,14 +53,21 @@ bit for bit.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+import os
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.ann.im2col import Im2colPlan, conv_output_size
+from repro.ann.im2col import DirectConvPlan, Im2colPlan, conv_output_size
 from repro.snn.neurons import IFNeuronState, ResetMode
 from repro.snn.thresholds import ThresholdDynamics
+from repro.utils import sparsity
 from repro.utils.dtypes import DTypeLike, resolve_dtype
+from repro.utils.sparsity import SparsityDispatcher, nonzero_fraction
+
+#: cap on cached periodic synaptic input (elements across all phases) so the
+#: phase cache cannot balloon on huge layers
+_INPUT_CACHE_MAX_ELEMENTS = 16_000_000
 
 
 def _cast_cached(cache: Dict[str, np.ndarray], key: str, master: np.ndarray, dtype: np.dtype) -> np.ndarray:
@@ -72,6 +96,11 @@ class SpikingLayer:
         self.dtype: np.dtype = resolve_dtype(None)
         #: boolean spike array of the most recent step (spiking layers only)
         self.last_spikes: Optional[np.ndarray] = None
+        #: nonzero count of the most recent step's output, when the layer can
+        #: report it for free (spiking layers: the spike count); the engine
+        #: forwards it to the next layer as ``incoming_nonzero`` so cheap
+        #: layers can skip re-scanning their input for activity
+        self.output_nonzero: Optional[int] = None
 
     def reset(self, batch_size: int, dtype: DTypeLike = None) -> None:
         """Allocate per-simulation state for a batch of ``batch_size`` samples.
@@ -85,9 +114,28 @@ class SpikingLayer:
         self.dtype = resolve_dtype(dtype)
         self.last_spikes = None
 
-    def step(self, incoming: np.ndarray, t: int) -> np.ndarray:
-        """Consume incoming amplitudes at step ``t`` and return outgoing ones."""
+    def step(
+        self, incoming: np.ndarray, t: int, incoming_nonzero: Optional[int] = None
+    ) -> np.ndarray:
+        """Consume incoming amplitudes at step ``t`` and return outgoing ones.
+
+        ``incoming_nonzero`` is an optional exact nonzero count of
+        ``incoming`` supplied by the producing layer (see
+        :attr:`output_nonzero`); layers may use it to skip an activity scan.
+        """
         raise NotImplementedError
+
+    def shrink_batch(self, keep: np.ndarray) -> None:
+        """Keep only the batch rows ``keep`` (converged-image early exit).
+
+        Called mid-simulation by the engine when images freeze; subclasses
+        slice their carry-over state and rebuild per-batch scratch buffers.
+        """
+        keep = np.asarray(keep, dtype=np.intp)
+        if keep.size == 0:
+            raise ValueError(f"{self.name}: shrink_batch requires at least one kept row")
+        self.batch_size = int(keep.size)
+        self.last_spikes = None
 
     def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
         """Per-sample output shape given a per-sample input shape."""
@@ -126,6 +174,38 @@ class _SpikingNeuronLayer(SpikingLayer):
         self.bias_scale = float(bias_scale)
         self.state: Optional[IFNeuronState] = None
         self._cast_cache: Dict[str, np.ndarray] = {}
+        self.dispatcher: Optional[SparsityDispatcher] = None
+        self._input_period: Optional[int] = None
+        self._z_cache: Optional[List[Optional[np.ndarray]]] = None
+        #: the engine's exact incoming nonzero count for the current step
+        #: (None outside an engine-driven step); lets _synaptic_input skip
+        #: the activity scan when the hint already decides the outcome
+        self._incoming_nonzero: Optional[int] = None
+
+    def _hinted_decision(self, incoming: np.ndarray) -> Optional[str]:
+        """Dispatch from the engine's nonzero-count hint when conclusive.
+
+        The hint is exact, so a zero count is the (provably exact) empty
+        shortcut in every dtype.  A nonzero count settles the decision when
+        the sparse path cannot be taken anyway (exactness-gated float64), or
+        when the element fraction already reaches the crossover — the
+        structured (channel/feature) fraction is always ≥ the element
+        fraction, so the sparse branch could not have been chosen.
+        """
+        count = self._incoming_nonzero
+        self._incoming_nonzero = None
+        if count is None:
+            return None
+        dispatcher = self.dispatcher
+        assert dispatcher is not None
+        if dispatcher.force is not None or os.environ.get("REPRO_SPARSE_MODE"):
+            return None  # forced modes keep the full (scanned) dispatch path
+        fraction = count / incoming.size
+        if count == 0:
+            return dispatcher.choose(0.0)
+        if dispatcher.exact_only or fraction >= dispatcher.crossover:
+            return dispatcher.choose(fraction)
+        return None
 
     def _state_shape(self, batch_size: int) -> Tuple[int, ...]:
         raise NotImplementedError
@@ -133,24 +213,94 @@ class _SpikingNeuronLayer(SpikingLayer):
     def _prepare_buffers(self, batch_size: int) -> None:
         """Hook for subclasses to (re)build their per-run scratch buffers."""
 
+    def _calibrate_dispatcher(self) -> None:
+        """Hook: auto-calibrate the sparse/dense crossover on first reset."""
+
     def reset(self, batch_size: int, dtype: DTypeLike = None) -> None:
         super().reset(batch_size, dtype)
         shape = self._state_shape(batch_size)
-        self.state = IFNeuronState(shape, reset_mode=self.reset_mode, dtype=self.dtype)
+        if (
+            self.state is not None
+            and self.state.shape == shape
+            and self.state.dtype == self.dtype
+            and self.state.reset_mode is self.reset_mode
+        ):
+            self.state.reset()  # reuse the allocated membrane/scratch buffers
+        else:
+            self.state = IFNeuronState(shape, reset_mode=self.reset_mode, dtype=self.dtype)
         self.threshold.reset(shape, dtype=self.dtype)
+        exact_only = self.dtype == np.float64
+        if self.dispatcher is None:
+            self.dispatcher = SparsityDispatcher(self.name, exact_only=exact_only)
+        else:
+            self.dispatcher.exact_only = exact_only
+            self.dispatcher.reset_counters()
+        self._z_cache = None if self._input_period is None else [None] * self._input_period
         self._prepare_buffers(batch_size)
+        self._calibrate_dispatcher()
+
+    def enable_input_caching(self, period: Optional[int]) -> None:
+        """Cache the synaptic input per phase of a ``period``-periodic drive.
+
+        The simulation engine enables this on the first layer when the input
+        encoder declares a steady period (phase coding repeats its weighted
+        spike pattern every ``period`` steps; real coding every step), so the
+        layer's GEMM runs only during the first period and is replayed from
+        the cache afterwards — bit-exact in every dtype, since the cached
+        array *is* the earlier result.  ``None`` disables caching.
+        """
+        if period is None or period <= 0:
+            self._input_period = None
+            self._z_cache = None
+            return
+        period = int(period)
+        cache_elements = period * (self.batch_size or 0) * max(self.num_neurons, 1)
+        if cache_elements > _INPUT_CACHE_MAX_ELEMENTS:
+            self._input_period = None
+            self._z_cache = None
+            return
+        self._input_period = period
+        self._z_cache = [None] * period
+
+    def shrink_batch(self, keep: np.ndarray) -> None:
+        super().shrink_batch(keep)
+        keep = np.asarray(keep, dtype=np.intp)
+        if self.state is not None:
+            self.state.shrink_batch(keep)
+        self.threshold.shrink_batch(keep)
+        if self._z_cache is not None:
+            self._z_cache = [
+                None if z is None else np.ascontiguousarray(z[keep]) for z in self._z_cache
+            ]
+        self._prepare_buffers(self.batch_size)
 
     def _synaptic_input(self, incoming: np.ndarray) -> np.ndarray:
         raise NotImplementedError
 
-    def step(self, incoming: np.ndarray, t: int) -> np.ndarray:
+    def step(
+        self, incoming: np.ndarray, t: int, incoming_nonzero: Optional[int] = None
+    ) -> np.ndarray:
         if self.state is None:
             raise RuntimeError(f"{self.name}: reset(batch_size) must be called before step()")
-        z = self._synaptic_input(np.asarray(incoming))
+        self._incoming_nonzero = incoming_nonzero
+        cache = self._z_cache
+        if cache is not None:
+            phase = t % self._input_period
+            z = cache[phase]
+            if z is None:
+                # np.array copies the (possibly strided) result into a private
+                # contiguous block that survives future steps
+                z = np.array(self._synaptic_input(np.asarray(incoming)))
+                cache[phase] = z
+        else:
+            z = self._synaptic_input(np.asarray(incoming))
         thresholds = self.threshold.thresholds(t)
         spikes, amplitudes = self.state.step(z, thresholds)
-        self.threshold.update(spikes)
+        self.threshold.update(
+            spikes, self.state.spike_signals, spike_count=self.state.last_spike_count
+        )
         self.last_spikes = spikes
+        self.output_nonzero = self.state.last_spike_count
         return amplitudes
 
     def membrane(self) -> np.ndarray:
@@ -199,6 +349,9 @@ class SpikingDense(_SpikingNeuronLayer):
         self._w_sim: Optional[np.ndarray] = None
         self._scaled_bias: Optional[np.ndarray] = None
         self._z: Optional[np.ndarray] = None
+        self._z_empty: Optional[np.ndarray] = None
+        self._xa_flat: Optional[np.ndarray] = None
+        self._wa_flat: Optional[np.ndarray] = None
 
     @property
     def in_features(self) -> int:
@@ -223,13 +376,46 @@ class SpikingDense(_SpikingNeuronLayer):
             )
         if self._z is None or self._z.shape != (batch_size, self.out_features) or self._z.dtype != self.dtype:
             self._z = np.empty((batch_size, self.out_features), dtype=self.dtype)
+            # gather-path input accumulator: flat scratch carved into (N, a)
+            # views for the step's active-feature count a
+            self._xa_flat = np.empty(batch_size * self.in_features, dtype=self.dtype)
+        if self._wa_flat is None or self._wa_flat.dtype != self.dtype:
+            # weight gather scratch is batch-independent: rebuild on dtype only
+            self._wa_flat = np.empty(self.in_features * self.out_features, dtype=self.dtype)
+        if self._z_empty is None or self._z_empty.shape != self._z.shape or self._z_empty.dtype != self.dtype:
+            self._z_empty = np.zeros((batch_size, self.out_features), dtype=self.dtype)
+            if self._scaled_bias is not None:
+                self._z_empty += self._scaled_bias
 
-    def _synaptic_input(self, incoming: np.ndarray) -> np.ndarray:
-        if incoming.ndim != 2 or incoming.shape[1] != self.in_features:
-            raise ValueError(
-                f"{self.name}: expected incoming shape (N, {self.in_features}), "
-                f"got {incoming.shape}"
+    def _calibrate_dispatcher(self) -> None:
+        dispatcher = self.dispatcher
+        assert dispatcher is not None
+        if dispatcher.exact_only or dispatcher._forced_mode() is not None:
+            return
+        batch = self.batch_size or 1
+        cache_key = ("dense", batch, self.in_features, self.out_features, str(self.dtype))
+        rng = np.random.default_rng(0)
+
+        def make_input(fraction: float) -> np.ndarray:
+            # feature-structured probe: the dispatch metric is the fraction of
+            # *features* active anywhere in the batch, which is what the
+            # gather path's cost scales with
+            count = max(1, int(round(fraction * self.in_features)))
+            features = rng.choice(self.in_features, size=count, replace=False)
+            x = np.zeros((batch, self.in_features), dtype=self.dtype)
+            x[:, features] = np.asarray(
+                (rng.random((batch, count)) < 0.5) * 0.125, dtype=self.dtype
             )
+            return x
+
+        dispatcher.calibrate(
+            cache_key,
+            self._dense_input,
+            lambda x: self._sparse_input(x, np.flatnonzero(x.any(axis=0))),
+            make_input,
+        )
+
+    def _dense_input(self, incoming: np.ndarray) -> np.ndarray:
         z = self._z
         assert z is not None and self._w_sim is not None
         np.matmul(incoming, self._w_sim, out=z)
@@ -237,17 +423,73 @@ class SpikingDense(_SpikingNeuronLayer):
             z += self._scaled_bias
         return z
 
+    def _sparse_input(self, incoming: np.ndarray, active: np.ndarray) -> np.ndarray:
+        """Gather-matmul over the active input features.
+
+        ``incoming[:, active] @ W[active, :]`` with the gathered operands and
+        the output written into preallocated accumulators; features silent
+        across the whole batch contribute exactly zero and are skipped.
+        """
+        count = int(active.size)
+        if count == 0:
+            return self._z_empty
+        if count == self.in_features:
+            return self._dense_input(incoming)
+        batch = incoming.shape[0]
+        assert self._xa_flat is not None and self._wa_flat is not None
+        gathered_x = self._xa_flat[: batch * count].reshape(batch, count)
+        gathered_w = self._wa_flat[: count * self.out_features].reshape(count, self.out_features)
+        np.take(incoming, active, axis=1, out=gathered_x)
+        np.take(self._w_sim, active, axis=0, out=gathered_w)
+        z = self._z
+        assert z is not None
+        np.matmul(gathered_x, gathered_w, out=z)
+        if self._scaled_bias is not None:
+            z += self._scaled_bias
+        return z
+
+    def _synaptic_input(self, incoming: np.ndarray) -> np.ndarray:
+        if incoming.ndim != 2 or incoming.shape[1] != self.in_features:
+            raise ValueError(
+                f"{self.name}: expected incoming shape (N, {self.in_features}), "
+                f"got {incoming.shape}"
+            )
+        dispatcher = self.dispatcher
+        assert dispatcher is not None
+        decision = self._hinted_decision(incoming)  # EMPTY / DENSE / None
+        if decision is None:
+            # dispatch metric: fraction of input features active anywhere in
+            # the batch — the gather path's cost driver, exact for emptiness
+            active = np.flatnonzero(incoming.any(axis=0))
+            decision = dispatcher.choose(active.size / self.in_features)
+            if decision == sparsity.SPARSE:
+                return self._sparse_input(incoming, active)
+        if decision == sparsity.EMPTY:
+            return self._z_empty
+        return self._dense_input(incoming)
+
     def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
         return (self.out_features,)
 
 
 class SpikingConv2D(_SpikingNeuronLayer):
-    """Convolutional spiking layer (im2col-based, channel-first).
+    """Convolutional spiking layer (channel-first).
 
-    The unfold geometry is captured in a cached
-    :class:`~repro.ann.im2col.Im2colPlan` at reset, so the per-step work is
-    one strided refill of the column buffer plus one GEMM into a preallocated
-    output buffer.
+    Three propagation kernels back the layer, selected per step by its
+    :class:`~repro.utils.sparsity.SparsityDispatcher`:
+
+    * **canonical** — cached :class:`~repro.ann.im2col.Im2colPlan` fill + one
+      GEMM, bit-identical to the seed engine (the float64 exact path);
+    * **direct** — a stride-1 :class:`~repro.ann.im2col.DirectConvPlan` (one
+      accumulating GEMM per kernel tap over a padded halo buffer) that skips
+      the column materialisation; the float32 dense path;
+    * **sparse** — the direct plan packed down to the input channels that
+      carry at least one spike this step (the sparse-column path), entered
+      when the measured activity falls below the layer's auto-calibrated
+      crossover.
+
+    All buffers are built lazily per (batch, dtype) geometry and reused
+    across steps.
     """
 
     def __init__(
@@ -291,11 +533,19 @@ class SpikingConv2D(_SpikingNeuronLayer):
             )
         self._out_shape = self.output_shape(self.input_shape)
         self._weight_matrix = self.weight.reshape(self.weight.shape[0], -1)
+        # (K·K, C, out_c) tap stack for the direct plan (float64 master)
+        self._tap_master = np.ascontiguousarray(
+            self.weight.transpose(2, 3, 1, 0).reshape(-1, self.weight.shape[1], self.weight.shape[0])
+        )
         self._plan: Optional[Im2colPlan] = None
+        self._direct: Optional[DirectConvPlan] = None
         self._wmat_t: Optional[np.ndarray] = None
+        self._taps: Optional[np.ndarray] = None
+        self._taps_scratch_flat: Optional[np.ndarray] = None
         self._scaled_bias: Optional[np.ndarray] = None
         self._z2d: Optional[np.ndarray] = None
         self._z4: Optional[np.ndarray] = None
+        self._z_empty: Optional[np.ndarray] = None
 
     @property
     def out_channels(self) -> int:
@@ -313,9 +563,33 @@ class SpikingConv2D(_SpikingNeuronLayer):
     def _state_shape(self, batch_size: int) -> Tuple[int, ...]:
         return (batch_size,) + self._out_shape
 
+    @property
+    def _direct_available(self) -> bool:
+        """The direct (halo) plan covers every stride-1 convolution."""
+        return self.stride == 1
+
     def _prepare_buffers(self, batch_size: int) -> None:
+        out_c, out_h, out_w = self._out_shape
+        wmat = _cast_cached(self._cast_cache, "weight_matrix", self._weight_matrix, self.dtype)
+        self._wmat_t = wmat.T
+        self._taps = _cast_cached(self._cast_cache, "taps", self._tap_master, self.dtype)
+        if self._taps_scratch_flat is None or self._taps_scratch_flat.dtype != self.dtype:
+            # gather scratch for the sparse path's channel-packed tap stack
+            self._taps_scratch_flat = np.empty(self._taps.size, dtype=self.dtype)
+        if self.bias is not None:
+            self._scaled_bias = _cast_cached(
+                self._cast_cache, "scaled_bias", self.bias_scale * self.bias, self.dtype
+            )
+        empty_shape = (batch_size, out_c, out_h, out_w)
+        if self._z_empty is None or self._z_empty.shape != empty_shape or self._z_empty.dtype != self.dtype:
+            self._z_empty = np.zeros(empty_shape, dtype=self.dtype)
+            if self._scaled_bias is not None:
+                self._z_empty += self._scaled_bias[:, None, None]
+
+    def _canonical_plan(self) -> Im2colPlan:
         c, h, w = self.input_shape
         out_c, out_h, out_w = self._out_shape
+        batch_size = self.batch_size
         if (
             self._plan is None
             or self._plan.input_shape != (batch_size, c, h, w)
@@ -329,12 +603,94 @@ class SpikingConv2D(_SpikingNeuronLayer):
             self._z2d = np.empty((batch_size * out_h * out_w, out_c), dtype=self.dtype)
             # (N, out_h, out_w, out_c) -> (N, out_c, out_h, out_w) view, built once
             self._z4 = self._z2d.reshape(batch_size, out_h, out_w, out_c).transpose(0, 3, 1, 2)
-        wmat = _cast_cached(self._cast_cache, "weight_matrix", self._weight_matrix, self.dtype)
-        self._wmat_t = wmat.T
-        if self.bias is not None:
-            self._scaled_bias = _cast_cached(
-                self._cast_cache, "scaled_bias", self.bias_scale * self.bias, self.dtype
+        return self._plan
+
+    def _direct_plan(self) -> DirectConvPlan:
+        c, h, w = self.input_shape
+        batch_size = self.batch_size
+        if (
+            self._direct is None
+            or self._direct.input_shape != (batch_size, c, h, w)
+            or self._direct.dtype != self.dtype
+        ):
+            self._direct = DirectConvPlan(
+                batch_size, c, h, w,
+                self.kernel_size, self.padding, self.out_channels, dtype=self.dtype,
             )
+        return self._direct
+
+    def _calibrate_dispatcher(self) -> None:
+        dispatcher = self.dispatcher
+        assert dispatcher is not None
+        if (
+            dispatcher.exact_only
+            or not self._direct_available
+            or dispatcher._forced_mode() is not None
+        ):
+            return
+        batch = self.batch_size or 1
+        cache_key = (
+            "conv", batch, self.input_shape, self.kernel_size, self.stride,
+            self.padding, self.out_channels, str(self.dtype),
+        )
+        rng = np.random.default_rng(0)
+        channels = self.input_shape[0]
+
+        def make_input(fraction: float) -> np.ndarray:
+            # channel-structured probe: the dispatch metric is the fraction of
+            # input channels carrying any spike, which is what the packed
+            # (sparse-column) path's cost scales with
+            count = max(1, int(round(fraction * channels)))
+            chosen = rng.choice(channels, size=count, replace=False)
+            x = np.zeros((batch,) + self.input_shape, dtype=self.dtype)
+            plane = (batch, count) + self.input_shape[1:]
+            x[:, chosen] = np.asarray((rng.random(plane) < 0.2) * 0.125, dtype=self.dtype)
+            return x
+
+        dispatcher.calibrate(
+            cache_key,
+            self._dense_input,
+            lambda x: self._sparse_input(x, np.flatnonzero(x.any(axis=(0, 2, 3)))),
+            make_input,
+        )
+        # probe the direct plan's GEMM engine now (rather than lazily on the
+        # first step), so resetting a network in the parent process fully
+        # warms the process-wide caches shard workers inherit
+        self._direct_plan()._select_engine()
+
+    def _canonical_input(self, incoming: np.ndarray) -> np.ndarray:
+        plan = self._canonical_plan()
+        assert self._z2d is not None and self._z4 is not None
+        cols = plan.fill(incoming)
+        np.matmul(cols, self._wmat_t, out=self._z2d)
+        if self._scaled_bias is not None:
+            self._z2d += self._scaled_bias
+        return self._z4
+
+    def _dense_input(self, incoming: np.ndarray) -> np.ndarray:
+        # float64 is the exact-match reference precision: stay on the
+        # canonical im2col pipeline there (see repro.utils.sparsity)
+        if self.dtype == np.float64 or not self._direct_available:
+            return self._canonical_input(incoming)
+        return self._direct_plan().run(incoming, self._taps, self._scaled_bias)
+
+    def _sparse_input(self, incoming: np.ndarray, active: np.ndarray) -> np.ndarray:
+        """Sparse-column path: lift and multiply only the input channels that
+        carry at least one spike this step."""
+        count = int(active.size)
+        if count == 0:
+            return self._z_empty
+        if count == incoming.shape[1]:
+            return self._direct_plan().run(incoming, self._taps, self._scaled_bias)
+        assert self._taps is not None and self._taps_scratch_flat is not None
+        kk = self.kernel_size * self.kernel_size
+        taps = self._taps_scratch_flat[: kk * count * self.out_channels].reshape(
+            kk, count, self.out_channels
+        )
+        np.take(self._taps, active, axis=1, out=taps)
+        return self._direct_plan().run(
+            incoming, taps, self._scaled_bias, active_channels=active
+        )
 
     def _synaptic_input(self, incoming: np.ndarray) -> np.ndarray:
         expected_c = self.input_shape[0]
@@ -343,13 +699,22 @@ class SpikingConv2D(_SpikingNeuronLayer):
                 f"{self.name}: expected incoming shape (N, {expected_c}, H, W), "
                 f"got {incoming.shape}"
             )
-        plan = self._plan
-        assert plan is not None and self._z2d is not None and self._z4 is not None
-        cols = plan.fill(incoming)
-        np.matmul(cols, self._wmat_t, out=self._z2d)
-        if self._scaled_bias is not None:
-            self._z2d += self._scaled_bias
-        return self._z4
+        dispatcher = self.dispatcher
+        assert dispatcher is not None
+        decision = self._hinted_decision(incoming)  # EMPTY / DENSE / None
+        if decision is None:
+            # dispatch metric: fraction of input channels carrying any spike —
+            # a cheap reduction that doubles as the sparse path's channel list
+            # and is exact for empty detection (no active channel ⟺ all zero)
+            active = np.flatnonzero(incoming.any(axis=(0, 2, 3)))
+            decision = dispatcher.choose(
+                active.size / expected_c, sparse_available=self._direct_available
+            )
+            if decision == sparsity.SPARSE:
+                return self._sparse_input(incoming, active)
+        if decision == sparsity.EMPTY:
+            return self._z_empty
+        return self._dense_input(incoming)
 
     def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
         c, h, w = input_shape
@@ -375,6 +740,9 @@ class SpikingAvgPool2D(SpikingLayer):
         self._shape: Optional[Tuple[int, int, int, int]] = None
         self._out: Optional[np.ndarray] = None
         self._mean_flat: Optional[np.ndarray] = None
+        # pooling has no cheaper kernel for nonzero input, so the dispatcher
+        # only contributes the (exact) empty-step shortcut
+        self.dispatcher = SparsityDispatcher(name, exact_only=True)
 
     @property
     def _slab_mode(self) -> bool:
@@ -401,7 +769,13 @@ class SpikingAvgPool2D(SpikingLayer):
             self._out = np.empty((n, c, self._plan.out_h, self._plan.out_w), dtype=self.dtype)
             self._mean_flat = self._out.reshape(-1)
 
-    def step(self, incoming: np.ndarray, t: int) -> np.ndarray:
+    def shrink_batch(self, keep: np.ndarray) -> None:
+        super().shrink_batch(keep)
+        self._shape = None  # buffers rebuilt for the smaller batch on next step
+
+    def step(
+        self, incoming: np.ndarray, t: int, incoming_nonzero: Optional[int] = None
+    ) -> np.ndarray:
         del t
         incoming = np.asarray(incoming)
         if not incoming.flags.c_contiguous:
@@ -410,6 +784,15 @@ class SpikingAvgPool2D(SpikingLayer):
         self._ensure_buffers((n, c, h, w))
         out = self._out
         assert out is not None
+        fraction = (
+            incoming_nonzero / incoming.size
+            if incoming_nonzero is not None
+            else nonzero_fraction(incoming)
+        )
+        if self.dispatcher.choose(fraction, sparse_available=False) == sparsity.EMPTY:
+            # pooling an all-zero step is exactly zero in every dtype
+            out.fill(0.0)
+            return out
         if self._slab_mode:
             oh, ow = out.shape[2], out.shape[3]
             # window-column order (0,0), (0,1), (1,0), (1,1) — the same
@@ -458,6 +841,7 @@ class SpikingMaxPool2D(SpikingLayer):
         self._cumulative: Optional[np.ndarray] = None
         self._plan: Optional[Im2colPlan] = None
         self._steps_seen = 0
+        self.dispatcher = SparsityDispatcher(name, exact_only=True)
         # gather machinery (built with the plan)
         self._winners: Optional[np.ndarray] = None
         self._ky: Optional[np.ndarray] = None
@@ -473,6 +857,17 @@ class SpikingMaxPool2D(SpikingLayer):
         self._steps_seen = 0
         if self._cumulative is not None:
             self._cumulative.fill(0.0)
+
+    def shrink_batch(self, keep: np.ndarray) -> None:
+        super().shrink_batch(keep)
+        keep = np.asarray(keep, dtype=np.intp)
+        if self._cumulative is not None:
+            # the cumulative evidence is carry-over state: keep the surviving
+            # rows while the index machinery is rebuilt for the smaller batch
+            kept = np.ascontiguousarray(self._cumulative[keep])
+            self._cumulative = None
+            self._ensure_buffers(kept.shape)
+            np.copyto(self._cumulative, kept)
 
     def _ensure_buffers(self, shape: Tuple[int, int, int, int]) -> None:
         n, c, h, w = shape
@@ -501,7 +896,9 @@ class SpikingMaxPool2D(SpikingLayer):
         self._gated = np.empty((n, c, out_h, out_w), dtype=self.dtype)
         self._gated_flat = self._gated.reshape(-1)
 
-    def step(self, incoming: np.ndarray, t: int) -> np.ndarray:
+    def step(
+        self, incoming: np.ndarray, t: int, incoming_nonzero: Optional[int] = None
+    ) -> np.ndarray:
         del t
         incoming = np.asarray(incoming)
         if not incoming.flags.c_contiguous:
@@ -521,6 +918,17 @@ class SpikingMaxPool2D(SpikingLayer):
         cumulative = self._cumulative
         plan = self._plan
         assert cumulative is not None and plan is not None
+        fraction = (
+            incoming_nonzero / incoming.size
+            if incoming_nonzero is not None
+            else nonzero_fraction(incoming)
+        )
+        if self.dispatcher.choose(fraction, sparse_available=False) == sparsity.EMPTY:
+            # nothing spiked: the cumulative evidence is unchanged, and every
+            # window's winner forwards an amplitude of exactly zero
+            assert self._gated is not None
+            self._gated.fill(0.0)
+            return self._gated
         cumulative += incoming
 
         cum_cols = plan.fill(cumulative.reshape(n * c, 1, h, w))
@@ -551,8 +959,11 @@ class SpikingFlatten(SpikingLayer):
     def __init__(self, name: str = "spiking_flatten") -> None:
         super().__init__(name)
 
-    def step(self, incoming: np.ndarray, t: int) -> np.ndarray:
+    def step(
+        self, incoming: np.ndarray, t: int, incoming_nonzero: Optional[int] = None
+    ) -> np.ndarray:
         del t
+        self.output_nonzero = incoming_nonzero  # a reshape preserves the count
         incoming = np.asarray(incoming)
         return incoming.reshape(incoming.shape[0], -1)
 
@@ -602,11 +1013,24 @@ class OutputAccumulator(SpikingLayer):
             self._scaled_bias = _cast_cached(
                 self._cast_cache, "scaled_bias", self.bias_scale * self.bias, self.dtype
             )
-        self._logits = np.zeros((batch_size, self.num_classes), dtype=self.dtype)
-        self._update = np.empty((batch_size, self.num_classes), dtype=self.dtype)
+        shape = (batch_size, self.num_classes)
+        if self._logits is not None and self._logits.shape == shape and self._logits.dtype == self.dtype:
+            self._logits.fill(0.0)
+        else:
+            self._logits = np.zeros(shape, dtype=self.dtype)
+            self._update = np.empty(shape, dtype=self.dtype)
 
-    def step(self, incoming: np.ndarray, t: int) -> np.ndarray:
-        del t
+    def shrink_batch(self, keep: np.ndarray) -> None:
+        super().shrink_batch(keep)
+        keep = np.asarray(keep, dtype=np.intp)
+        if self._logits is not None:
+            self._logits = np.ascontiguousarray(self._logits[keep])
+            self._update = np.empty_like(self._logits)
+
+    def step(
+        self, incoming: np.ndarray, t: int, incoming_nonzero: Optional[int] = None
+    ) -> np.ndarray:
+        del t, incoming_nonzero
         if self._logits is None or self._update is None or self._w_sim is None:
             raise RuntimeError(f"{self.name}: reset(batch_size) must be called before step()")
         incoming = np.asarray(incoming)

@@ -45,6 +45,13 @@ class SimulationConfig(FrozenConfig):
         the project dtype policy (float32 by default; see
         :mod:`repro.utils.dtypes`).  Float64 runs reproduce the original
         engine's outputs bit for bit.
+    early_exit_patience:
+        Converged-image early exit: freeze an image once its output argmax
+        has been stable for this many consecutive steps, dropping it from the
+        simulated batch (its spikes stop; its recorded scores repeat the
+        converged values for the rest of the run).  ``None`` (default)
+        disables the mechanism entirely, leaving results identical to the
+        seed engine.
     """
 
     time_steps: int = 100
@@ -53,6 +60,7 @@ class SimulationConfig(FrozenConfig):
     sample_fraction: float = 0.1
     seed: int = 0
     dtype: Optional[str] = None
+    early_exit_patience: Optional[int] = None
 
     def __post_init__(self) -> None:
         validate_positive("time_steps", self.time_steps)
@@ -61,6 +69,8 @@ class SimulationConfig(FrozenConfig):
             raise ValueError(
                 f"sample_fraction must be in (0, 1], got {self.sample_fraction}"
             )
+        if self.early_exit_patience is not None:
+            validate_positive("early_exit_patience", self.early_exit_patience)
         resolve_dtype(self.dtype)  # fail fast on unsupported dtypes
 
 
@@ -86,6 +96,9 @@ class SimulationResult:
     batch_size: int
     num_neurons: int
     labels: Optional[np.ndarray] = None
+    #: per-image step at which early exit froze the image (-1 = never frozen;
+    #: None when early exit was disabled)
+    frozen_at: Optional[np.ndarray] = None
 
     @property
     def final_outputs(self) -> np.ndarray:
@@ -262,6 +275,11 @@ class SpikingNetwork:
         self.encoder.reset(x, dtype=dtype)
         for layer in self.layers:
             layer.reset(batch_size, dtype=dtype)
+        # A periodic input drive (phase / real coding) lets the first layer
+        # cache its synaptic input per phase — bit-exact in every dtype.
+        first = self.layers[0]
+        if hasattr(first, "enable_input_caching"):
+            first.enable_input_caching(getattr(self.encoder, "steady_period", None))
 
         # Snapshot steps are known up front, so the output history is one
         # preallocated block filled in place instead of a stack of copies.
@@ -274,19 +292,74 @@ class SpikingNetwork:
             (len(recorded_steps), batch_size, self.num_classes), dtype=dtype
         )
         snapshot = 0
+        patience = config.early_exit_patience
+        # Early-exit bookkeeping: `active` maps the (shrinking) simulated
+        # batch back to the original image indices.
+        active = np.arange(batch_size)
+        latest_logits: Optional[np.ndarray] = None
+        prev_pred = stable = frozen_at = None
+        if patience is not None:
+            latest_logits = np.zeros((batch_size, self.num_classes), dtype=dtype)
+            prev_pred = np.full(batch_size, -1, dtype=np.int64)
+            stable = np.zeros(batch_size, dtype=np.int64)
+            frozen_at = np.full(batch_size, -1, dtype=np.int64)
+
+        # an encoder whose values are nonzero exactly where it spiked lets the
+        # first layer (and the pools downstream) skip activity re-scans
+        encoder_tracks_spikes = getattr(self.encoder, "values_nonzero_tracks_spikes", False)
         for t in range(config.time_steps):
             encoded = self.encoder.step(t)
-            input_record.record_step(encoded.spikes, config.record_trains)
+            batch_indices = active if patience is not None else None
+            input_spikes = encoded.spike_count
+            input_record.record_step(
+                encoded.spikes,
+                config.record_trains,
+                batch_indices=batch_indices,
+                count=input_spikes,
+            )
             values = encoded.values
+            nonzero_hint = input_spikes if encoder_tracks_spikes else None
             for layer, layer_record in zip(self.layers, layer_records):
-                values = layer.step(values, t)
+                layer.output_nonzero = None
+                values = layer.step(values, t, incoming_nonzero=nonzero_hint)
+                nonzero_hint = layer.output_nonzero
                 layer_record.record_step(
-                    layer.last_spikes if layer.is_spiking else None, config.record_trains
+                    layer.last_spikes if layer.is_spiking else None,
+                    config.record_trains,
+                    batch_indices=batch_indices,
+                    count=layer.output_nonzero if layer.is_spiking else None,
                 )
             record.advance()
+            if patience is None:
+                if snapshot < len(recorded_steps) and t + 1 == recorded_steps[snapshot]:
+                    np.copyto(output_history[snapshot], self.output_layer.logits)
+                    snapshot += 1
+                continue
+
+            logits = self.output_layer.logits
+            latest_logits[active] = logits
             if snapshot < len(recorded_steps) and t + 1 == recorded_steps[snapshot]:
-                np.copyto(output_history[snapshot], self.output_layer.logits)
+                np.copyto(output_history[snapshot], latest_logits)
                 snapshot += 1
+            predictions = logits.argmax(axis=1)
+            unchanged = predictions == prev_pred[active]
+            stable[active] = np.where(unchanged, stable[active] + 1, 1)
+            prev_pred[active] = predictions
+            frozen = stable[active] >= patience
+            if frozen.any() and t + 1 < config.time_steps:
+                frozen_at[active[frozen]] = t + 1
+                keep = np.flatnonzero(~frozen)
+                if keep.size == 0:
+                    # every image converged: repeat the converged scores for
+                    # the remaining recorded steps and stop simulating
+                    while snapshot < len(recorded_steps):
+                        np.copyto(output_history[snapshot], latest_logits)
+                        snapshot += 1
+                    break
+                self.encoder.shrink_batch(keep)
+                for layer in self.layers:
+                    layer.shrink_batch(keep)
+                active = active[keep]
 
         return SimulationResult(
             output_history=output_history,
@@ -296,4 +369,5 @@ class SpikingNetwork:
             batch_size=batch_size,
             num_neurons=self.num_neurons(),
             labels=None if labels is None else np.asarray(labels),
+            frozen_at=frozen_at,
         )

@@ -101,8 +101,11 @@ class IFNeuronState:
         self.dtype = resolve_dtype(dtype)
         self.v_mem = np.full(self.shape, self.v_rest, dtype=self.dtype)
         self.total_spikes = 0
+        #: spikes emitted at the most recent step (int; kept for fast dispatch)
+        self.last_spike_count = 0
         # Preallocated per-step scratch buffers (returned by step()).
         self._spikes = np.zeros(self.shape, dtype=bool)
+        self._spike_signals = np.zeros(self.shape, dtype=self.dtype)
         self._amplitudes = np.zeros(self.shape, dtype=self.dtype)
         self._threshold_validated = False
 
@@ -110,7 +113,24 @@ class IFNeuronState:
         """Return the membrane to the resting potential and clear counters."""
         self.v_mem.fill(self.v_rest)
         self.total_spikes = 0
+        self.last_spike_count = 0
         self._threshold_validated = False
+
+    def shrink_batch(self, keep: np.ndarray) -> None:
+        """Keep only the batch rows ``keep`` (converged-image early exit).
+
+        Membrane potentials of the surviving rows carry over; the per-step
+        scratch buffers are rebuilt for the smaller batch.  ``total_spikes``
+        keeps counting across the shrink.
+        """
+        keep = np.asarray(keep, dtype=np.intp)
+        if keep.size == 0:
+            raise ValueError("shrink_batch requires at least one kept row")
+        self.v_mem = np.ascontiguousarray(self.v_mem[keep])
+        self.shape = self.v_mem.shape
+        self._spikes = np.zeros(self.shape, dtype=bool)
+        self._spike_signals = np.zeros(self.shape, dtype=self.dtype)
+        self._amplitudes = np.zeros(self.shape, dtype=self.dtype)
 
     def step(self, z: np.ndarray, threshold: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         """Advance the population by one time step (in place, allocation-free).
@@ -143,12 +163,16 @@ class IFNeuronState:
 
         v_mem = self.v_mem
         spikes = self._spikes
+        signals = self._spike_signals
         amplitudes = self._amplitudes
 
         v_mem += z
         np.greater_equal(v_mem, threshold, out=spikes)
-        # amplitude = threshold where spiking, 0 elsewhere (bool * threshold)
-        np.multiply(threshold, spikes, out=amplitudes)
+        # the same comparison as a 0.0/1.0 float array: float·float ufuncs are
+        # markedly faster than bool→float converting ones, and every value is
+        # exact, so th·signal ≡ th·spike bit for bit in both dtypes
+        np.greater_equal(v_mem, threshold, out=signals)
+        np.multiply(threshold, signals, out=amplitudes)
 
         if self.reset_mode is ResetMode.SUBTRACT:
             v_mem -= amplitudes
@@ -158,8 +182,18 @@ class IFNeuronState:
         if not self.allow_negative_membrane:
             np.maximum(v_mem, self.v_rest, out=v_mem)
 
-        self.total_spikes += int(np.count_nonzero(spikes))
+        self.last_spike_count = int(np.count_nonzero(spikes))
+        self.total_spikes += self.last_spike_count
         return spikes, amplitudes
+
+    @property
+    def spike_signals(self) -> np.ndarray:
+        """The most recent spikes as an exact 0.0/1.0 array in the state dtype.
+
+        Scratch buffer semantics as for :meth:`step`'s return values: valid
+        only until the next ``step`` call.
+        """
+        return self._spike_signals
 
     @property
     def num_neurons(self) -> int:

@@ -74,8 +74,21 @@ class LayerRecord:
             self._trains = None
 
     # -- recording -------------------------------------------------------
-    def record_step(self, spikes: Optional[np.ndarray], record_trains: bool) -> None:
-        """Record one simulation step given the layer's boolean spike array."""
+    def record_step(
+        self,
+        spikes: Optional[np.ndarray],
+        record_trains: bool,
+        batch_indices: Optional[np.ndarray] = None,
+        count: Optional[int] = None,
+    ) -> None:
+        """Record one simulation step given the layer's boolean spike array.
+
+        ``batch_indices`` maps the rows of ``spikes`` back to the original
+        batch when the engine's early exit has shrunk the simulated batch;
+        frozen images keep their (all-zero) train rows.  ``count`` is an
+        optional precomputed ``np.count_nonzero(spikes)`` (the engine already
+        counts spikes for its dispatch hints), skipping a recount here.
+        """
         record_train = record_trains and self.sampled_indices is not None and self.sampled_indices.size
         if self._counts is not None:
             t = self._cursor
@@ -85,10 +98,13 @@ class LayerRecord:
                     f"{self._counts.shape[0]}"
                 )
             if spikes is not None:
-                self._counts[t] = np.count_nonzero(spikes)
+                self._counts[t] = count if count is not None else np.count_nonzero(spikes)
                 if record_train and self._trains is not None:
                     flat = spikes.reshape(spikes.shape[0], -1)
-                    np.take(flat, self.sampled_indices, axis=1, out=self._trains[t])
+                    if batch_indices is None or flat.shape[0] == self._trains.shape[1]:
+                        np.take(flat, self.sampled_indices, axis=1, out=self._trains[t])
+                    else:
+                        self._trains[t, batch_indices] = flat[:, self.sampled_indices]
             # a None / non-spiking step leaves the preallocated zeros in place
             self._cursor = t + 1
             return
@@ -100,10 +116,17 @@ class LayerRecord:
                     np.zeros((self.batch_size, len(self.sampled_indices)), dtype=bool)
                 )
             return
-        self._count_list.append(int(np.count_nonzero(spikes)))
+        self._count_list.append(
+            int(count) if count is not None else int(np.count_nonzero(spikes))
+        )
         if record_train:
             flat = spikes.reshape(spikes.shape[0], -1)
-            self._train_steps.append(flat[:, self.sampled_indices].copy())
+            if batch_indices is None or flat.shape[0] == self.batch_size:
+                self._train_steps.append(flat[:, self.sampled_indices].copy())
+            else:
+                step_trains = np.zeros((self.batch_size, len(self.sampled_indices)), dtype=bool)
+                step_trains[batch_indices] = flat[:, self.sampled_indices]
+                self._train_steps.append(step_trains)
 
     # -- views -----------------------------------------------------------
     @property

@@ -55,6 +55,16 @@ class ThresholdDynamics:
         self._shape = tuple(shape)
         self._dtype = resolve_dtype(dtype)
 
+    def shrink_batch(self, keep: np.ndarray) -> None:
+        """Keep only the batch rows ``keep`` (converged-image early exit).
+
+        The default covers the stateless / globally shared dynamics (rate and
+        phase thresholds are scalar); per-neuron dynamics override this.
+        """
+        shape = getattr(self, "_shape", None)
+        if shape:
+            self._shape = (int(len(keep)),) + tuple(shape[1:])
+
     @property
     def dtype(self) -> np.dtype:
         """Effective dtype of the threshold arrays (policy default until reset)."""
@@ -68,9 +78,21 @@ class ThresholdDynamics:
         """
         raise NotImplementedError
 
-    def update(self, spikes: np.ndarray) -> None:
-        """Observe the spikes emitted at the current step (default: stateless)."""
-        del spikes
+    def update(
+        self,
+        spikes: np.ndarray,
+        spike_signals: Optional[np.ndarray] = None,
+        spike_count: Optional[int] = None,
+    ) -> None:
+        """Observe the spikes emitted at the current step (default: stateless).
+
+        ``spike_signals`` is an optional exact 0.0/1.0 float rendering of
+        ``spikes`` (see :attr:`repro.snn.neurons.IFNeuronState.spike_signals`);
+        stateful dynamics use it to stay on all-float ufunc loops.
+        ``spike_count`` is an optional precomputed ``count_nonzero(spikes)``,
+        letting per-neuron dynamics skip whole-array work on silent steps.
+        """
+        del spikes, spike_signals, spike_count
 
     def describe(self) -> str:
         """One-line description used in experiment logs."""
@@ -203,12 +225,46 @@ class BurstThreshold(ThresholdDynamics):
 
     def reset(self, shape: Tuple[int, ...], dtype: DTypeLike = None) -> None:
         super().reset(shape, dtype)
-        self._g = np.ones(shape, dtype=self._dtype)
-        self._consecutive = np.zeros(shape, dtype=np.int64)
+        shape = tuple(shape)
+        if self._g is not None and self._g.shape == shape and self._g.dtype == self._dtype:
+            # reuse the allocated buffers across simulation runs
+            self._g.fill(1.0)
+            self._consecutive.fill(0)
+        else:
+            self._g = np.ones(shape, dtype=self._dtype)
+            self._consecutive = np.zeros(shape, dtype=np.int64)
+            self._th_buf = np.empty(shape, dtype=self._dtype)
+            self._grown = np.empty(shape, dtype=self._dtype)
+            self._silent = np.empty(shape, dtype=bool)
+            self._silent_signal = np.empty(shape, dtype=self._dtype)
+        self._ceiling = np.finfo(self._dtype).max
+        # g is bounded by β^updates (it resets to 1 on any silent step), so
+        # the overflow clamp is provably the identity until β^(updates+1)
+        # could reach the ceiling — skip the pass until then (bit-exact)
+        self._updates = 0
+        self._clamp_after = max(0, int(np.log(self._ceiling) / np.log(self.beta)) - 2)
+        # silent-step short-circuit: after a fully silent step g is all ones,
+        # and while the layer stays silent both update() and thresholds() are
+        # identities — key to cheap converged/sparse regimes
+        self._g_uniform = True
+        self._th_valid = False
+        if self.max_burst_length is not None:
+            self._cons_scratch = np.empty(shape, dtype=np.int64)
+            self._capped = np.empty(shape, dtype=bool)
+
+    def shrink_batch(self, keep: np.ndarray) -> None:
+        super().shrink_batch(keep)
+        if self._g is None:
+            return
+        keep = np.asarray(keep, dtype=np.intp)
+        self._g = np.ascontiguousarray(self._g[keep])
+        self._consecutive = np.ascontiguousarray(self._consecutive[keep])
+        shape = self._g.shape
         self._th_buf = np.empty(shape, dtype=self._dtype)
         self._grown = np.empty(shape, dtype=self._dtype)
         self._silent = np.empty(shape, dtype=bool)
-        self._ceiling = np.finfo(self._dtype).max
+        self._silent_signal = np.empty(shape, dtype=self._dtype)
+        self._th_valid = False
         if self.max_burst_length is not None:
             self._cons_scratch = np.empty(shape, dtype=np.int64)
             self._capped = np.empty(shape, dtype=bool)
@@ -217,27 +273,44 @@ class BurstThreshold(ThresholdDynamics):
         del t
         if self._g is None or self._th_buf is None:
             raise RuntimeError("BurstThreshold.reset(shape) must be called before use")
+        if self._th_valid:
+            # g has not changed since the last call (silent regime): the
+            # buffer already holds g·v_th
+            return self._th_buf
         np.multiply(self._g, self.v_th, out=self._th_buf)
+        self._th_valid = True
         return self._th_buf
 
-    def update(self, spikes: np.ndarray) -> None:
+    def update(
+        self,
+        spikes: np.ndarray,
+        spike_signals: Optional[np.ndarray] = None,
+        spike_count: Optional[int] = None,
+    ) -> None:
         if self._g is None or self._consecutive is None:
             raise RuntimeError("BurstThreshold.reset(shape) must be called before use")
+        if spike_count == 0 and self._g_uniform and self.max_burst_length is None:
+            # a silent step over an already-reset burst function: g stays all
+            # ones, so the whole update is the identity
+            self._updates += 1
+            return
         g = self._g
         grown = self._grown
-        silent = self._silent
         consecutive = self._consecutive
         if spikes.dtype != np.bool_:
             spikes = np.asarray(spikes, dtype=bool)
-        np.logical_not(spikes, out=silent)
 
         np.multiply(g, self.beta, out=grown)
         # Clamp to the largest finite value: an extreme burst can overflow
         # g·β to inf, and the mask-free combine below would then produce
         # inf·0 = NaN on the first silent step and poison g permanently.
         # A neuron at the ceiling behaves like one at inf (the threshold is
-        # unreachable, so it falls silent and resets to 1 next step).
-        np.minimum(grown, self._ceiling, out=grown)
+        # unreachable, so it falls silent and resets to 1 next step).  While
+        # β^(updates+1) provably cannot reach the ceiling the clamp is the
+        # identity and the pass is skipped.
+        if self._updates >= self._clamp_after:
+            np.minimum(grown, self._ceiling, out=grown)
+        self._updates += 1
         if self.max_burst_length is not None:
             # stop growing once the burst reaches the cap
             np.add(consecutive, 1, out=self._cons_scratch)
@@ -246,8 +319,22 @@ class BurstThreshold(ThresholdDynamics):
             np.multiply(self._cons_scratch, spikes, out=consecutive)
         # g ← spikes ? grown : 1, as three unmasked passes (masked copyto is
         # far slower).  Exact for finite grown: x·1 = x, x·0 = 0, 0+1 = 1.
-        np.multiply(grown, spikes, out=grown)
-        np.add(grown, silent, out=g)
+        # Prefer the exact 0.0/1.0 float rendering of the spikes: the
+        # all-float ufunc loops avoid the slow bool→float casts and produce
+        # bit-identical values.
+        if spike_signals is not None and spike_signals.dtype == self._dtype:
+            np.multiply(grown, spike_signals, out=grown)
+            np.subtract(1.0, spike_signals, out=self._silent_signal)
+            np.add(grown, self._silent_signal, out=g)
+        else:
+            np.logical_not(spikes, out=self._silent)
+            np.multiply(grown, spikes, out=grown)
+            np.add(grown, self._silent, out=g)
+        self._th_valid = False  # g changed; thresholds() must recompute
+        if spike_count is None:
+            self._g_uniform = False  # unknown: assume g may have grown
+        else:
+            self._g_uniform = spike_count == 0
 
     @property
     def burst_function(self) -> np.ndarray:

@@ -1,0 +1,137 @@
+"""Converged-image early exit (``SimulationConfig(early_exit_patience=...)``).
+
+The engine freezes images whose output argmax has been stable for the
+patience window, compacting every layer's state to the surviving batch rows.
+These tests pin the semantics: complete output curves (frozen images repeat
+their converged scores), reduced spike counts, unchanged default behaviour,
+and state-carrying correctness of ``shrink_batch`` across the layer stack.
+"""
+
+import numpy as np
+import pytest
+
+from repro.conversion.converter import convert_to_snn
+from repro.core.hybrid import HybridCodingScheme
+from repro.snn.network import SimulationConfig
+
+
+@pytest.fixture(scope="module")
+def converted_snn(trained_cnn, tiny_color_split):
+    scheme = HybridCodingScheme.from_notation("phase-burst", v_th=0.125)
+    return convert_to_snn(
+        trained_cnn,
+        encoder=scheme.make_encoder(seed=0),
+        threshold_factory=scheme.make_threshold_factory(),
+        calibration_x=tiny_color_split.train.x[:24],
+    )
+
+
+@pytest.fixture(scope="module")
+def test_batch(tiny_color_split):
+    return tiny_color_split.test.x[:8], tiny_color_split.test.y[:8]
+
+
+def test_patience_validation():
+    SimulationConfig(early_exit_patience=5)
+    SimulationConfig(early_exit_patience=None)
+    with pytest.raises(ValueError):
+        SimulationConfig(early_exit_patience=0)
+    with pytest.raises(ValueError):
+        SimulationConfig(early_exit_patience=-3)
+
+
+def test_default_off_is_unchanged(converted_snn, test_batch):
+    """Without patience the engine must behave exactly as before (and report
+    no freeze bookkeeping)."""
+    x, y = test_batch
+    result = converted_snn.run(x, SimulationConfig(time_steps=40), labels=y)
+    assert result.frozen_at is None
+    again = converted_snn.run(x, SimulationConfig(time_steps=40), labels=y)
+    assert np.array_equal(result.output_history, again.output_history)
+    assert result.total_spikes() == again.total_spikes()
+
+
+def test_early_exit_freezes_and_saves_spikes(converted_snn, test_batch):
+    x, y = test_batch
+    dense = converted_snn.run(x, SimulationConfig(time_steps=80), labels=y)
+    fast = converted_snn.run(
+        x, SimulationConfig(time_steps=80, early_exit_patience=15), labels=y
+    )
+    assert fast.frozen_at is not None and fast.frozen_at.shape == (x.shape[0],)
+    assert (fast.frozen_at > 0).any(), "no image converged on this easy task?"
+    assert fast.total_spikes() < dense.total_spikes()
+    # curves stay complete and the final predictions agree with the dense run
+    assert fast.output_history.shape == dense.output_history.shape
+    assert np.array_equal(fast.predictions(), dense.predictions())
+
+
+def test_frozen_scores_repeat(converted_snn, test_batch):
+    x, y = test_batch
+    result = converted_snn.run(
+        x, SimulationConfig(time_steps=60, early_exit_patience=12), labels=y
+    )
+    steps = result.recorded_steps
+    for image, frozen_step in enumerate(result.frozen_at):
+        if frozen_step <= 0:
+            continue
+        frozen_records = np.flatnonzero(steps >= frozen_step)
+        scores = result.output_history[frozen_records, image, :]
+        assert np.array_equal(scores, np.broadcast_to(scores[0], scores.shape)), (
+            f"image {image}: scores changed after freezing at step {frozen_step}"
+        )
+
+
+def test_early_exit_is_deterministic(converted_snn, test_batch):
+    x, y = test_batch
+    config = SimulationConfig(time_steps=50, early_exit_patience=10)
+    a = converted_snn.run(x, config, labels=y)
+    b = converted_snn.run(x, config, labels=y)
+    assert np.array_equal(a.output_history, b.output_history)
+    assert np.array_equal(a.frozen_at, b.frozen_at)
+    assert a.total_spikes() == b.total_spikes()
+
+
+def test_trains_recorded_with_early_exit(converted_snn, test_batch):
+    """Sampled spike trains keep their full (T, batch, n) shape; frozen
+    images simply stop spiking."""
+    x, y = test_batch
+    result = converted_snn.run(
+        x,
+        SimulationConfig(time_steps=50, early_exit_patience=10, record_trains=True),
+        labels=y,
+    )
+    assert (result.frozen_at > 0).any()
+    for record in result.record.layers:
+        if not record.is_spiking or record.sampled_indices is None:
+            continue
+        trains = record.spike_trains()
+        if trains.size == 0:
+            continue
+        assert trains.shape[1] == x.shape[0]
+        for image, frozen_step in enumerate(result.frozen_at):
+            if frozen_step <= 0:
+                continue
+            assert not trains[frozen_step:, image, :].any(), (
+                f"{record.name}: image {image} spiked after freezing"
+            )
+
+
+def test_all_images_frozen_stops_early(converted_snn, test_batch):
+    """With an aggressive patience every image freezes and the recorded spike
+    activity ends before the time budget, while curves stay complete."""
+    x, y = test_batch
+    result = converted_snn.run(
+        x, SimulationConfig(time_steps=200, early_exit_patience=5), labels=y
+    )
+    assert (result.frozen_at > 0).all()
+    assert result.record.time_steps < 200
+    assert result.output_history.shape[0] == 200
+
+
+def test_accuracy_preserved_with_generous_patience(converted_snn, test_batch):
+    x, y = test_batch
+    dense = converted_snn.run(x, SimulationConfig(time_steps=80), labels=y)
+    fast = converted_snn.run(
+        x, SimulationConfig(time_steps=80, early_exit_patience=25), labels=y
+    )
+    assert fast.accuracy() == pytest.approx(dense.accuracy(), abs=1.0 / x.shape[0])
