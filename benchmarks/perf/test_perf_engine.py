@@ -49,20 +49,30 @@ def _git_revision() -> str:
 
 
 def _append_trajectory(report: dict) -> None:
-    """Append this run's end-to-end numbers to the cross-PR trajectory."""
+    """Record this run's end-to-end numbers in the cross-PR trajectory.
+
+    Entries are keyed by ``(git_rev, scale)``: re-running the benchmark at
+    the same revision updates its row in place instead of accumulating
+    duplicates, so the trajectory stays one row per measured revision.
+    """
     end_to_end = report.get("end_to_end", {})
     seconds = end_to_end.get("vgg_phase_burst_run_seconds")
     if seconds is None:
         return
     history = load_bench_json(BENCH_TRAJECTORY_PATH) or {"runs": []}
-    history["runs"].append(
-        {
-            "git_rev": _git_revision(),
-            "scale": report["scale"],
-            "seconds": seconds,
-            "speedup_vs_seed": end_to_end.get("speedup_vs_seed"),
-        }
-    )
+    entry = {
+        "git_rev": _git_revision(),
+        "scale": report["scale"],
+        "seconds": seconds,
+        "speedup_vs_seed": end_to_end.get("speedup_vs_seed"),
+    }
+    runs = history.setdefault("runs", [])
+    for index, run in enumerate(runs):
+        if run.get("git_rev") == entry["git_rev"] and run.get("scale") == entry["scale"]:
+            runs[index] = entry
+            break
+    else:
+        runs.append(entry)
     BENCH_TRAJECTORY_PATH.parent.mkdir(parents=True, exist_ok=True)
     BENCH_TRAJECTORY_PATH.write_text(json.dumps(history, indent=2) + "\n")
 

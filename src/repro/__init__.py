@@ -10,7 +10,10 @@ The package is organised bottom-up:
 * :mod:`repro.snn` — the discrete-time spiking simulator (IF neurons,
   threshold dynamics, weighted spikes, encoders),
 * :mod:`repro.core` — the paper's contribution: burst coding and the
-  layer-wise hybrid coding scheme, plus the end-to-end pipeline,
+  layer-wise hybrid coding scheme, the pluggable coding-scheme registry
+  (:mod:`repro.core.registry`), plus the end-to-end pipeline,
+* :mod:`repro.engine` — the layered inference engine (build / plan / run)
+  and the reusable :class:`~repro.engine.session.InferenceSession`,
 * :mod:`repro.analysis` — ISI / burst / firing-pattern / latency analyses,
 * :mod:`repro.energy` — TrueNorth / SpiNNaker normalized-energy model,
 * :mod:`repro.experiments` — one module per paper table/figure.
@@ -50,12 +53,14 @@ from repro.data import (
     make_mnist_like,
 )
 from repro.models import build_cnn, build_mlp, build_small_cnn, build_vgg16, build_vgg_small
+from repro.engine import InferenceSession, build_network
 from repro.snn import (
     BurstThreshold,
     ConstantThreshold,
     PhaseThreshold,
     SimulationConfig,
     SpikingNetwork,
+    TTFSEncoder,
     make_encoder,
     make_threshold,
 )
@@ -98,6 +103,9 @@ __all__ = [
     "PhaseThreshold",
     "SimulationConfig",
     "SpikingNetwork",
+    "TTFSEncoder",
+    "InferenceSession",
+    "build_network",
     "make_encoder",
     "make_threshold",
     "SPINNAKER",

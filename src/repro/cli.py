@@ -43,6 +43,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulation precision for every run in this invocation "
         "(default: the project dtype policy, float32)",
     )
+    parser.add_argument(
+        "--list-schemes",
+        action="store_true",
+        help="list the registered coding schemes (including extensions) and exit",
+    )
     subparsers = parser.add_subparsers(dest="command")
 
     experiment = subparsers.add_parser(
@@ -119,7 +124,60 @@ def _command_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_schemes(args: argparse.Namespace) -> Optional[List[HybridCodingScheme]]:
+    """Resolve the ``--schemes`` notations through the coding registry.
+
+    Returns ``None`` after printing a helpful error (with the registry's
+    did-you-mean hint and the list of available codings) when a notation is
+    unknown or malformed — instead of surfacing a raw traceback.
+    """
+    schemes: List[HybridCodingScheme] = []
+    for notation in args.schemes:
+        try:
+            schemes.append(
+                HybridCodingScheme.from_notation(
+                    notation, v_th=args.v_th if notation.endswith("burst") else None
+                )
+            )
+        except ValueError as exc:
+            print(f"error: invalid scheme {notation!r}: {exc}", file=sys.stderr)
+            print("use --list-schemes to see the registered codings", file=sys.stderr)
+            return None
+    return schemes
+
+
+def _command_list_schemes() -> int:
+    """Print the coding registry (the ``--list-schemes`` flag)."""
+    from repro.core.registry import definitions, hidden_codings, input_codings
+
+    table = Table(
+        ["coding", "input", "hidden", "default v_th", "description"],
+        title="Registered coding schemes",
+    )
+    for definition in definitions():
+        table.add_row(
+            {
+                "coding": definition.name,
+                "input": "yes" if definition.valid_for_input else "-",
+                "hidden": "yes" if definition.valid_for_hidden else "-",
+                "default v_th": definition.default_v_th,
+                "description": definition.description,
+            }
+        )
+    print(table.render())
+    print(
+        "\ncombine as '<input>-<hidden>', e.g. phase-burst (the paper's proposal) "
+        "or ttfs-burst (a registry extension);"
+        f"\ninput codings : {', '.join(input_codings())}"
+        f"\nhidden codings: {', '.join(hidden_codings())}"
+    )
+    return 0
+
+
 def _command_compare(args: argparse.Namespace) -> int:
+    schemes = _parse_schemes(args)
+    if schemes is None:
+        return 2
     workload = build_workload(dataset=args.dataset, model=args.model, seed=args.seed)
     pipeline = SNNInferencePipeline(
         workload.model,
@@ -137,15 +195,12 @@ def _command_compare(args: argparse.Namespace) -> int:
         ["scheme", "SNN acc %", "DNN acc %", "latency", "spikes/image", "density"],
         title=f"Coding comparison on {workload.name}",
     )
-    for notation in args.schemes:
-        scheme = HybridCodingScheme.from_notation(
-            notation, v_th=args.v_th if notation.endswith("burst") else None
-        )
+    for scheme in schemes:
         run = pipeline.run_scheme(scheme)
         metrics = run.metrics(target_accuracy=run.dnn_accuracy)
         table.add_row(
             {
-                "scheme": notation,
+                "scheme": scheme.notation,
                 "SNN acc %": round(run.accuracy * 100, 2),
                 "DNN acc %": round(run.dnn_accuracy * 100, 2),
                 "latency": metrics.latency if metrics.latency else f">{run.time_steps}",
@@ -158,12 +213,18 @@ def _command_compare(args: argparse.Namespace) -> int:
 
 
 def _command_info() -> int:
+    from repro.core.registry import hidden_codings, input_codings
+
     print(f"repro {__version__}")
     print(f"experiments : {', '.join(EXPERIMENT_NAMES)}")
     print("datasets    : mnist, cifar10, cifar100 (synthetic look-alikes)")
     print("models      : mlp, small_cnn, cnn, vgg_small, vgg16")
-    print("codings     : input = real | rate | phase | burst ; hidden = rate | phase | burst")
+    print(
+        f"codings     : input = {' | '.join(input_codings())} ; "
+        f"hidden = {' | '.join(hidden_codings())}"
+    )
     print("notation    : '<input>-<hidden>', e.g. phase-burst (the paper's proposal)")
+    print("              (--list-schemes prints the full registry)")
     return 0
 
 
@@ -175,6 +236,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.utils.dtypes import set_simulation_dtype
 
         set_simulation_dtype(args.dtype)
+    if args.list_schemes:
+        return _command_list_schemes()
     if args.command == "experiment":
         return _command_experiment(args)
     if args.command == "compare":

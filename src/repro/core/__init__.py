@@ -6,11 +6,16 @@
   "input-hidden" coding combination (e.g. ``phase-burst``) together with the
   factories that build the matching input encoder and hidden-layer threshold
   dynamics.
+* :mod:`repro.core.registry` — the pluggable coding-scheme registry: encoders
+  and threshold dynamics register via decorator, and every name-based call
+  site (``NeuralCoding.from_value``, ``make_encoder``,
+  ``HybridCodingScheme.from_notation``, the CLI) resolves through it.
 * :mod:`repro.core.pipeline` — :class:`SNNInferencePipeline`, the end-to-end
   train → convert → simulate → measure workflow that every experiment and
-  benchmark uses.
+  benchmark uses (delegating to the layered engine in :mod:`repro.engine`).
 """
 
+from repro.core import registry
 from repro.core.coding import NeuralCoding, CodingParams
 from repro.core.hybrid import HybridCodingScheme, standard_schemes, table1_schemes
 from repro.core.pipeline import (
@@ -20,6 +25,7 @@ from repro.core.pipeline import (
 )
 
 __all__ = [
+    "registry",
     "NeuralCoding",
     "CodingParams",
     "HybridCodingScheme",

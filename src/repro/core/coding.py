@@ -15,6 +15,11 @@ class NeuralCoding(str, enum.Enum):
     ``REAL`` is only meaningful for the input layer (it injects the analog
     value directly); ``RATE``, ``PHASE`` and ``BURST`` can be used both as
     input coding and as hidden-layer coding.
+
+    The enum enumerates the paper's four built-ins; additional schemes plug
+    in through :mod:`repro.core.registry` and resolve via
+    :meth:`from_value` to a :class:`~repro.core.registry.CodingTag` carrying
+    the same ``value`` / ``valid_for_hidden`` API.
     """
 
     REAL = "real"
@@ -24,15 +29,29 @@ class NeuralCoding(str, enum.Enum):
 
     @classmethod
     def from_value(cls, value: "NeuralCoding | str") -> "NeuralCoding":
+        """Resolve a coding name to an enum member or a registered extension.
+
+        Built-in names return the matching enum member (so identity checks
+        like ``coding is NeuralCoding.BURST`` keep working); names known only
+        to the scheme registry return a
+        :class:`~repro.core.registry.CodingTag`.  Unknown names raise
+        ``ValueError`` with a did-you-mean hint.
+        """
         if isinstance(value, NeuralCoding):
             return value
-        try:
-            return cls(value.lower())
-        except (ValueError, AttributeError) as exc:
+        from repro.core import registry
+
+        if not isinstance(value, str):
             raise ValueError(
                 f"unknown neural coding {value!r}; expected one of "
-                f"{[c.value for c in cls]}"
-            ) from exc
+                f"{[c.value for c in cls]} or a registered coding name"
+            )
+        try:
+            return cls(value.lower())
+        except ValueError:
+            # fall through to the registry (raises UnknownCodingError, a
+            # ValueError, with suggestions when the name is not registered)
+            return registry.CodingTag(registry.get(value).name)
 
     @property
     def valid_for_hidden(self) -> bool:
@@ -78,8 +97,14 @@ class CodingParams(FrozenConfig):
         if self.max_burst_length is not None:
             validate_positive("max_burst_length", self.max_burst_length)
 
-    def resolved_v_th(self, coding: NeuralCoding) -> float:
-        """The effective threshold for ``coding`` (default if ``v_th`` unset)."""
+    def resolved_v_th(self, coding: "NeuralCoding | str") -> float:
+        """The effective threshold for ``coding`` (default if ``v_th`` unset).
+
+        The per-coding default (1.0 for rate/phase, 0.125 for burst) comes
+        from the scheme registry, so registered extensions resolve too.
+        """
         if self.v_th is not None:
             return float(self.v_th)
-        return 0.125 if coding is NeuralCoding.BURST else 1.0
+        from repro.core import registry
+
+        return registry.default_v_th(getattr(coding, "value", coding))

@@ -12,14 +12,17 @@ encoder and hidden-layer threshold dynamics for the converter.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
+from repro.core import registry
 from repro.core.coding import CodingParams, NeuralCoding
 from repro.conversion.converter import ThresholdFactory
-from repro.snn.encoding import InputEncoder, make_encoder
-from repro.snn.thresholds import ThresholdDynamics, make_threshold
 from repro.utils.config import FrozenConfig
 from repro.utils.rng import SeedLike
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from repro.snn.encoding import InputEncoder
+    from repro.snn.thresholds import ThresholdDynamics
 
 
 @dataclass(frozen=True)
@@ -46,7 +49,14 @@ class HybridCodingScheme(FrozenConfig):
         object.__setattr__(self, "hidden_coding", NeuralCoding.from_value(self.hidden_coding))
         if not self.hidden_coding.valid_for_hidden:
             raise ValueError(
-                "real coding delivers analog values and is only valid for the input layer"
+                f"{self.hidden_coding.value!r} coding has no hidden-layer threshold "
+                "dynamics and is only valid for the input layer "
+                f"(hidden codings: {', '.join(registry.hidden_codings())})"
+            )
+        if not registry.get(self.input_coding.value).valid_for_input:
+            raise ValueError(
+                f"{self.input_coding.value!r} coding has no input encoder; "
+                f"input codings: {', '.join(registry.input_codings())}"
             )
 
     # -- construction helpers --------------------------------------------
@@ -98,17 +108,13 @@ class HybridCodingScheme(FrozenConfig):
         return f"{self.input_coding.value}-{self.hidden_coding.value}"
 
     # -- factories handed to the converter --------------------------------
-    def make_encoder(self, seed: SeedLike = None) -> InputEncoder:
-        """Build the input encoder implementing the input-layer coding."""
-        params = self.input_params
-        return make_encoder(
-            self.input_coding.value,
-            v_th=params.v_th,
-            phase_period=params.phase_period,
-            beta=params.beta,
-            seed=seed,
-            stochastic=params.stochastic_input,
-        )
+    def make_encoder(self, seed: SeedLike = None) -> "InputEncoder":
+        """Build the input encoder implementing the input-layer coding.
+
+        Resolution goes through the scheme registry, so registered extensions
+        (e.g. TTFS) build here without this class enumerating them.
+        """
+        return registry.build_encoder(self.input_coding.value, params=self.input_params, seed=seed)
 
     def make_threshold_factory(self) -> ThresholdFactory:
         """Build the callback producing hidden-layer threshold dynamics.
@@ -117,17 +123,11 @@ class HybridCodingScheme(FrozenConfig):
         is per-neuron state and must not be shared across layers).
         """
         params = self.hidden_params
-        coding = self.hidden_coding
+        coding_name = self.hidden_coding.value
 
-        def factory(hidden_index: int, layer_name: str) -> ThresholdDynamics:
+        def factory(hidden_index: int, layer_name: str) -> "ThresholdDynamics":
             del hidden_index, layer_name
-            return make_threshold(
-                coding.value,
-                v_th=params.v_th,
-                beta=params.beta,
-                phase_period=params.phase_period,
-                max_burst_length=params.max_burst_length,
-            )
+            return registry.build_threshold(coding_name, params=params)
 
         return factory
 

@@ -13,6 +13,13 @@ Figures 2–5 are all driven through one code path, with the weight
 normalisation shared across coding schemes (so every scheme sees identical
 weights, as in the paper).
 
+The heavy lifting is delegated to the layered engine (:mod:`repro.engine`):
+conversion goes through the *build* stage, every batch is served through a
+reusable :class:`~repro.engine.session.InferenceSession` (*plan* + *run*),
+and sharded evaluation fans out through the engine's shard orchestration —
+the pipeline itself only owns dataset slicing, caching policy and the
+statistics merge.
+
 Sharded evaluation
 ------------------
 ``PipelineConfig(num_workers=N)`` splits the test set into contiguous shards
@@ -33,7 +40,7 @@ the guard, for tests).
 
 from __future__ import annotations
 
-import os
+import functools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -41,10 +48,13 @@ import numpy as np
 
 from repro.analysis.metrics import InferenceMetrics, compute_inference_metrics
 from repro.ann.model import Sequential
-from repro.conversion.converter import ConversionConfig, convert_to_snn
+from repro.conversion.converter import ConversionConfig
 from repro.conversion.normalization import NormalizationResult, normalize_weights
 from repro.core.hybrid import HybridCodingScheme
 from repro.data.dataset import DataSplit
+from repro.engine.build import build_network
+from repro.engine.run import resolve_worker_count, run_sharded, shard_ranges
+from repro.engine.session import InferenceSession
 from repro.snn.network import SimulationConfig, SimulationResult, SpikingNetwork
 from repro.utils.config import FrozenConfig, validate_positive
 from repro.utils.logging import get_logger
@@ -172,35 +182,6 @@ class _ShardResult:
     batch_results: List[SimulationResult]
 
 
-def _simulate_shard_worker(
-    pipeline: "SNNInferencePipeline",
-    scheme: HybridCodingScheme,
-    time_steps: int,
-    start: int,
-    stop: int,
-    keep_batch_results: bool,
-    calibration_caches: Optional[Tuple[dict, dict]] = None,
-) -> _ShardResult:
-    """Worker-process entry point: simulate one shard of the test set.
-
-    Module-level so it pickles; the pipeline arrives with its normalisation
-    cache warm, so the worker only converts and simulates.
-    ``calibration_caches`` carries the parent's kernel-calibration state
-    (sparse/dense crossovers and direct-conv engine choices) so every worker
-    dispatches to the same kernels the parent would.
-    """
-    if calibration_caches is not None:
-        from repro.ann.im2col import install_direct_engine_cache
-        from repro.utils.sparsity import install_calibration_cache
-
-        install_calibration_cache(calibration_caches[0])
-        install_direct_engine_cache(calibration_caches[1])
-    snn = pipeline.build_snn(scheme)
-    sim_config = pipeline._sim_config(time_steps)
-    x, y = pipeline._test_arrays()
-    return pipeline._simulate_range(snn, sim_config, x, y, start, stop, keep_batch_results)
-
-
 class SNNInferencePipeline:
     """Convert a trained DNN and evaluate coding schemes on a dataset.
 
@@ -291,16 +272,15 @@ class SNNInferencePipeline:
         cached = self._snn_cache.get(key)
         if cached is not None:
             return cached
-        encoder = scheme.make_encoder(seed=self.config.seed)
-        snn = convert_to_snn(
+        snn = build_network(
             self.model,
-            encoder=encoder,
-            threshold_factory=scheme.make_threshold_factory(),
-            config=self.config.conversion,
-            normalization_result=self.normalization,
+            scheme,
+            conversion=self.config.conversion,
+            normalization=self.normalization,
+            seed=self.config.seed,
             name=f"{self.model.name}-{scheme.notation}",
         )
-        if getattr(encoder, "deterministic", True):
+        if getattr(snn.encoder, "deterministic", True):
             self._snn_cache[key] = snn
         return snn
 
@@ -327,12 +307,17 @@ class SNNInferencePipeline:
     ) -> _ShardResult:
         """Simulate the image range ``[start, stop)`` batch by batch.
 
-        The per-range final outputs are written into one preallocated array
-        sized from the known image count (instead of an ever-growing list of
-        batch arrays), capping peak memory on large test sets.
+        Every batch is served through one reusable
+        :class:`~repro.engine.session.InferenceSession`, so the simulation
+        plan and the layers' cached kernel plans/buffers are amortised across
+        the range.  The per-range final outputs are written into one
+        preallocated array sized from the known image count (instead of an
+        ever-growing list of batch arrays), capping peak memory on large test
+        sets.
         """
         config = self.config
         time_steps = sim_config.time_steps
+        session = InferenceSession(snn, sim_config)
         recorded_steps: Optional[np.ndarray] = None
         correct_per_step: Optional[np.ndarray] = None
         cumulative_spikes = np.zeros(time_steps, dtype=np.float64)
@@ -344,7 +329,7 @@ class SNNInferencePipeline:
             batch_stop = min(batch_start + config.batch_size, stop)
             batch_x = x[batch_start:batch_stop]
             batch_y = y[batch_start:batch_stop]
-            result = snn.run(batch_x, sim_config, labels=batch_y)
+            result = session.run(batch_x, labels=batch_y)
             if recorded_steps is None:
                 recorded_steps = result.recorded_steps
                 correct_per_step = np.zeros(len(recorded_steps), dtype=np.float64)
@@ -382,30 +367,30 @@ class SNNInferencePipeline:
 
     def _resolve_workers(self, num_batches: int) -> int:
         """Effective worker count, guarding the shard path on 1-CPU machines."""
-        requested = self.config.num_workers
-        if not requested or requested <= 1 or num_batches <= 1:
-            return 1
-        cpus = os.cpu_count() or 1
-        if cpus <= 1 and not os.environ.get("REPRO_FORCE_SHARDING"):
-            logger.info(
-                "num_workers=%d requested, but this machine has a single CPU; "
-                "running the shards in-process instead of spawning workers",
-                requested,
-            )
-            return 1
-        return min(requested, num_batches, max(cpus, 2))
+        return resolve_worker_count(self.config.num_workers, num_batches, log=logger)
 
     def _shard_ranges(self, num_images: int, workers: int) -> List[Tuple[int, int]]:
         """Split the test range into ``workers`` contiguous whole-batch shards."""
-        batch = self.config.batch_size
-        num_batches = -(-num_images // batch)
-        per_shard = -(-num_batches // workers)
-        ranges = []
-        for first_batch in range(0, num_batches, per_shard):
-            start = first_batch * batch
-            stop = min((first_batch + per_shard) * batch, num_images)
-            ranges.append((start, stop))
-        return ranges
+        return shard_ranges(num_images, self.config.batch_size, workers)
+
+    def _simulate_shard(
+        self,
+        scheme: HybridCodingScheme,
+        time_steps: int,
+        keep_batch_results: bool,
+        start: int,
+        stop: int,
+    ) -> _ShardResult:
+        """Simulate one shard of the test set (worker-process entry point).
+
+        Bound-method pickling ships the pipeline with its normalisation cache
+        warm (and the SNN cache dropped, see ``__getstate__``), so the worker
+        only converts and simulates.
+        """
+        snn = self.build_snn(scheme)
+        sim_config = self._sim_config(time_steps)
+        x, y = self._test_arrays()
+        return self._simulate_range(snn, sim_config, x, y, start, stop, keep_batch_results)
 
     def run_scheme(
         self,
@@ -501,35 +486,21 @@ class SNNInferencePipeline:
         workers: int,
         keep_batch_results: bool,
     ) -> List[_ShardResult]:
-        """Fan the shards out to worker processes and collect them in order."""
-        import concurrent.futures
-        import multiprocessing
+        """Fan the shards out via the engine's orchestration layer.
 
-        from repro.ann.im2col import direct_engine_cache_snapshot
-        from repro.utils.sparsity import calibration_cache_snapshot
-
+        :func:`repro.engine.run.run_sharded` snapshots the parent's kernel
+        calibrations and installs them in every worker, so the merged result
+        is deterministic and identical to the sequential run.
+        """
         ranges = self._shard_ranges(num_images, workers)
-        # the platform-default start method is deliberate: forcing fork on
-        # platforms that default to spawn (macOS) is unsafe after the parent
-        # has run BLAS work; the calibration snapshot below keeps spawned
-        # workers' kernel choices identical to the parent's either way
-        context = multiprocessing.get_context()
-        caches = (calibration_cache_snapshot(), direct_engine_cache_snapshot())
         logger.info(
             "sharding %d images over %d workers (%d shards)",
             num_images, workers, len(ranges),
         )
-        with concurrent.futures.ProcessPoolExecutor(
-            max_workers=workers, mp_context=context
-        ) as pool:
-            futures = [
-                pool.submit(
-                    _simulate_shard_worker,
-                    self, scheme, time_steps, start, stop, keep_batch_results, caches,
-                )
-                for start, stop in ranges
-            ]
-            return [future.result() for future in futures]
+        worker = functools.partial(
+            self._simulate_shard, scheme, time_steps, keep_batch_results
+        )
+        return run_sharded(worker, ranges, workers)
 
     def compare(
         self,

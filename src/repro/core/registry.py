@@ -1,0 +1,271 @@
+"""Pluggable registry of neural coding schemes.
+
+The paper treats coding schemes (real, rate, phase, burst, …) as
+interchangeable policies over one conversion + simulation substrate.  This
+module is the single place where a coding *name* is resolved into the
+factories that implement it:
+
+* an **encoder factory** builds the input-layer
+  :class:`~repro.snn.encoding.InputEncoder` (``None`` when the coding cannot
+  drive the input layer),
+* a **threshold factory** builds the hidden-layer
+  :class:`~repro.snn.thresholds.ThresholdDynamics` (``None`` when the coding
+  is input-only, e.g. real or TTFS coding).
+
+``NeuralCoding.from_value``, ``make_encoder``, ``make_threshold`` and
+``HybridCodingScheme.from_notation`` all resolve through this registry, so a
+new scheme plugs in without touching any of those call sites.
+
+Adding a scheme in one file
+---------------------------
+Write a module that defines the encoder (and/or threshold dynamics) and
+registers it::
+
+    from repro.core.registry import register_encoder
+
+    @register_encoder("my-coding", default_v_th=1.0, description="…")
+    def _build_my_encoder(params, seed=None):
+        return MyEncoder(v_th=params.v_th, period=params.phase_period)
+
+Import the module once (anywhere before first use — the built-in extension
+:mod:`repro.snn.ttfs` is imported by :func:`_ensure_builtins`) and the scheme
+is available everywhere: ``HybridCodingScheme.from_notation("my-coding-burst")``,
+the pipeline, the CLI (``repro --list-schemes``) and the experiments.
+
+The registry itself is runtime-import-free (it only imports the standard
+library at module level), so the encoder/threshold modules can safely import
+it while ``repro.core`` is still initialising.
+"""
+
+from __future__ import annotations
+
+import difflib
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from repro.core.coding import CodingParams
+    from repro.snn.encoding import InputEncoder
+    from repro.snn.thresholds import ThresholdDynamics
+    from repro.utils.rng import SeedLike
+
+#: builds an input encoder from the scheme parameters (and an optional seed
+#: for stochastic encoders)
+EncoderFactory = Callable[["CodingParams", "SeedLike"], "InputEncoder"]
+#: builds hidden-layer threshold dynamics from the scheme parameters
+ThresholdFactory = Callable[["CodingParams"], "ThresholdDynamics"]
+
+
+class UnknownCodingError(ValueError):
+    """Raised when a coding name is not registered (with a did-you-mean hint)."""
+
+
+class CodingDefinition:
+    """One registered coding scheme: name, factories and defaults."""
+
+    __slots__ = ("name", "description", "default_v_th", "encoder_factory", "threshold_factory")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.description = ""
+        self.default_v_th = 1.0
+        self.encoder_factory: Optional[EncoderFactory] = None
+        self.threshold_factory: Optional[ThresholdFactory] = None
+
+    @property
+    def valid_for_input(self) -> bool:
+        """Whether the coding can drive the input layer."""
+        return self.encoder_factory is not None
+
+    @property
+    def valid_for_hidden(self) -> bool:
+        """Whether the coding can drive hidden layers (they receive spikes)."""
+        return self.threshold_factory is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return (
+            f"CodingDefinition({self.name!r}, input={self.valid_for_input}, "
+            f"hidden={self.valid_for_hidden}, default_v_th={self.default_v_th})"
+        )
+
+
+class CodingTag(str):
+    """A registry-backed coding name mimicking the ``NeuralCoding`` enum API.
+
+    ``NeuralCoding.from_value`` returns the enum member for the paper's four
+    built-in codings and a :class:`CodingTag` for registry extensions (e.g.
+    TTFS), so downstream code can use ``coding.value`` /
+    ``coding.valid_for_hidden`` uniformly without the enum having to know
+    about every pluggable scheme.
+    """
+
+    __slots__ = ()
+
+    @property
+    def value(self) -> str:
+        return str(self)
+
+    @property
+    def valid_for_hidden(self) -> bool:
+        return get(self).valid_for_hidden
+
+
+_REGISTRY: Dict[str, CodingDefinition] = {}
+_BUILTINS_LOADED = False
+
+
+def _definition(name: str) -> CodingDefinition:
+    """Create-or-get the definition for ``name`` (registration-time helper)."""
+    key = str(name).strip().lower()
+    if not key:
+        raise ValueError("coding name must be a non-empty string")
+    definition = _REGISTRY.get(key)
+    if definition is None:
+        definition = CodingDefinition(key)
+        _REGISTRY[key] = definition
+    return definition
+
+
+def register_encoder(
+    name: str, *, default_v_th: Optional[float] = None, description: str = ""
+) -> Callable[[EncoderFactory], EncoderFactory]:
+    """Decorator registering an input-encoder factory for coding ``name``.
+
+    The factory is called as ``factory(params, seed)`` with a
+    :class:`~repro.core.coding.CodingParams` whose ``v_th`` has already been
+    resolved (``default_v_th`` substituted when the caller left it unset).
+    ``default_v_th=None`` leaves the coding's current default untouched (1.0
+    unless another registration for the same name set it), so encoder and
+    threshold registrations of one coding cannot clobber each other.
+    """
+
+    def decorator(factory: EncoderFactory) -> EncoderFactory:
+        definition = _definition(name)
+        definition.encoder_factory = factory
+        if default_v_th is not None:
+            definition.default_v_th = float(default_v_th)
+        if description:
+            definition.description = description
+        return factory
+
+    return decorator
+
+
+def register_threshold(
+    name: str, *, default_v_th: Optional[float] = None, description: str = ""
+) -> Callable[[ThresholdFactory], ThresholdFactory]:
+    """Decorator registering a hidden-layer threshold factory for ``name``.
+
+    The factory is called as ``factory(params)`` with resolved ``v_th``.
+    ``default_v_th=None`` leaves the coding's current default untouched (see
+    :func:`register_encoder`).
+    """
+
+    def decorator(factory: ThresholdFactory) -> ThresholdFactory:
+        definition = _definition(name)
+        definition.threshold_factory = factory
+        if default_v_th is not None:
+            definition.default_v_th = float(default_v_th)
+        if not definition.description and description:
+            definition.description = description
+        return factory
+
+    return decorator
+
+
+def _ensure_builtins() -> None:
+    """Import the modules that register the built-in codings (idempotent).
+
+    The loaded flag is only set after every import succeeds, so a transient
+    import failure surfaces again on the next call instead of leaving the
+    registry permanently empty behind ``UnknownCodingError``s.
+    """
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    # imported for their registration side effects
+    import repro.snn.encoding  # noqa: F401  (real / rate / phase / burst encoders)
+    import repro.snn.thresholds  # noqa: F401  (rate / phase / burst thresholds)
+    import repro.snn.ttfs  # noqa: F401  (the registry-extension proof: TTFS)
+
+    _BUILTINS_LOADED = True
+
+
+def get(name: str) -> CodingDefinition:
+    """Resolve a coding name, raising :class:`UnknownCodingError` with a
+    did-you-mean hint and the list of registered codings on a miss."""
+    _ensure_builtins()
+    key = str(name).strip().lower()
+    definition = _REGISTRY.get(key)
+    if definition is None:
+        available = sorted(_REGISTRY)
+        close = difflib.get_close_matches(key, available, n=1)
+        hint = f"did you mean {close[0]!r}? " if close else ""
+        raise UnknownCodingError(
+            f"unknown neural coding {name!r}; {hint}available: {', '.join(available)}"
+        )
+    return definition
+
+
+def is_registered(name: str) -> bool:
+    """Whether ``name`` resolves to a registered coding."""
+    _ensure_builtins()
+    return str(name).strip().lower() in _REGISTRY
+
+
+def definitions() -> List[CodingDefinition]:
+    """All registered codings, sorted by name (for listings and docs)."""
+    _ensure_builtins()
+    return [_REGISTRY[key] for key in sorted(_REGISTRY)]
+
+
+def input_codings() -> List[str]:
+    """Names of the codings that can drive the input layer."""
+    return [d.name for d in definitions() if d.valid_for_input]
+
+
+def hidden_codings() -> List[str]:
+    """Names of the codings that can drive hidden layers."""
+    return [d.name for d in definitions() if d.valid_for_hidden]
+
+
+def default_v_th(name: str) -> float:
+    """The per-coding default firing threshold (e.g. 0.125 for burst)."""
+    return get(name).default_v_th
+
+
+def _resolved_params(
+    definition: CodingDefinition, params: Optional["CodingParams"]
+) -> "CodingParams":
+    from repro.core.coding import CodingParams
+
+    if params is None:
+        params = CodingParams()
+    if params.v_th is None:
+        params = params.replace(v_th=definition.default_v_th)
+    return params
+
+
+def build_encoder(
+    name: str, params: Optional["CodingParams"] = None, seed: "SeedLike" = None
+) -> "InputEncoder":
+    """Build the input encoder for coding ``name`` via its registered factory."""
+    definition = get(name)
+    if definition.encoder_factory is None:
+        raise ValueError(
+            f"{definition.name!r} coding cannot drive the input layer; "
+            f"input codings: {', '.join(input_codings())}"
+        )
+    return definition.encoder_factory(_resolved_params(definition, params), seed)
+
+
+def build_threshold(
+    name: str, params: Optional["CodingParams"] = None
+) -> "ThresholdDynamics":
+    """Build the hidden-layer threshold dynamics for coding ``name``."""
+    definition = get(name)
+    if definition.threshold_factory is None:
+        raise ValueError(
+            f"{definition.name!r} coding delivers analog or one-shot values and is only "
+            f"valid for the input layer; hidden codings: {', '.join(hidden_codings())}"
+        )
+    return definition.threshold_factory(_resolved_params(definition, params))

@@ -1,0 +1,237 @@
+"""Run stage: the time-stepped simulation loop and shard orchestration.
+
+This module owns everything that happens *per step* — encoder stepping,
+layer propagation with sparsity hints, spike recording, output snapshots and
+the converged-image early exit — plus the process-level fan-out used for
+sharded evaluation.  The build and plan stages
+(:mod:`repro.engine.build` / :mod:`repro.engine.plan`) feed it;
+``SpikingNetwork.run`` and the pipeline delegate here, so there is exactly
+one step loop in the code base.
+
+In float64 the loop is bit-identical to the original seed engine (golden
+reference ``benchmarks/perf/seed_reference.json``); the float32 default runs
+the measured-activity sparse kernels within the documented tolerance.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+
+import numpy as np
+
+from repro.engine.plan import PreparedBatch, plan_simulation
+from repro.snn.network import SimulationConfig, SimulationResult, SpikingNetwork
+from repro.utils.logging import get_logger
+
+logger = get_logger("engine.run")
+
+T = TypeVar("T")
+
+
+def execute(prepared: PreparedBatch, labels: Optional[np.ndarray] = None) -> SimulationResult:
+    """Run the step loop over a prepared batch and collect the result.
+
+    ``prepared`` is consumed: the encoder/layer state it bound is advanced by
+    the loop, so prepare a fresh batch (``plan.prepare``) for the next run.
+    """
+    plan = prepared.plan
+    network = plan.network
+    config = plan.config
+    dtype = plan.dtype
+    batch_size = prepared.batch_size
+    record = prepared.record
+    input_record = prepared.input_record
+    layer_records = prepared.layer_records
+    encoder = network.encoder
+    layers = network.layers
+    output_layer = network.output_layer
+
+    # Snapshot steps are known from the plan, so the output history is one
+    # preallocated block filled in place instead of a stack of copies.
+    recorded_steps = plan.recorded_steps
+    output_history = np.empty(
+        (len(recorded_steps), batch_size, network.num_classes), dtype=dtype
+    )
+    snapshot = 0
+    patience = config.early_exit_patience
+    # Early-exit bookkeeping: `active` maps the (shrinking) simulated batch
+    # back to the original image indices.
+    active = np.arange(batch_size)
+    latest_logits: Optional[np.ndarray] = None
+    prev_pred = stable = frozen_at = None
+    if patience is not None:
+        latest_logits = np.zeros((batch_size, network.num_classes), dtype=dtype)
+        prev_pred = np.full(batch_size, -1, dtype=np.int64)
+        stable = np.zeros(batch_size, dtype=np.int64)
+        frozen_at = np.full(batch_size, -1, dtype=np.int64)
+
+    # an encoder whose values are nonzero exactly where it spiked lets the
+    # first layer (and the pools downstream) skip activity re-scans
+    encoder_tracks_spikes = getattr(encoder, "values_nonzero_tracks_spikes", False)
+    for t in range(config.time_steps):
+        encoded = encoder.step(t)
+        batch_indices = active if patience is not None else None
+        input_spikes = encoded.spike_count
+        input_record.record_step(
+            encoded.spikes,
+            config.record_trains,
+            batch_indices=batch_indices,
+            count=input_spikes,
+        )
+        values = encoded.values
+        nonzero_hint = input_spikes if encoder_tracks_spikes else None
+        for layer, layer_record in zip(layers, layer_records):
+            layer.output_nonzero = None
+            values = layer.step(values, t, incoming_nonzero=nonzero_hint)
+            nonzero_hint = layer.output_nonzero
+            layer_record.record_step(
+                layer.last_spikes if layer.is_spiking else None,
+                config.record_trains,
+                batch_indices=batch_indices,
+                count=layer.output_nonzero if layer.is_spiking else None,
+            )
+        record.advance()
+        if patience is None:
+            if snapshot < len(recorded_steps) and t + 1 == recorded_steps[snapshot]:
+                np.copyto(output_history[snapshot], output_layer.logits)
+                snapshot += 1
+            continue
+
+        logits = output_layer.logits
+        latest_logits[active] = logits
+        if snapshot < len(recorded_steps) and t + 1 == recorded_steps[snapshot]:
+            np.copyto(output_history[snapshot], latest_logits)
+            snapshot += 1
+        predictions = logits.argmax(axis=1)
+        unchanged = predictions == prev_pred[active]
+        stable[active] = np.where(unchanged, stable[active] + 1, 1)
+        prev_pred[active] = predictions
+        frozen = stable[active] >= patience
+        if frozen.any() and t + 1 < config.time_steps:
+            frozen_at[active[frozen]] = t + 1
+            keep = np.flatnonzero(~frozen)
+            if keep.size == 0:
+                # every image converged: repeat the converged scores for the
+                # remaining recorded steps and stop simulating
+                while snapshot < len(recorded_steps):
+                    np.copyto(output_history[snapshot], latest_logits)
+                    snapshot += 1
+                break
+            encoder.shrink_batch(keep)
+            for layer in layers:
+                layer.shrink_batch(keep)
+            active = active[keep]
+
+    return SimulationResult(
+        output_history=output_history,
+        recorded_steps=np.asarray(recorded_steps, dtype=np.int64),
+        record=record,
+        time_steps=config.time_steps,
+        batch_size=batch_size,
+        num_neurons=network.num_neurons(),
+        labels=None if labels is None else np.asarray(labels),
+        frozen_at=frozen_at,
+    )
+
+
+def simulate(
+    network: SpikingNetwork,
+    x: np.ndarray,
+    config: Optional[SimulationConfig] = None,
+    labels: Optional[np.ndarray] = None,
+) -> SimulationResult:
+    """One-shot convenience: plan, prepare and execute a single batch.
+
+    ``SpikingNetwork.run`` delegates here; callers serving many batches
+    should hold an :class:`~repro.engine.session.InferenceSession` instead,
+    which reuses the plan across requests.
+    """
+    plan = plan_simulation(network, config)
+    return execute(plan.prepare(x), labels=labels)
+
+
+# -- shard orchestration -----------------------------------------------------
+
+def resolve_worker_count(requested: Optional[int], num_batches: int, log=None) -> int:
+    """Effective worker count, guarding the shard path on 1-CPU machines.
+
+    ``log`` is the caller's logger for the fallback note (``None`` uses this
+    module's); ``REPRO_FORCE_SHARDING=1`` overrides the single-CPU guard.
+    """
+    if not requested or requested <= 1 or num_batches <= 1:
+        return 1
+    cpus = os.cpu_count() or 1
+    if cpus <= 1 and not os.environ.get("REPRO_FORCE_SHARDING"):
+        (log or logger).info(
+            "num_workers=%d requested, but this machine has a single CPU; "
+            "running the shards in-process instead of spawning workers",
+            requested,
+        )
+        return 1
+    return min(requested, num_batches, max(cpus, 2))
+
+
+def shard_ranges(num_images: int, batch_size: int, workers: int) -> List[Tuple[int, int]]:
+    """Split ``num_images`` into ``workers`` contiguous whole-batch shards."""
+    num_batches = -(-num_images // batch_size)
+    per_shard = -(-num_batches // workers)
+    ranges = []
+    for first_batch in range(0, num_batches, per_shard):
+        start = first_batch * batch_size
+        stop = min((first_batch + per_shard) * batch_size, num_images)
+        ranges.append((start, stop))
+    return ranges
+
+
+def _sharded_entry(
+    worker: Callable[[int, int], T],
+    start: int,
+    stop: int,
+    calibration_caches: Optional[Tuple[dict, dict]],
+) -> T:
+    """Worker-process entry point: install the parent's kernel calibrations
+    (sparse/dense crossovers and direct-conv engine choices) so every worker
+    dispatches to the same kernels the parent would, then run the shard."""
+    if calibration_caches is not None:
+        from repro.ann.im2col import install_direct_engine_cache
+        from repro.utils.sparsity import install_calibration_cache
+
+        install_calibration_cache(calibration_caches[0])
+        install_direct_engine_cache(calibration_caches[1])
+    return worker(start, stop)
+
+
+def run_sharded(
+    worker: Callable[[int, int], T],
+    ranges: Sequence[Tuple[int, int]],
+    workers: int,
+) -> List[T]:
+    """Fan shard ranges out to worker processes and collect them in order.
+
+    ``worker`` must be picklable (e.g. a bound method of a picklable object,
+    or a :func:`functools.partial` over one) and is called as
+    ``worker(start, stop)`` inside each process.  The parent's process-wide
+    kernel calibrations are snapshotted here and shipped to every worker, so
+    results merge deterministically regardless of per-worker timing probes.
+    """
+    import concurrent.futures
+    import multiprocessing
+
+    from repro.ann.im2col import direct_engine_cache_snapshot
+    from repro.utils.sparsity import calibration_cache_snapshot
+
+    # the platform-default start method is deliberate: forcing fork on
+    # platforms that default to spawn (macOS) is unsafe after the parent has
+    # run BLAS work; the calibration snapshot keeps spawned workers' kernel
+    # choices identical to the parent's either way
+    context = multiprocessing.get_context()
+    caches = (calibration_cache_snapshot(), direct_engine_cache_snapshot())
+    with concurrent.futures.ProcessPoolExecutor(
+        max_workers=workers, mp_context=context
+    ) as pool:
+        futures = [
+            pool.submit(_sharded_entry, worker, start, stop, caches)
+            for start, stop in ranges
+        ]
+        return [future.result() for future in futures]

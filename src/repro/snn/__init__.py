@@ -44,6 +44,7 @@ from repro.snn.layers import (
 )
 from repro.snn.network import SpikingNetwork, SimulationConfig, SimulationResult
 from repro.snn.recording import SpikeRecord, LayerRecord
+from repro.snn.ttfs import TTFSEncoder
 
 __all__ = [
     "IFNeuronState",
@@ -60,6 +61,7 @@ __all__ = [
     "PoissonRateEncoder",
     "PhaseEncoder",
     "BurstEncoder",
+    "TTFSEncoder",
     "make_encoder",
     "SpikingLayer",
     "SpikingDense",

@@ -350,29 +350,77 @@ def make_encoder(
 ) -> InputEncoder:
     """Build an input encoder by coding name.
 
+    Resolution goes through the scheme registry
+    (:mod:`repro.core.registry`), so registered extensions (e.g. ``"ttfs"``)
+    work here without this function knowing about them.
+
     Parameters
     ----------
     coding:
-        ``"real"``, ``"rate"``, ``"phase"`` or ``"burst"``.
+        ``"real"``, ``"rate"``, ``"phase"``, ``"burst"`` or any registered
+        coding name.
     v_th:
-        Spike amplitude scale; defaults to 1.0 (0.125 for burst).
+        Spike amplitude scale; defaults to the coding's registered default
+        (1.0 for most, 0.125 for burst).
     phase_period:
-        Bit-depth / period of phase coding.
+        Bit-depth / period of phase coding (also the TTFS window).
     stochastic:
         For rate coding, use the Poisson variant instead of the deterministic
         integrate-and-fire one.
     """
-    key = coding.lower()
-    if key == "real":
-        return RealEncoder()
-    if key == "rate":
-        if stochastic:
-            return PoissonRateEncoder(v_th=1.0 if v_th is None else v_th, seed=seed)
-        return RateEncoder(v_th=1.0 if v_th is None else v_th)
-    if key == "phase":
-        return PhaseEncoder(v_th=1.0 if v_th is None else v_th, period=phase_period)
-    if key == "burst":
-        return BurstEncoder(v_th=0.125 if v_th is None else v_th, beta=beta)
-    raise ValueError(
-        f"unknown input coding {coding!r}; expected real, rate, phase or burst"
+    from repro.core.coding import CodingParams
+    from repro.core.registry import build_encoder
+
+    params = CodingParams(
+        v_th=v_th, beta=beta, phase_period=phase_period, stochastic_input=stochastic
     )
+    return build_encoder(coding, params=params, seed=seed)
+
+
+# -- registry wiring ---------------------------------------------------------
+# Placed after the encoder classes so this module stays importable while
+# ``repro.core`` is still initialising (the registry module itself is
+# runtime-import-free).  Factories receive a CodingParams whose ``v_th`` has
+# been resolved against ``default_v_th``.
+from repro.core.registry import register_encoder  # noqa: E402
+
+
+@register_encoder(
+    "real",
+    default_v_th=1.0,
+    description="deliver the analog value itself every step (no spikes; input-only)",
+)
+def _build_real_encoder(params, seed: SeedLike = None) -> InputEncoder:
+    del params, seed
+    return RealEncoder()
+
+
+@register_encoder(
+    "rate",
+    default_v_th=1.0,
+    description="spike rate proportional to the value (IF or Poisson input neuron)",
+)
+def _build_rate_encoder(params, seed: SeedLike = None) -> InputEncoder:
+    if params.stochastic_input:
+        return PoissonRateEncoder(v_th=params.v_th, seed=seed)
+    return RateEncoder(v_th=params.v_th)
+
+
+@register_encoder(
+    "phase",
+    default_v_th=1.0,
+    description="k-bit weighted spikes, one value per period of k steps (Kim et al.)",
+)
+def _build_phase_encoder(params, seed: SeedLike = None) -> InputEncoder:
+    del seed
+    return PhaseEncoder(v_th=params.v_th, period=params.phase_period)
+
+
+@register_encoder(
+    "burst",
+    default_v_th=0.125,
+    description="IF neuron with burst threshold adaptation (this paper)",
+)
+def _build_burst_encoder(params, seed: SeedLike = None) -> InputEncoder:
+    del seed
+    return BurstEncoder(v_th=params.v_th, beta=params.beta)

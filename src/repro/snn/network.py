@@ -5,11 +5,17 @@ an :class:`~repro.snn.layers.OutputAccumulator`, together with an input
 encoder.  ``run`` simulates the network for a fixed number of time steps on a
 batch of static inputs and returns a :class:`SimulationResult` containing the
 accumulated class scores over time and the recorded spiking activity.
+
+The simulation itself lives in the layered engine: ``run`` delegates to
+:func:`repro.engine.run.simulate` (plan preparation in
+:mod:`repro.engine.plan`, the step loop in :mod:`repro.engine.run`), so this
+module only defines the network structure, the configuration and the result
+container.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -19,7 +25,6 @@ from repro.snn.layers import OutputAccumulator, SpikingLayer
 from repro.snn.recording import SpikeRecord
 from repro.utils.config import FrozenConfig, validate_positive
 from repro.utils.dtypes import resolve_dtype
-from repro.utils.rng import SeedLike
 
 
 @dataclass(frozen=True)
@@ -240,6 +245,11 @@ class SpikingNetwork:
     ) -> SimulationResult:
         """Simulate the network on a batch of static inputs.
 
+        Delegates to the layered engine — :func:`repro.engine.run.simulate`
+        (plan + step loop); callers serving many batches should hold a
+        :class:`repro.engine.session.InferenceSession` instead, which reuses
+        the plan across requests.
+
         Parameters
         ----------
         x:
@@ -249,125 +259,15 @@ class SpikingNetwork:
         labels:
             Optional ground-truth labels stored on the result for convenience.
         """
-        config = config or SimulationConfig()
-        dtype = resolve_dtype(config.dtype)
-        x = np.asarray(x, dtype=dtype)
-        if x.shape[1:] != self.input_shape:
-            raise ValueError(
-                f"input shape {x.shape[1:]} does not match network input {self.input_shape}"
-            )
-        batch_size = x.shape[0]
-        if batch_size == 0:
-            raise ValueError("input batch is empty")
+        from repro.engine.run import simulate
 
-        record = SpikeRecord(
-            sample_fraction=config.sample_fraction,
-            record_trains=config.record_trains,
-            seed=config.seed,
-        )
-        input_record = record.register_input(self.num_input_neurons())
-        layer_records = [
-            record.register_layer(layer.name, layer.num_neurons, layer.is_spiking)
-            for layer in self.layers
-        ]
-        record.preallocate(config.time_steps, batch_size)
+        return simulate(self, x, config=config, labels=labels)
 
-        self.encoder.reset(x, dtype=dtype)
-        for layer in self.layers:
-            layer.reset(batch_size, dtype=dtype)
-        # A periodic input drive (phase / real coding) lets the first layer
-        # cache its synaptic input per phase — bit-exact in every dtype.
-        first = self.layers[0]
-        if hasattr(first, "enable_input_caching"):
-            first.enable_input_caching(getattr(self.encoder, "steady_period", None))
-
-        # Snapshot steps are known up front, so the output history is one
-        # preallocated block filled in place instead of a stack of copies.
-        recorded_steps = [
-            t + 1
-            for t in range(config.time_steps)
-            if (t + 1) % config.record_outputs_every == 0 or t == config.time_steps - 1
-        ]
-        output_history = np.empty(
-            (len(recorded_steps), batch_size, self.num_classes), dtype=dtype
-        )
-        snapshot = 0
-        patience = config.early_exit_patience
-        # Early-exit bookkeeping: `active` maps the (shrinking) simulated
-        # batch back to the original image indices.
-        active = np.arange(batch_size)
-        latest_logits: Optional[np.ndarray] = None
-        prev_pred = stable = frozen_at = None
-        if patience is not None:
-            latest_logits = np.zeros((batch_size, self.num_classes), dtype=dtype)
-            prev_pred = np.full(batch_size, -1, dtype=np.int64)
-            stable = np.zeros(batch_size, dtype=np.int64)
-            frozen_at = np.full(batch_size, -1, dtype=np.int64)
-
-        # an encoder whose values are nonzero exactly where it spiked lets the
-        # first layer (and the pools downstream) skip activity re-scans
-        encoder_tracks_spikes = getattr(self.encoder, "values_nonzero_tracks_spikes", False)
-        for t in range(config.time_steps):
-            encoded = self.encoder.step(t)
-            batch_indices = active if patience is not None else None
-            input_spikes = encoded.spike_count
-            input_record.record_step(
-                encoded.spikes,
-                config.record_trains,
-                batch_indices=batch_indices,
-                count=input_spikes,
-            )
-            values = encoded.values
-            nonzero_hint = input_spikes if encoder_tracks_spikes else None
-            for layer, layer_record in zip(self.layers, layer_records):
-                layer.output_nonzero = None
-                values = layer.step(values, t, incoming_nonzero=nonzero_hint)
-                nonzero_hint = layer.output_nonzero
-                layer_record.record_step(
-                    layer.last_spikes if layer.is_spiking else None,
-                    config.record_trains,
-                    batch_indices=batch_indices,
-                    count=layer.output_nonzero if layer.is_spiking else None,
-                )
-            record.advance()
-            if patience is None:
-                if snapshot < len(recorded_steps) and t + 1 == recorded_steps[snapshot]:
-                    np.copyto(output_history[snapshot], self.output_layer.logits)
-                    snapshot += 1
-                continue
-
-            logits = self.output_layer.logits
-            latest_logits[active] = logits
-            if snapshot < len(recorded_steps) and t + 1 == recorded_steps[snapshot]:
-                np.copyto(output_history[snapshot], latest_logits)
-                snapshot += 1
-            predictions = logits.argmax(axis=1)
-            unchanged = predictions == prev_pred[active]
-            stable[active] = np.where(unchanged, stable[active] + 1, 1)
-            prev_pred[active] = predictions
-            frozen = stable[active] >= patience
-            if frozen.any() and t + 1 < config.time_steps:
-                frozen_at[active[frozen]] = t + 1
-                keep = np.flatnonzero(~frozen)
-                if keep.size == 0:
-                    # every image converged: repeat the converged scores for
-                    # the remaining recorded steps and stop simulating
-                    while snapshot < len(recorded_steps):
-                        np.copyto(output_history[snapshot], latest_logits)
-                        snapshot += 1
-                    break
-                self.encoder.shrink_batch(keep)
-                for layer in self.layers:
-                    layer.shrink_batch(keep)
-                active = active[keep]
-
-        return SimulationResult(
-            output_history=output_history,
-            recorded_steps=np.asarray(recorded_steps, dtype=np.int64),
-            record=record,
-            time_steps=config.time_steps,
-            batch_size=batch_size,
-            num_neurons=self.num_neurons(),
-            labels=None if labels is None else np.asarray(labels),
-            frozen_at=frozen_at,
-        )
+    def simulate(
+        self,
+        x: np.ndarray,
+        config: Optional[SimulationConfig] = None,
+        labels: Optional[np.ndarray] = None,
+    ) -> SimulationResult:
+        """Alias of :meth:`run`, matching the engine's build/plan/run vocabulary."""
+        return self.run(x, config=config, labels=labels)

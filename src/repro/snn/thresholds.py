@@ -359,26 +359,62 @@ def make_threshold(
 ) -> ThresholdDynamics:
     """Build the threshold dynamics for a hidden-layer coding scheme by name.
 
+    Resolution goes through the scheme registry
+    (:mod:`repro.core.registry`), so registered hidden codings work here
+    without this function enumerating them.
+
     Parameters
     ----------
     coding:
-        ``"rate"``, ``"phase"`` or ``"burst"``.
+        ``"rate"``, ``"phase"``, ``"burst"`` or any registered hidden coding.
     v_th:
-        Base threshold; defaults are 1.0 for rate/phase and 0.125 for burst
-        (the paper's main configuration).
+        Base threshold; defaults to the coding's registered default (1.0 for
+        rate/phase, 0.125 for burst — the paper's main configuration).
     beta, phase_period, max_burst_length:
         Scheme-specific parameters (ignored by the schemes that do not use
         them).
     """
-    key = coding.lower()
-    if key == "rate":
-        return ConstantThreshold(v_th=1.0 if v_th is None else v_th)
-    if key == "phase":
-        return PhaseThreshold(v_th=1.0 if v_th is None else v_th, period=phase_period)
-    if key == "burst":
-        return BurstThreshold(
-            v_th=0.125 if v_th is None else v_th,
-            beta=beta,
-            max_burst_length=max_burst_length,
-        )
-    raise ValueError(f"unknown hidden-layer coding {coding!r}; expected rate, phase or burst")
+    from repro.core.coding import CodingParams
+    from repro.core.registry import build_threshold
+
+    params = CodingParams(
+        v_th=v_th, beta=beta, phase_period=phase_period, max_burst_length=max_burst_length
+    )
+    return build_threshold(coding, params=params)
+
+
+# -- registry wiring ---------------------------------------------------------
+# Placed after the dynamics classes so this module stays importable while
+# ``repro.core`` is still initialising (the registry module itself is
+# runtime-import-free).  Factories receive a CodingParams whose ``v_th`` has
+# been resolved against ``default_v_th``.
+from repro.core.registry import register_threshold  # noqa: E402
+
+
+@register_threshold(
+    "rate",
+    default_v_th=1.0,
+    description="constant threshold (Diehl et al. rate coding)",
+)
+def _build_constant_threshold(params) -> ThresholdDynamics:
+    return ConstantThreshold(v_th=params.v_th)
+
+
+@register_threshold(
+    "phase",
+    default_v_th=1.0,
+    description="globally oscillating threshold, period k (Kim et al. phase coding)",
+)
+def _build_phase_threshold(params) -> ThresholdDynamics:
+    return PhaseThreshold(v_th=params.v_th, period=params.phase_period)
+
+
+@register_threshold(
+    "burst",
+    default_v_th=0.125,
+    description="per-neuron adaptive burst threshold g(t)·v_th (this paper)",
+)
+def _build_burst_threshold(params) -> ThresholdDynamics:
+    return BurstThreshold(
+        v_th=params.v_th, beta=params.beta, max_burst_length=params.max_burst_length
+    )

@@ -124,3 +124,33 @@ class TestCliMain:
         assert code == 0
         out = capsys.readouterr().out
         assert "real-burst" in out and "real-rate" in out
+
+    def test_list_schemes_flag(self, capsys):
+        assert main(["--list-schemes"]) == 0
+        out = capsys.readouterr().out
+        # the registry listing includes the built-ins and the TTFS extension
+        for name in ("real", "rate", "phase", "burst", "ttfs"):
+            assert name in out
+        assert "phase-burst" in out
+
+    def test_compare_unknown_scheme_fails_helpfully(self, capsys):
+        # exits with a did-you-mean error before building any workload
+        assert main(["compare", "--schemes", "phse-burst"]) == 2
+        err = capsys.readouterr().err
+        assert "did you mean 'phase'" in err
+        assert "--list-schemes" in err
+
+    def test_compare_registry_extension_scheme(self, capsys):
+        """TTFS reaches the CLI purely through the registry."""
+        code = main(
+            [
+                "compare",
+                "--schemes", "ttfs-burst",
+                "--dataset", "mnist",
+                "--model", "mlp",
+                "--time-steps", "16",
+                "--images", "6",
+            ]
+        )
+        assert code == 0
+        assert "ttfs-burst" in capsys.readouterr().out
