@@ -1,11 +1,16 @@
 """Command-line interface.
 
-Three subcommands cover the common workflows:
+Four subcommands cover the common workflows:
 
 * ``repro experiment <name>`` — regenerate one (or all) of the paper's tables
   and figures and print the rendered text (optionally saving it to a file);
 * ``repro compare`` — evaluate a list of coding schemes on a workload and
-  print a Table-1-style comparison;
+  print a Table-1-style comparison.  ``--schemes`` accepts registry products
+  (``all``, ``all-input:burst``, ``phase:all``) resolved by querying the
+  scheme registry;
+* ``repro serve`` — start the concurrent batching inference server
+  (:mod:`repro.serving`): micro-batched ``/v1/classify`` over a trained
+  workload, with graceful drain on SIGTERM/SIGINT;
 * ``repro info`` — print the installed version and the available experiments,
   datasets, models and coding schemes.
 
@@ -71,7 +76,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--schemes",
         nargs="+",
         default=["real-rate", "phase-phase", "phase-burst"],
-        help="coding schemes in 'input-hidden' notation",
+        help="coding schemes in 'input-hidden' notation, or registry products: "
+        "'all' (every input x hidden combination), 'all-input:burst', 'phase:all'",
     )
     compare.add_argument("--dataset", default="cifar10", choices=["mnist", "cifar10", "cifar100"])
     compare.add_argument("--model", default="vgg_small",
@@ -94,6 +100,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="freeze images whose output ranking has been stable for this many "
         "steps (default: simulate every image for the full time budget)",
     )
+
+    serve = subparsers.add_parser(
+        "serve", help="start the concurrent batching inference server"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="bind port (0 picks an ephemeral port)")
+    serve.add_argument(
+        "--scheme",
+        dest="schemes",
+        nargs="+",
+        default=["phase-burst"],
+        help="coding scheme(s) to preload; the first is the default for "
+        "requests that omit 'scheme' (registry products like 'all-input:burst' work)",
+    )
+    serve.add_argument("--dataset", default="mnist", choices=["mnist", "cifar10", "cifar100"])
+    serve.add_argument("--model", default="small_cnn",
+                       choices=["mlp", "small_cnn", "cnn", "vgg_small", "vgg16"])
+    serve.add_argument("--time-steps", type=int, default=100, help="simulation horizon per request")
+    serve.add_argument("--max-batch-size", type=int, default=8,
+                       help="largest micro-batch the scheduler coalesces")
+    serve.add_argument("--max-wait-ms", type=float, default=5.0,
+                       help="longest a non-full batch waits before flushing")
+    serve.add_argument("--max-queue", type=int, default=64,
+                       help="admission-control bound per scheme queue (beyond it: 429)")
+    serve.add_argument("--early-exit-patience", type=int, default=None,
+                       help="converged-image early exit patience (default: off)")
+    serve.add_argument("--samples-per-class", type=int, default=30,
+                       help="synthetic training-set size per class for the served model")
+    serve.add_argument("--epochs", type=int, default=12, help="DNN training epochs")
+    serve.add_argument("--seed", type=int, default=0)
 
     subparsers.add_parser("info", help="print version and available components")
     return parser
@@ -124,19 +161,31 @@ def _command_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
-def _parse_schemes(args: argparse.Namespace) -> Optional[List[HybridCodingScheme]]:
-    """Resolve the ``--schemes`` notations through the coding registry.
+def _parse_schemes(
+    specs: Sequence[str], v_th: Optional[float] = None
+) -> Optional[List[HybridCodingScheme]]:
+    """Resolve ``--schemes`` specs through the coding registry.
 
-    Returns ``None`` after printing a helpful error (with the registry's
-    did-you-mean hint and the list of available codings) when a notation is
-    unknown or malformed — instead of surfacing a raw traceback.
+    Registry products (``all``, ``all-input:burst``, ``phase:all``) are
+    expanded by querying the registry first; every resulting notation is then
+    built normally.  Returns ``None`` after printing a helpful error (with
+    the registry's did-you-mean hint and the list of available codings) when
+    a spec is unknown or malformed — instead of surfacing a raw traceback.
     """
+    from repro.core.registry import expand_scheme_specs
+
+    try:
+        notations = expand_scheme_specs(specs)
+    except ValueError as exc:
+        print(f"error: invalid scheme spec: {exc}", file=sys.stderr)
+        print("use --list-schemes to see the registered codings", file=sys.stderr)
+        return None
     schemes: List[HybridCodingScheme] = []
-    for notation in args.schemes:
+    for notation in notations:
         try:
             schemes.append(
                 HybridCodingScheme.from_notation(
-                    notation, v_th=args.v_th if notation.endswith("burst") else None
+                    notation, v_th=v_th if notation.endswith("burst") else None
                 )
             )
         except ValueError as exc:
@@ -147,35 +196,34 @@ def _parse_schemes(args: argparse.Namespace) -> Optional[List[HybridCodingScheme
 
 
 def _command_list_schemes() -> int:
-    """Print the coding registry (the ``--list-schemes`` flag)."""
-    from repro.core.registry import definitions, hidden_codings, input_codings
+    """Print the coding registry (the ``--list-schemes`` flag).
+
+    Rendered from :func:`repro.core.registry.scheme_metadata` — the same
+    rows the serving API's ``/v1/schemes`` endpoint returns.
+    """
+    from repro.core.registry import notation_help, scheme_metadata
 
     table = Table(
         ["coding", "input", "hidden", "default v_th", "description"],
         title="Registered coding schemes",
     )
-    for definition in definitions():
+    for row in scheme_metadata():
         table.add_row(
             {
-                "coding": definition.name,
-                "input": "yes" if definition.valid_for_input else "-",
-                "hidden": "yes" if definition.valid_for_hidden else "-",
-                "default v_th": definition.default_v_th,
-                "description": definition.description,
+                "coding": row["coding"],
+                "input": "yes" if row["input"] else "-",
+                "hidden": "yes" if row["hidden"] else "-",
+                "default v_th": row["default_v_th"],
+                "description": row["description"],
             }
         )
     print(table.render())
-    print(
-        "\ncombine as '<input>-<hidden>', e.g. phase-burst (the paper's proposal) "
-        "or ttfs-burst (a registry extension);"
-        f"\ninput codings : {', '.join(input_codings())}"
-        f"\nhidden codings: {', '.join(hidden_codings())}"
-    )
+    print("\n" + notation_help())
     return 0
 
 
 def _command_compare(args: argparse.Namespace) -> int:
-    schemes = _parse_schemes(args)
+    schemes = _parse_schemes(args.schemes, v_th=args.v_th)
     if schemes is None:
         return 2
     workload = build_workload(dataset=args.dataset, model=args.model, seed=args.seed)
@@ -212,6 +260,69 @@ def _command_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    """Train/build the workload and run the batching inference server.
+
+    Blocks in the HTTP accept loop until SIGTERM/SIGINT, then drains
+    gracefully: the socket stops accepting, in-flight requests finish, every
+    queued request is answered, and the process exits 0.
+    """
+    import signal
+    import threading
+
+    from repro.serving.engine import ServingConfig, ServingEngine
+    from repro.serving.http import ServingHTTPServer
+
+    schemes = _parse_schemes(args.schemes)
+    if schemes is None:
+        return 2
+    workload = build_workload(
+        dataset=args.dataset,
+        model=args.model,
+        seed=args.seed,
+        samples_per_class=args.samples_per_class,
+        epochs=args.epochs,
+    )
+    config = ServingConfig(
+        max_batch_size=args.max_batch_size,
+        max_wait_ms=args.max_wait_ms,
+        max_queue=args.max_queue,
+        time_steps=args.time_steps,
+        early_exit_patience=args.early_exit_patience,
+        seed=args.seed,
+    )
+    if len(schemes) > config.session_cache_size:
+        # keep every preloaded scheme resident — otherwise the warm loop
+        # below would evict the sessions it just built
+        config = config.replace(session_cache_size=len(schemes))
+    engine = ServingEngine(workload.model, workload.data.train.x, config)
+    for scheme in schemes:
+        print(f"preparing scheme {scheme.notation} ...", flush=True)
+        engine.warm(scheme)
+    server = ServingHTTPServer(
+        engine, host=args.host, port=args.port, default_scheme=schemes[0].notation
+    )
+
+    def _drain(signum: int, frame: object) -> None:
+        del frame
+        print(f"\nsignal {signum}: draining ...", flush=True)
+        # shutdown() must not run on the thread blocked in serve_forever()
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _drain)
+    signal.signal(signal.SIGINT, _drain)
+    print(
+        f"repro serve listening on {server.url} "
+        f"(workload {workload.name}, default scheme {schemes[0].notation}, "
+        f"max_batch_size={args.max_batch_size}, max_wait_ms={args.max_wait_ms})",
+        flush=True,
+    )
+    server.serve_forever()
+    server.close()
+    print(f"drained cleanly ({engine.metrics.requests_total} requests served)", flush=True)
+    return 0
+
+
 def _command_info() -> int:
     from repro.core.registry import hidden_codings, input_codings
 
@@ -242,6 +353,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_experiment(args)
     if args.command == "compare":
         return _command_compare(args)
+    if args.command == "serve":
+        return _command_serve(args)
     if args.command == "info":
         return _command_info()
     parser.print_help()

@@ -40,7 +40,8 @@ it while ``repro.core`` is still initialising.
 from __future__ import annotations
 
 import difflib
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+import itertools
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - type hints only
     from repro.core.coding import CodingParams
@@ -231,6 +232,94 @@ def hidden_codings() -> List[str]:
 def default_v_th(name: str) -> float:
     """The per-coding default firing threshold (e.g. 0.125 for burst)."""
     return get(name).default_v_th
+
+
+def scheme_metadata() -> List[Dict[str, object]]:
+    """Registry introspection rows: one plain dict per registered coding.
+
+    The single source of truth for scheme metadata listings — the CLI's
+    ``--list-schemes`` table and the serving API's ``/v1/schemes`` response
+    are both rendered from these rows, so they can never drift apart.
+    """
+    return [
+        {
+            "coding": definition.name,
+            "input": definition.valid_for_input,
+            "hidden": definition.valid_for_hidden,
+            "default_v_th": definition.default_v_th,
+            "description": definition.description,
+        }
+        for definition in definitions()
+    ]
+
+
+def notation_help() -> str:
+    """One-paragraph explanation of the ``input-hidden`` notation with the
+    currently registered coding names (shared by the CLI and the HTTP API)."""
+    return (
+        "combine as '<input>-<hidden>', e.g. phase-burst (the paper's proposal) "
+        "or ttfs-burst (a registry extension);"
+        f"\ninput codings : {', '.join(input_codings())}"
+        f"\nhidden codings: {', '.join(hidden_codings())}"
+    )
+
+
+def _expand_side(spec: str, *, side: str) -> List[str]:
+    """Resolve one side of a product spec to concrete coding names."""
+    wildcard = ("all", f"all-{side}")
+    if spec in wildcard:
+        return input_codings() if side == "input" else hidden_codings()
+    definition = get(spec)  # raises UnknownCodingError with a did-you-mean hint
+    valid = definition.valid_for_input if side == "input" else definition.valid_for_hidden
+    if not valid:
+        pool = input_codings() if side == "input" else hidden_codings()
+        raise UnknownCodingError(
+            f"{definition.name!r} coding is not valid for the {side} side; "
+            f"{side} codings: {', '.join(pool)}"
+        )
+    return [definition.name]
+
+
+def expand_scheme_specs(specs: Sequence[str]) -> List[str]:
+    """Expand scheme *specs* into concrete ``input-hidden`` notations.
+
+    A spec is either a plain notation (``phase-burst`` — passed through
+    untouched, validated downstream by ``HybridCodingScheme.from_notation``)
+    or a registry product resolved by querying the registry:
+
+    * ``all`` — every registered input coding × every hidden coding,
+    * ``<lhs>:<rhs>`` — the product of two sides, where each side is a coding
+      name, ``all``, or the explicit ``all-input`` / ``all-hidden``
+      (e.g. ``all-input:burst`` = every input coding driving burst hidden
+      layers, ``phase:all`` = phase input against every hidden coding).
+
+    The expansion preserves first-seen order and drops duplicates, so
+    ``--schemes all-input:burst phase-burst`` lists ``phase-burst`` once.
+    """
+    notations: List[str] = []
+    seen = set()
+    for spec in specs:
+        spec = str(spec).strip().lower()
+        if spec == "all":
+            expanded = [
+                f"{i}-{h}"
+                for i, h in itertools.product(input_codings(), hidden_codings())
+            ]
+        elif ":" in spec:
+            lhs, rhs = spec.split(":", 1)
+            expanded = [
+                f"{i}-{h}"
+                for i, h in itertools.product(
+                    _expand_side(lhs, side="input"), _expand_side(rhs, side="hidden")
+                )
+            ]
+        else:
+            expanded = [spec]
+        for notation in expanded:
+            if notation not in seen:
+                seen.add(notation)
+                notations.append(notation)
+    return notations
 
 
 def _resolved_params(

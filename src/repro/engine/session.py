@@ -18,10 +18,22 @@ Poisson input encoder advances its RNG stream across requests, exactly as it
 would across sequential batches).  The pipeline serves every batch of
 ``run_scheme`` through a session, and the CLI / experiments route through
 the pipeline.
+
+Thread safety
+-------------
+A session is **single-flight**: the network's layers hold shared plan
+buffers, scratch arrays and recording state, so only one simulation may be
+in flight per session at any time.  :meth:`InferenceSession.run` enforces
+this with an internal lock — concurrent callers (e.g. the serving engine's
+batcher threads, or user threads sharing one session) serialise instead of
+corrupting each other's buffers.  For *parallel* execution build one session
+per thread (each owns its own converted network) or use the sharded
+evaluation path.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Optional
 
 import numpy as np
@@ -57,6 +69,9 @@ class InferenceSession:
         self.network = network
         self.config = config or SimulationConfig()
         self._plan: Optional[SimulationPlan] = None
+        # the network's layers hold shared plan buffers and scratch arrays;
+        # one simulation at a time per session (see "Thread safety" above)
+        self._run_lock = threading.RLock()
         #: number of batches served so far
         self.batches_served = 0
         #: number of images served so far
@@ -95,10 +110,16 @@ class InferenceSession:
     def run(
         self, x: np.ndarray, labels: Optional[np.ndarray] = None
     ) -> SimulationResult:
-        """Simulate one input batch and return its result."""
-        result = execute(self.plan.prepare(x), labels=labels)
-        self.batches_served += 1
-        self.images_served += result.batch_size
+        """Simulate one input batch and return its result.
+
+        Safe to call from multiple threads: calls serialise on the session's
+        internal lock (the prepare/execute pair mutates shared layer state,
+        so overlapping runs would corrupt each other's buffers).
+        """
+        with self._run_lock:
+            result = execute(self.plan.prepare(x), labels=labels)
+            self.batches_served += 1
+            self.images_served += result.batch_size
         return result
 
     def describe(self) -> str:

@@ -1,0 +1,48 @@
+"""Concurrent batching inference serving.
+
+The serving subsystem turns the layered engine's *prepare once, serve many
+batches* seam (:class:`~repro.engine.session.InferenceSession`) into an
+actual server: many concurrent clients share one prepared network per coding
+scheme, with their individual requests coalesced into micro-batches.
+
+* :mod:`repro.serving.scheduler` — the request queue + micro-batching
+  scheduler (:class:`MicroBatcher`): flush on ``max_batch_size`` or
+  ``max_wait_ms``, bounded-queue admission control, graceful drain;
+* :mod:`repro.serving.engine` — the embeddable :class:`ServingEngine`:
+  per-scheme sessions built lazily through the scheme registry behind an
+  LRU-bounded cache, shared weight normalisation, per-request futures;
+* :mod:`repro.serving.http` — the stdlib-only JSON front end
+  (:class:`ServingHTTPServer`): ``/v1/classify``, ``/v1/schemes``,
+  ``/healthz``, ``/metrics``;
+* :mod:`repro.serving.protocol` / :mod:`repro.serving.metrics` — wire types
+  and thread-safe serving statistics.
+
+``repro serve`` (the CLI subcommand) wires a trained workload into these
+pieces; tests and examples drive :class:`ServingEngine` in-process without
+sockets.
+"""
+
+from repro.serving.engine import ServingConfig, ServingEngine
+from repro.serving.http import ServingHTTPServer
+from repro.serving.metrics import ServerMetrics
+from repro.serving.protocol import ClassifyResult, parse_image, scheme_listing
+from repro.serving.scheduler import (
+    BatcherClosedError,
+    BatchInfo,
+    MicroBatcher,
+    QueueFullError,
+)
+
+__all__ = [
+    "ServingConfig",
+    "ServingEngine",
+    "ServingHTTPServer",
+    "ServerMetrics",
+    "ClassifyResult",
+    "parse_image",
+    "scheme_listing",
+    "MicroBatcher",
+    "BatchInfo",
+    "QueueFullError",
+    "BatcherClosedError",
+]

@@ -1,0 +1,342 @@
+"""The embeddable serving engine: shared sessions behind micro-batchers.
+
+:class:`ServingEngine` is the in-process core of ``repro serve`` — tests,
+examples and the HTTP front end all drive the same object:
+
+* per coding scheme, one shared
+  :class:`~repro.engine.session.InferenceSession` (built lazily through the
+  scheme registry, weight normalisation computed once and shared across
+  schemes, exactly like the pipeline) behind one
+  :class:`~repro.serving.scheduler.MicroBatcher`;
+* the scheme cache is **LRU-bounded** (``ServingConfig.session_cache_size``):
+  the least recently used scheme's batcher is drained and its session
+  dropped when a new scheme would exceed the bound;
+* :meth:`ServingEngine.classify` is non-blocking and returns a future of a
+  :class:`~repro.serving.protocol.ClassifyResult`;
+  :meth:`~ServingEngine.classify_sync` waits for it.
+
+Because the engine serves each scheme through a single session guarded by
+both the batcher's worker thread and the session's own single-flight lock,
+float64 responses are bit-identical to running the same images through the
+pipeline / a fresh session in one batch — micro-batching changes *when* work
+happens, never *what* is computed.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.ann.model import Sequential
+from repro.conversion.converter import ConversionConfig
+from repro.conversion.normalization import NormalizationResult, normalize_weights
+from repro.core.hybrid import HybridCodingScheme
+from repro.engine.session import InferenceSession
+from repro.serving.metrics import ServerMetrics
+from repro.serving.protocol import ClassifyResult, parse_image, scheme_listing
+from repro.serving.scheduler import BatcherClosedError, BatchInfo, MicroBatcher
+from repro.snn.network import SimulationConfig
+from repro.utils.config import FrozenConfig, validate_positive
+from repro.utils.logging import get_logger
+
+logger = get_logger("serving.engine")
+
+
+@dataclass(frozen=True)
+class ServingConfig(FrozenConfig):
+    """Knobs of one serving engine.
+
+    Attributes
+    ----------
+    max_batch_size:
+        Largest micro-batch the scheduler coalesces (flush trigger #1).
+    max_wait_ms:
+        Longest a non-full batch waits for company (flush trigger #2).
+    max_queue:
+        Admission-control bound per scheme queue; submissions beyond it are
+        rejected (HTTP 429).
+    time_steps:
+        Simulation horizon every request is answered with.
+    dtype:
+        Simulation precision (``None`` = project policy, float32; float64
+        answers are bit-identical to the batch pipeline).
+    early_exit_patience:
+        Optional converged-image early exit (see
+        :class:`~repro.snn.network.SimulationConfig`).
+    session_cache_size:
+        Number of per-scheme sessions kept alive (LRU eviction beyond it).
+    calibration_images:
+        Training images used for the shared weight normalisation.
+    request_timeout_s:
+        How long synchronous waits (``classify_sync``, HTTP) block before
+        giving up on a future.
+    seed:
+        Seed forwarded to conversion and simulation.
+    """
+
+    max_batch_size: int = 8
+    max_wait_ms: float = 5.0
+    max_queue: int = 64
+    time_steps: int = 100
+    dtype: Optional[str] = None
+    early_exit_patience: Optional[int] = None
+    session_cache_size: int = 4
+    calibration_images: int = 128
+    request_timeout_s: float = 60.0
+    seed: int = 0
+    conversion: ConversionConfig = field(default_factory=ConversionConfig)
+
+    def __post_init__(self) -> None:
+        validate_positive("max_batch_size", self.max_batch_size)
+        validate_positive("max_queue", self.max_queue)
+        validate_positive("time_steps", self.time_steps)
+        validate_positive("session_cache_size", self.session_cache_size)
+        validate_positive("calibration_images", self.calibration_images)
+        if self.max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be >= 0, got {self.max_wait_ms}")
+        if self.early_exit_patience is not None:
+            validate_positive("early_exit_patience", self.early_exit_patience)
+
+
+class _SchemeServer:
+    """One scheme's shared session plus the batcher feeding it."""
+
+    def __init__(
+        self, engine: "ServingEngine", scheme: HybridCodingScheme
+    ) -> None:
+        config = engine.config
+        self.scheme = scheme
+        self.session = InferenceSession.from_model(
+            engine.model,
+            scheme,
+            config=SimulationConfig(
+                time_steps=config.time_steps,
+                record_outputs_every=config.time_steps,  # final scores only
+                seed=config.seed,
+                dtype=config.dtype,
+                early_exit_patience=config.early_exit_patience,
+            ),
+            conversion=config.conversion,
+            normalization=engine.normalization,
+            seed=config.seed,
+        )
+        self.batcher = MicroBatcher(
+            self._run_batch,
+            max_batch_size=config.max_batch_size,
+            max_wait_ms=config.max_wait_ms,
+            max_queue=config.max_queue,
+            metrics=engine.metrics,
+            name=scheme.notation,
+        )
+
+    def _run_batch(
+        self, payloads: List[np.ndarray], info: BatchInfo
+    ) -> List[ClassifyResult]:
+        """Simulate one coalesced batch and split it into per-request results."""
+        started = time.monotonic()
+        result = self.session.run(np.stack(payloads))
+        batch_ms = (time.monotonic() - started) * 1000.0
+        scores = result.final_outputs
+        predictions = scores.argmax(axis=1)
+        frozen = result.frozen_at
+        return [
+            ClassifyResult(
+                prediction=int(predictions[i]),
+                scores=scores[i].tolist(),
+                scheme=self.scheme.notation,
+                frozen_at=None
+                if frozen is None or frozen[i] < 0
+                else int(frozen[i]),
+                batch_size=info.size,
+                queue_ms=info.queue_ms[i],
+                batch_ms=batch_ms,
+                time_steps=result.time_steps,
+            )
+            for i in range(len(payloads))
+        ]
+
+    def close(self) -> None:
+        self.batcher.close()
+
+
+class ServingEngine:
+    """Serve classify requests for one model across registered schemes.
+
+    Parameters
+    ----------
+    model:
+        The trained :class:`~repro.ann.model.Sequential` ANN to convert.
+    calibration_x:
+        Training images for the shared data-based weight normalisation
+        (every scheme sees identical weights, as in the paper).
+    config:
+        Serving knobs (see :class:`ServingConfig`).
+    normalization:
+        Optional precomputed normalisation (skips ``calibration_x``).
+    """
+
+    def __init__(
+        self,
+        model: Sequential,
+        calibration_x: Optional[np.ndarray] = None,
+        config: Optional[ServingConfig] = None,
+        *,
+        normalization: Optional[NormalizationResult] = None,
+    ) -> None:
+        if calibration_x is None and normalization is None:
+            raise ValueError("provide calibration_x or a precomputed normalization")
+        self.model = model
+        self.config = config or ServingConfig()
+        self.metrics = ServerMetrics()
+        self._calibration_x = calibration_x
+        self._normalization = normalization
+        self._servers: "OrderedDict[str, _SchemeServer]" = OrderedDict()
+        self._lock = threading.RLock()
+        self._closed = False
+        self.input_shape = tuple(model.input_shape)
+
+    # -- shared conversion state ------------------------------------------
+    @property
+    def normalization(self) -> NormalizationResult:
+        """Weight normalisation shared by every scheme (computed once)."""
+        with self._lock:
+            if self._normalization is None:
+                conversion = self.config.conversion
+                calibration = self._calibration_x[: self.config.calibration_images]
+                self._normalization = normalize_weights(
+                    self.model,
+                    calibration_x=calibration,
+                    percentile=conversion.percentile,
+                    method=conversion.normalization,
+                )
+            return self._normalization
+
+    # -- scheme servers (lazy build, LRU-bounded) --------------------------
+    def _resolve_scheme(self, scheme: object) -> HybridCodingScheme:
+        if isinstance(scheme, HybridCodingScheme):
+            return scheme
+        return HybridCodingScheme.from_notation(str(scheme))
+
+    def _scheme_server(self, scheme: object) -> _SchemeServer:
+        resolved = self._resolve_scheme(scheme)
+        key = resolved.notation
+        evicted: Optional[_SchemeServer] = None
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("serving engine is closed")
+            server = self._servers.get(key)
+            if server is not None:
+                self._servers.move_to_end(key)
+                return server
+            self.normalization  # noqa: B018 - force the one-time computation
+            logger.info("building session for scheme %s", key)
+            server = _SchemeServer(self, resolved)
+            self._servers[key] = server
+            if len(self._servers) > self.config.session_cache_size:
+                old_key, evicted = self._servers.popitem(last=False)
+                logger.info("evicting LRU scheme session %s", old_key)
+        if evicted is not None:
+            # drain outside the lock: eviction must not block new submissions
+            evicted.close()
+        return server
+
+    def warm(self, scheme: object) -> None:
+        """Pre-build the session for ``scheme`` (conversion + plan)."""
+        self._scheme_server(scheme)
+
+    def loaded_schemes(self) -> List[str]:
+        """Notations with a live session, most recently used last."""
+        with self._lock:
+            return list(self._servers)
+
+    # -- request path ------------------------------------------------------
+    def classify(
+        self, image: object, scheme: object = "phase-burst"
+    ) -> "Future[ClassifyResult]":
+        """Submit one image; returns a future of its :class:`ClassifyResult`.
+
+        Raises :class:`~repro.core.registry.UnknownCodingError` for an
+        unregistered scheme, :class:`ValueError` for a malformed image and
+        :class:`~repro.serving.scheduler.QueueFullError` when admission
+        control rejects the request.
+        """
+        payload = parse_image(image, self.input_shape)
+        # an LRU eviction can close the batcher between lookup and submit
+        # (eviction drains outside the engine lock); the evicted entry is
+        # already out of the cache, so retrying rebuilds the session
+        for _ in range(3):
+            try:
+                return self._scheme_server(scheme).batcher.submit(payload)
+            except BatcherClosedError:
+                continue
+        return self._scheme_server(scheme).batcher.submit(payload)
+
+    def classify_sync(
+        self,
+        image: object,
+        scheme: object = "phase-burst",
+        timeout: Optional[float] = None,
+    ) -> ClassifyResult:
+        """Blocking variant of :meth:`classify`."""
+        future = self.classify(image, scheme)
+        return future.result(
+            timeout if timeout is not None else self.config.request_timeout_s
+        )
+
+    # -- introspection -----------------------------------------------------
+    def queue_depth(self) -> int:
+        """Requests currently queued across every scheme batcher."""
+        with self._lock:
+            return sum(server.batcher.queue_depth for server in self._servers.values())
+
+    def stats(self) -> Dict[str, object]:
+        """Metrics snapshot plus per-session serving counters (``/metrics``)."""
+        with self._lock:
+            sessions = {
+                key: {
+                    "batches_served": server.session.batches_served,
+                    "images_served": server.session.images_served,
+                    "queue_depth": server.batcher.queue_depth,
+                }
+                for key, server in self._servers.items()
+            }
+        snapshot = self.metrics.snapshot(queue_depth=self.queue_depth())
+        snapshot["sessions"] = sessions
+        snapshot["config"] = {
+            "max_batch_size": self.config.max_batch_size,
+            "max_wait_ms": self.config.max_wait_ms,
+            "max_queue": self.config.max_queue,
+            "time_steps": self.config.time_steps,
+            "session_cache_size": self.config.session_cache_size,
+        }
+        return snapshot
+
+    def schemes(self) -> Dict[str, object]:
+        """Registry listing served at ``/v1/schemes`` (shared with the CLI)."""
+        return scheme_listing()
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self) -> None:
+        """Graceful drain: every batcher flushes its queue, futures resolve."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            servers = list(self._servers.values())
+        for server in servers:
+            server.close()
+        logger.info(
+            "serving engine drained (%d requests served)", self.metrics.requests_total
+        )
+
+    def __enter__(self) -> "ServingEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,211 @@
+"""Stdlib HTTP front end for the serving engine.
+
+A thin JSON layer over :class:`~repro.serving.engine.ServingEngine` built on
+``http.server`` only (no third-party dependencies):
+
+* ``POST /v1/classify`` — body ``{"image": [...], "scheme": "phase-burst"}``
+  (``image`` nested or flat, ``scheme`` optional → the server default);
+  responds with the :meth:`~repro.serving.protocol.ClassifyResult.to_dict`
+  payload.  Admission-control rejections map to **429**, malformed payloads
+  and unknown schemes to **400**, timeouts to **504**.
+* ``GET /v1/schemes`` — the registry listing (same source of truth as
+  ``repro --list-schemes``).
+* ``GET /healthz`` — liveness plus the loaded schemes.
+* ``GET /metrics`` — request counters, queue depth, batch-size histogram and
+  p50/p95 latency.
+
+:class:`ServingHTTPServer` wraps ``ThreadingHTTPServer`` with non-daemon
+request threads so :meth:`ServingHTTPServer.close` is a graceful drain:
+stop accepting, wait for in-flight requests, then drain the engine's
+batchers — every admitted request is answered before the process exits.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from repro import __version__
+from repro.core.registry import UnknownCodingError
+from repro.serving.engine import ServingEngine
+from repro.serving.scheduler import BatcherClosedError, QueueFullError
+from repro.utils.logging import get_logger
+
+logger = get_logger("serving.http")
+
+#: request body size guard (a CIFAR-sized float image is ~100 kB of JSON)
+MAX_BODY_BYTES = 32 * 1024 * 1024
+
+
+class _RequestHandler(BaseHTTPRequestHandler):
+    """Routes one HTTP request to the engine attached to the server."""
+
+    server_version = f"repro-serve/{__version__}"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ----------------------------------------------------------
+    @property
+    def engine(self) -> ServingEngine:
+        return self.server.engine  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        logger.debug("%s %s", self.address_string(), format % args)
+
+    def _send_json(self, status: int, payload: object) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str, *, unread_body: bool = False) -> None:
+        if unread_body:
+            # responding before consuming the request body would leave its
+            # bytes in the keep-alive socket and corrupt the next request
+            self.close_connection = True
+        self._send_json(status, {"error": message})
+
+    # -- routes ------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        if self.path == "/healthz":
+            self._send_json(
+                200,
+                {
+                    "status": "ok",
+                    "version": __version__,
+                    "schemes_loaded": self.engine.loaded_schemes(),
+                    "queue_depth": self.engine.queue_depth(),
+                },
+            )
+        elif self.path == "/metrics":
+            self._send_json(200, self.engine.stats())
+        elif self.path == "/v1/schemes":
+            self._send_json(200, self.engine.schemes())
+        else:
+            self._error(404, f"unknown path {self.path!r}")
+
+    def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        if self.path != "/v1/classify":
+            self._error(404, f"unknown path {self.path!r}", unread_body=True)
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except ValueError:
+            self._error(400, "invalid Content-Length", unread_body=True)
+            return
+        if length <= 0 or length > MAX_BODY_BYTES:
+            self._error(
+                400,
+                f"request body must be 1..{MAX_BODY_BYTES} bytes",
+                unread_body=True,
+            )
+            return
+        try:
+            body = json.loads(self.rfile.read(length))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            self._error(400, f"request body is not valid JSON: {exc}")
+            return
+        if not isinstance(body, dict) or "image" not in body:
+            self._error(400, "request body must be a JSON object with an 'image' field")
+            return
+        scheme = body.get("scheme") or self.server.default_scheme  # type: ignore[attr-defined]
+        try:
+            result = self.engine.classify_sync(body["image"], scheme)
+        except QueueFullError as exc:
+            self._error(429, str(exc))
+        except (UnknownCodingError, ValueError) as exc:
+            self._error(400, str(exc))
+        except FutureTimeoutError:
+            self._error(504, "classification timed out")
+        except BatcherClosedError:
+            self._error(503, "server is draining")
+        except Exception as exc:  # noqa: BLE001 - surface as a 500, keep serving
+            logger.warning("classify failed: %s", exc)
+            self._error(500, f"internal error: {exc}")
+        else:
+            self._send_json(200, result.to_dict())
+
+
+class ServingHTTPServer:
+    """The ``repro serve`` HTTP server: an engine behind ``ThreadingHTTPServer``.
+
+    Parameters
+    ----------
+    engine:
+        The (shared, already configured) :class:`ServingEngine`.
+    host / port:
+        Bind address; ``port=0`` picks an ephemeral port (tests).
+    default_scheme:
+        Scheme used by ``/v1/classify`` requests that omit ``"scheme"``.
+    """
+
+    def __init__(
+        self,
+        engine: ServingEngine,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        *,
+        default_scheme: str = "phase-burst",
+    ) -> None:
+        self.engine = engine
+        self._server = ThreadingHTTPServer((host, port), _RequestHandler)
+        # graceful drain: wait for in-flight request threads on server_close
+        self._server.daemon_threads = False
+        self._server.block_on_close = True
+        self._server.engine = engine  # type: ignore[attr-defined]
+        self._server.default_scheme = default_scheme  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+        self._closed = False
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` (resolved when ``port=0`` was asked)."""
+        return self._server.server_address[:2]
+
+    @property
+    def port(self) -> int:
+        return self.address[1]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def serve_forever(self) -> None:
+        """Serve until :meth:`shutdown` is called (blocks the caller)."""
+        self._server.serve_forever(poll_interval=0.1)
+
+    def start(self) -> "ServingHTTPServer":
+        """Serve on a background thread (for in-process tests and examples)."""
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="repro-serve-http", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        """Stop the accept loop (safe to call from any *other* thread)."""
+        self._server.shutdown()
+
+    def close(self) -> None:
+        """Graceful drain: stop accepting, finish in-flight work, drain batchers."""
+        if self._closed:
+            return
+        self._closed = True
+        self._server.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=30.0)
+        self._server.server_close()  # waits for in-flight request threads
+        self.engine.close()
+
+    def __enter__(self) -> "ServingHTTPServer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

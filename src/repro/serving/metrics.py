@@ -1,0 +1,109 @@
+"""Thread-safe serving metrics: counters, batch-size histogram, latencies.
+
+One :class:`ServerMetrics` instance is shared by every micro-batcher of a
+:class:`~repro.serving.engine.ServingEngine`; the HTTP front end renders
+:meth:`ServerMetrics.snapshot` as the ``/metrics`` response.  Latency
+quantiles are computed over a bounded reservoir of the most recent
+observations (default 2048) so a long-lived server neither grows without
+bound nor loses recency.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+
+def percentile(values: List[float], q: float) -> float:
+    """Nearest-rank percentile of ``values`` (``q`` in [0, 100])."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, int(round(q / 100.0 * (len(ordered) - 1)))))
+    return float(ordered[rank])
+
+
+class ServerMetrics:
+    """Aggregated serving statistics, safe to update from batcher threads."""
+
+    def __init__(self, latency_window: int = 2048) -> None:
+        self._lock = threading.Lock()
+        self._requests_total = 0
+        self._rejected_total = 0
+        self._errors_total = 0
+        self._batches_total = 0
+        self._images_total = 0
+        self._batch_size_histogram: Dict[int, int] = {}
+        self._latencies_ms: Deque[float] = deque(maxlen=latency_window)
+
+    # -- recording (called by the scheduler) -------------------------------
+    def record_submit(self) -> None:
+        """One request admitted to a queue."""
+        with self._lock:
+            self._requests_total += 1
+
+    def record_reject(self) -> None:
+        """One request turned away by admission control (bounded queue full)."""
+        with self._lock:
+            self._rejected_total += 1
+
+    def record_batch(
+        self, size: int, latencies_ms: Optional[List[float]] = None, error: bool = False
+    ) -> None:
+        """One executed micro-batch of ``size`` requests.
+
+        ``latencies_ms`` are the per-request end-to-end latencies (queue wait
+        plus batch execution) feeding the p50/p95 estimates.
+        """
+        with self._lock:
+            self._batches_total += 1
+            self._images_total += size
+            self._batch_size_histogram[size] = self._batch_size_histogram.get(size, 0) + 1
+            if error:
+                self._errors_total += size
+            for latency in latencies_ms or ():
+                self._latencies_ms.append(float(latency))
+
+    # -- reading -----------------------------------------------------------
+    @property
+    def requests_total(self) -> int:
+        with self._lock:
+            return self._requests_total
+
+    @property
+    def rejected_total(self) -> int:
+        with self._lock:
+            return self._rejected_total
+
+    def batch_size_histogram(self) -> Dict[int, int]:
+        """Copy of the ``{batch_size: count}`` histogram."""
+        with self._lock:
+            return dict(self._batch_size_histogram)
+
+    def max_batch_size_seen(self) -> int:
+        """Largest micro-batch executed so far (0 before the first batch)."""
+        with self._lock:
+            return max(self._batch_size_histogram) if self._batch_size_histogram else 0
+
+    def snapshot(self, queue_depth: int = 0) -> Dict[str, object]:
+        """JSON-ready metrics view (the ``/metrics`` response body)."""
+        with self._lock:
+            latencies = list(self._latencies_ms)
+            return {
+                "requests_total": self._requests_total,
+                "rejected_total": self._rejected_total,
+                "errors_total": self._errors_total,
+                "batches_total": self._batches_total,
+                "images_total": self._images_total,
+                "queue_depth": int(queue_depth),
+                "batch_size_histogram": {
+                    str(size): count
+                    for size, count in sorted(self._batch_size_histogram.items())
+                },
+                "latency_ms": {
+                    "count": len(latencies),
+                    "p50": round(percentile(latencies, 50.0), 3),
+                    "p95": round(percentile(latencies, 95.0), 3),
+                },
+            }

@@ -1,0 +1,245 @@
+"""Request queue and micro-batching scheduler.
+
+A :class:`MicroBatcher` coalesces individual requests from many concurrent
+clients into batches handed to one handler:
+
+* **submit** is non-blocking: the request joins a bounded queue and the
+  caller gets a :class:`concurrent.futures.Future` that resolves to the
+  handler's per-request result.  A full queue raises
+  :class:`QueueFullError` immediately (admission control — the HTTP layer
+  maps it to *429 Too Many Requests*).
+* one **worker thread** drains the queue: it starts a batch at the first
+  queued request and flushes when either ``max_batch_size`` requests have
+  been collected or ``max_wait_ms`` has elapsed since the batch opened —
+  whichever comes first.  Under load batches fill instantly; a lone request
+  pays at most the wait window.
+* **close** performs a graceful drain: no new submissions are admitted,
+  every queued request is still executed (flushed immediately, without
+  waiting out the batch window), and every in-flight future resolves.
+
+Time is read through an injectable ``clock`` (default
+:func:`time.monotonic`), so tests can drive the ``max_wait_ms`` flush with a
+fake clock instead of sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, List, Optional
+
+from repro.serving.metrics import ServerMetrics
+from repro.utils.logging import get_logger
+
+logger = get_logger("serving.scheduler")
+
+
+class QueueFullError(RuntimeError):
+    """Raised by :meth:`MicroBatcher.submit` when admission control rejects a
+    request because the bounded queue is at capacity."""
+
+
+class BatcherClosedError(RuntimeError):
+    """Raised by :meth:`MicroBatcher.submit` after the batcher was closed."""
+
+
+@dataclass
+class BatchInfo:
+    """Context handed to the batch handler alongside the payloads."""
+
+    size: int
+    #: per-request milliseconds spent waiting in the queue, aligned with the
+    #: payload list
+    queue_ms: List[float] = field(default_factory=list)
+
+
+#: executes one micro-batch; must return one result per payload, in order
+BatchHandler = Callable[[List[Any], BatchInfo], List[Any]]
+
+
+class _Item:
+    __slots__ = ("payload", "future", "enqueued_at")
+
+    def __init__(self, payload: Any, enqueued_at: float) -> None:
+        self.payload = payload
+        self.future: Future = Future()
+        self.enqueued_at = enqueued_at
+
+
+class MicroBatcher:
+    """Coalesce submitted requests into batches executed by one worker.
+
+    Parameters
+    ----------
+    handler:
+        ``handler(payloads, info) -> results`` executing one micro-batch;
+        must return exactly one result per payload, in submission order.
+    max_batch_size:
+        Flush as soon as this many requests are collected.
+    max_wait_ms:
+        Flush a non-full batch this many milliseconds after it opened.
+    max_queue:
+        Admission-control bound on queued (not yet collected) requests.
+    metrics:
+        Optional shared :class:`~repro.serving.metrics.ServerMetrics`.
+    clock:
+        Monotonic time source in seconds (injectable for fake-clock tests).
+    """
+
+    def __init__(
+        self,
+        handler: BatchHandler,
+        *,
+        max_batch_size: int = 8,
+        max_wait_ms: float = 5.0,
+        max_queue: int = 64,
+        metrics: Optional[ServerMetrics] = None,
+        clock: Callable[[], float] = time.monotonic,
+        name: str = "batcher",
+        start: bool = True,
+    ) -> None:
+        if max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        if max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        self._handler = handler
+        self.max_batch_size = int(max_batch_size)
+        self.max_wait_s = float(max_wait_ms) / 1000.0
+        self.max_queue = int(max_queue)
+        self.metrics = metrics or ServerMetrics()
+        self._clock = clock
+        self.name = name
+        self._queue: Deque[_Item] = deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+        self._thread = threading.Thread(
+            target=self._worker, name=f"repro-serve-{name}", daemon=True
+        )
+        if start:
+            self._thread.start()
+
+    def start(self) -> "MicroBatcher":
+        """Start the worker thread (for batchers created with ``start=False``,
+        e.g. tests that want to queue submissions before collection begins)."""
+        if not self._thread.is_alive():
+            self._thread.start()
+        return self
+
+    # -- client side -------------------------------------------------------
+    def submit(self, payload: Any) -> Future:
+        """Enqueue one request; returns the future of its handler result."""
+        with self._not_empty:
+            if self._closed:
+                raise BatcherClosedError(f"batcher {self.name!r} is closed")
+            if len(self._queue) >= self.max_queue:
+                self.metrics.record_reject()
+                raise QueueFullError(
+                    f"batcher {self.name!r} queue is full "
+                    f"({self.max_queue} requests waiting)"
+                )
+            item = _Item(payload, self._clock())
+            self._queue.append(item)
+            self.metrics.record_submit()
+            self._not_empty.notify()
+        return item.future
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests admitted but not yet collected into a batch."""
+        with self._lock:
+            return len(self._queue)
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    # -- worker side -------------------------------------------------------
+    def _worker(self) -> None:
+        while True:
+            batch = self._next_batch()
+            if batch is None:
+                return
+            self._execute(batch)
+
+    def _next_batch(self) -> Optional[List[_Item]]:
+        """Block until a batch is ready; ``None`` when closed and drained.
+
+        A batch opens at the first queued request; it flushes when full, when
+        ``max_wait_ms`` has elapsed since it opened, or immediately when the
+        batcher is draining.  The wait loop re-reads the clock every
+        iteration, so an injected fake clock deterministically expires the
+        window without real sleeping.
+        """
+        with self._not_empty:
+            while not self._queue:
+                if self._closed:
+                    return None
+                self._not_empty.wait(0.05)
+            batch = [self._queue.popleft()]
+            deadline = self._clock() + self.max_wait_s
+            while len(batch) < self.max_batch_size:
+                if self._queue:
+                    batch.append(self._queue.popleft())
+                    continue
+                remaining = deadline - self._clock()
+                if remaining <= 0 or self._closed:
+                    break
+                self._not_empty.wait(min(remaining, 0.05))
+            return batch
+
+    def _execute(self, batch: List[_Item]) -> None:
+        started = self._clock()
+        queue_ms = [(started - item.enqueued_at) * 1000.0 for item in batch]
+        info = BatchInfo(size=len(batch), queue_ms=queue_ms)
+        try:
+            results = self._handler([item.payload for item in batch], info)
+        except BaseException as exc:  # noqa: BLE001 - forwarded to the futures
+            logger.warning("batcher %s: batch of %d failed: %s", self.name, len(batch), exc)
+            self.metrics.record_batch(len(batch), error=True)
+            for item in batch:
+                item.future.set_exception(exc)
+            return
+        if len(results) != len(batch):
+            exc = RuntimeError(
+                f"batch handler returned {len(results)} results for {len(batch)} requests"
+            )
+            self.metrics.record_batch(len(batch), error=True)
+            for item in batch:
+                item.future.set_exception(exc)
+            return
+        elapsed_ms = (self._clock() - started) * 1000.0
+        self.metrics.record_batch(
+            len(batch), latencies_ms=[q + elapsed_ms for q in queue_ms]
+        )
+        for item, result in zip(batch, results):
+            item.future.set_result(result)
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self, timeout: Optional[float] = 30.0) -> None:
+        """Graceful drain: reject new work, flush the queue, join the worker.
+
+        Every request admitted before the close is still executed (the wait
+        window is skipped) and its future resolves — callers blocked on
+        results are released, never abandoned.  Idempotent.
+        """
+        with self._not_empty:
+            already = self._closed
+            self._closed = True
+            self._not_empty.notify_all()
+        if not already:
+            logger.info("batcher %s: draining (%d queued)", self.name, self.queue_depth)
+        if self._thread.is_alive() and threading.current_thread() is not self._thread:
+            self._thread.join(timeout)
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -90,6 +90,22 @@ class TestCliParser:
             build_parser().parse_args(["--version"])
         assert "repro" in capsys.readouterr().out
 
+    def test_serve_subcommand_parses(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--max-batch-size", "4", "--max-wait-ms", "2.5",
+             "--scheme", "phase-burst", "real-rate"]
+        )
+        assert args.command == "serve"
+        assert args.port == 0
+        assert args.max_batch_size == 4
+        assert args.max_wait_ms == 2.5
+        assert args.schemes == ["phase-burst", "real-rate"]
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.schemes == ["phase-burst"]
+        assert args.max_queue == 64
+
 
 class TestCliMain:
     def test_no_command_prints_help(self, capsys):
@@ -139,6 +155,37 @@ class TestCliMain:
         err = capsys.readouterr().err
         assert "did you mean 'phase'" in err
         assert "--list-schemes" in err
+
+    def test_compare_registry_product_schemes(self, capsys):
+        """`--schemes all-input:burst` resolves through the registry instead
+        of any hard-coded notation tuple (covers the TTFS extension too)."""
+        code = main(
+            [
+                "compare",
+                "--schemes", "all-input:burst",
+                "--dataset", "mnist",
+                "--model", "mlp",
+                "--time-steps", "10",
+                "--images", "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        from repro.core.registry import input_codings
+
+        for coding in input_codings():
+            assert f"{coding}-burst" in out
+
+    def test_compare_product_spec_typo_fails_helpfully(self, capsys):
+        assert main(["compare", "--schemes", "phse:burst"]) == 2
+        err = capsys.readouterr().err
+        assert "did you mean 'phase'" in err
+
+    def test_compare_product_invalid_side_fails_helpfully(self, capsys):
+        # 'real' has no hidden-layer dynamics: not a valid rhs for a product
+        assert main(["compare", "--schemes", "all:real"]) == 2
+        err = capsys.readouterr().err
+        assert "not valid for the hidden side" in err
 
     def test_compare_registry_extension_scheme(self, capsys):
         """TTFS reaches the CLI purely through the registry."""

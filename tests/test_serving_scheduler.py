@@ -1,0 +1,194 @@
+"""Tests for the micro-batching scheduler (repro.serving.scheduler)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.serving.metrics import ServerMetrics, percentile
+from repro.serving.scheduler import (
+    BatcherClosedError,
+    MicroBatcher,
+    QueueFullError,
+)
+
+
+def _echo_handler(payloads, info):
+    """Return each payload tagged with the batch size it rode in."""
+    return [(payload, info.size) for payload in payloads]
+
+
+class FakeClock:
+    """Monotonic clock that jumps ``step`` seconds on every read."""
+
+    def __init__(self, step: float) -> None:
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        self.now += self.step
+        return self.now
+
+
+class TestCoalescing:
+    def test_batches_coalesce_under_load(self):
+        metrics = ServerMetrics()
+        with MicroBatcher(
+            _echo_handler, max_batch_size=4, max_wait_ms=50.0, metrics=metrics
+        ) as batcher:
+            futures = [batcher.submit(i) for i in range(20)]
+            results = [f.result(timeout=10) for f in futures]
+        # every request answered, in submission order
+        assert [payload for payload, _ in results] == list(range(20))
+        # the histogram accounts for every request...
+        histogram = metrics.batch_size_histogram()
+        assert sum(size * count for size, count in histogram.items()) == 20
+        # ...and at least one executed batch actually coalesced requests
+        assert metrics.max_batch_size_seen() > 1
+        assert max(size for _, size in results) > 1
+        assert metrics.requests_total == 20
+        assert metrics.rejected_total == 0
+
+    def test_full_batch_flushes_without_waiting(self):
+        # max_wait_ms is huge: only the size trigger can flush, so a prompt
+        # result proves the flush-on-max_batch_size path
+        with MicroBatcher(
+            _echo_handler, max_batch_size=3, max_wait_ms=60_000.0, start=False
+        ) as batcher:
+            futures = [batcher.submit(i) for i in range(3)]
+            batcher.start()
+            results = [f.result(timeout=10) for f in futures]
+            assert [size for _, size in results] == [3, 3, 3]
+
+
+class TestMaxWaitFlush:
+    def test_partial_batch_flushes_on_deadline_with_fake_clock(self):
+        # the wait window is a minute of *fake* time: the injected clock
+        # expires it deterministically, no real sleeping involved
+        clock = FakeClock(step=30.0)
+        batcher = MicroBatcher(
+            _echo_handler,
+            max_batch_size=8,
+            max_wait_ms=60_000.0,
+            clock=clock,
+            start=False,
+        )
+        futures = [batcher.submit(i) for i in range(2)]
+        started = time.monotonic()
+        batcher.start()
+        results = [f.result(timeout=10) for f in futures]
+        elapsed = time.monotonic() - started
+        batcher.close()
+        # the batch never filled (2 of 8) yet still flushed — on the fake
+        # deadline, and in real milliseconds rather than the fake minute
+        assert [size for _, size in results] == [2, 2]
+        assert elapsed < 5.0
+
+    def test_lone_request_pays_at_most_the_window(self):
+        with MicroBatcher(_echo_handler, max_batch_size=8, max_wait_ms=20.0) as batcher:
+            payload, size = batcher.submit("solo").result(timeout=10)
+        assert payload == "solo"
+        assert size == 1
+
+
+class TestAdmissionControl:
+    def test_bounded_queue_rejects_when_full(self):
+        release = threading.Event()
+        entered = threading.Event()
+
+        def blocking_handler(payloads, info):
+            entered.set()
+            assert release.wait(timeout=10)
+            return list(payloads)
+
+        metrics = ServerMetrics()
+        batcher = MicroBatcher(
+            blocking_handler,
+            max_batch_size=1,
+            max_wait_ms=0.0,
+            max_queue=3,
+            metrics=metrics,
+        )
+        first = batcher.submit("in-flight")
+        assert entered.wait(timeout=10)  # the worker is now stuck in the handler
+        queued = [batcher.submit(i) for i in range(3)]  # fills the bounded queue
+        with pytest.raises(QueueFullError):
+            batcher.submit("overflow")
+        assert metrics.rejected_total == 1
+        assert batcher.queue_depth == 3
+        release.set()
+        assert first.result(timeout=10) == "in-flight"
+        assert [f.result(timeout=10) for f in queued] == [0, 1, 2]
+        batcher.close()
+
+    def test_submit_after_close_raises(self):
+        batcher = MicroBatcher(_echo_handler)
+        batcher.close()
+        with pytest.raises(BatcherClosedError):
+            batcher.submit("late")
+
+
+class TestGracefulDrain:
+    def test_drain_resolves_every_in_flight_future(self):
+        def slow_handler(payloads, info):
+            time.sleep(0.02)
+            return list(payloads)
+
+        batcher = MicroBatcher(slow_handler, max_batch_size=2, max_wait_ms=5.0)
+        futures = [batcher.submit(i) for i in range(7)]
+        batcher.close()  # graceful: flush the queue, then join the worker
+        assert all(f.done() for f in futures)
+        assert [f.result(timeout=0) for f in futures] == list(range(7))
+        assert batcher.closed
+        batcher.close()  # idempotent
+
+    def test_handler_error_propagates_to_every_future_of_the_batch(self):
+        def failing_handler(payloads, info):
+            raise RuntimeError("boom")
+
+        metrics = ServerMetrics()
+        with MicroBatcher(
+            failing_handler, max_batch_size=4, max_wait_ms=5.0, metrics=metrics
+        ) as batcher:
+            futures = [batcher.submit(i) for i in range(2)]
+            for future in futures:
+                with pytest.raises(RuntimeError, match="boom"):
+                    future.result(timeout=10)
+        assert metrics.snapshot()["errors_total"] == 2
+
+    def test_wrong_result_count_is_an_error(self):
+        with MicroBatcher(
+            lambda payloads, info: [], max_batch_size=1, max_wait_ms=0.0
+        ) as batcher:
+            with pytest.raises(RuntimeError, match="results"):
+                batcher.submit("x").result(timeout=10)
+
+
+class TestValidationAndMetrics:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"max_batch_size": 0}, {"max_wait_ms": -1.0}, {"max_queue": 0}],
+    )
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            MicroBatcher(_echo_handler, start=False, **kwargs)
+
+    def test_percentile_helper(self):
+        assert percentile([], 50) == 0.0
+        values = [float(v) for v in range(1, 101)]
+        assert percentile(values, 50) == 51.0  # nearest rank on 0-based index
+        assert percentile(values, 95) == 95.0
+        assert percentile([7.0], 95) == 7.0
+
+    def test_snapshot_shape(self):
+        metrics = ServerMetrics()
+        metrics.record_submit()
+        metrics.record_batch(3, latencies_ms=[1.0, 2.0, 3.0])
+        snapshot = metrics.snapshot(queue_depth=5)
+        assert snapshot["requests_total"] == 1
+        assert snapshot["batches_total"] == 1
+        assert snapshot["images_total"] == 3
+        assert snapshot["queue_depth"] == 5
+        assert snapshot["batch_size_histogram"] == {"3": 1}
+        assert snapshot["latency_ms"]["count"] == 3
+        assert snapshot["latency_ms"]["p50"] == 2.0
