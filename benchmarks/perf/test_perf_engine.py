@@ -19,6 +19,7 @@ import numpy as np
 import pytest
 
 import perf_cases
+from repro.backends import default_backend_name
 from repro.core.hybrid import HybridCodingScheme
 from repro.utils.dtypes import simulation_dtype, simulation_precision
 from repro.utils.timing import load_bench_json, write_bench_json
@@ -51,9 +52,10 @@ def _git_revision() -> str:
 def _append_trajectory(report: dict) -> None:
     """Record this run's end-to-end numbers in the cross-PR trajectory.
 
-    Entries are keyed by ``(git_rev, scale)``: re-running the benchmark at
-    the same revision updates its row in place instead of accumulating
-    duplicates, so the trajectory stays one row per measured revision.
+    Entries are keyed by ``(git_rev, scale, backend)``: re-running the
+    benchmark at the same revision updates its row in place instead of
+    accumulating duplicates, so the trajectory stays one row per measured
+    revision per backend and per-backend speedups are tracked across PRs.
     """
     end_to_end = report.get("end_to_end", {})
     seconds = end_to_end.get("vgg_phase_burst_run_seconds")
@@ -63,12 +65,17 @@ def _append_trajectory(report: dict) -> None:
     entry = {
         "git_rev": _git_revision(),
         "scale": report["scale"],
+        "backend": report.get("backend", "numpy"),
         "seconds": seconds,
         "speedup_vs_seed": end_to_end.get("speedup_vs_seed"),
     }
     runs = history.setdefault("runs", [])
     for index, run in enumerate(runs):
-        if run.get("git_rev") == entry["git_rev"] and run.get("scale") == entry["scale"]:
+        if (
+            run.get("git_rev") == entry["git_rev"]
+            and run.get("scale") == entry["scale"]
+            and run.get("backend", "numpy") == entry["backend"]
+        ):
             runs[index] = entry
             break
     else:
@@ -82,6 +89,7 @@ def perf_report():
     report = {
         "description": "engine perf report (components + end-to-end Table 2 VGG)",
         "dtype_default": str(simulation_dtype()),
+        "backend": default_backend_name(),
         "scale": perf_cases.current_scale(),
         "components": {},
         "end_to_end": {},

@@ -142,24 +142,34 @@ def table1_schemes(
     v_th: Optional[float] = None,
     beta: float = 2.0,
     phase_period: int = 8,
+    specs: Optional[List[str]] = None,
 ) -> List[HybridCodingScheme]:
-    """The nine coding combinations evaluated in Table 1.
+    """The coding combinations evaluated in the Table 1 sweep.
 
-    Input codings: real, rate, phase; hidden codings: rate, phase, burst.
+    The list is assembled through the scheme registry
+    (:func:`repro.core.registry.expand_scheme_specs`), defaulting to the full
+    ``all`` product — every registered input coding crossed with every
+    registered hidden coding.  The paper's nine combinations (real/rate/phase
+    × rate/phase/burst) are always a subset; registered extensions (e.g.
+    TTFS input coding) appear in the sweep automatically, exactly as they do
+    in ``repro compare --schemes all``.
+
     ``v_th`` is the *burst* base threshold (the quantity the paper sweeps);
-    rate and phase hidden layers keep their standard threshold of 1.0.
+    other hidden codings keep their registered default threshold.  ``specs``
+    narrows or reorders the sweep with any registry product notation (e.g.
+    ``["phase:all"]``).
     """
     schemes = []
-    for input_coding in ("real", "rate", "phase"):
-        for hidden_coding in ("rate", "phase", "burst"):
-            schemes.append(
-                HybridCodingScheme.from_notation(
-                    f"{input_coding}-{hidden_coding}",
-                    v_th=v_th if hidden_coding == "burst" else None,
-                    beta=beta,
-                    phase_period=phase_period,
-                )
+    for notation in registry.expand_scheme_specs(specs or ["all"]):
+        hidden_coding = notation.split("-")[1]
+        schemes.append(
+            HybridCodingScheme.from_notation(
+                notation,
+                v_th=v_th if hidden_coding == "burst" else None,
+                beta=beta,
+                phase_period=phase_period,
             )
+        )
     return schemes
 
 

@@ -90,6 +90,15 @@ class PipelineConfig(FrozenConfig):
         Forwarded to :class:`~repro.snn.network.SimulationConfig`: freeze
         images whose output argmax has been stable for this many steps
         (``None`` disables, leaving results identical to the seed engine).
+    early_exit_margin:
+        Forwarded to :class:`~repro.snn.network.SimulationConfig`: with the
+        adaptive criterion, images additionally need their per-step output
+        margin at or above this threshold throughout the patience window
+        (requires ``early_exit_patience``; ``None`` keeps the fixed
+        argmax-stability count).
+    backend:
+        Compute backend for every simulation of this pipeline (a registered
+        :mod:`repro.backends` name; ``None`` = the backend policy default).
     num_workers:
         Shard batch evaluation across this many worker processes (``None`` or
         1 = sequential).  Falls back to in-process execution on single-CPU
@@ -106,6 +115,8 @@ class PipelineConfig(FrozenConfig):
     conversion: ConversionConfig = field(default_factory=ConversionConfig)
     seed: int = 0
     early_exit_patience: Optional[int] = None
+    early_exit_margin: Optional[float] = None
+    backend: Optional[str] = None
     num_workers: Optional[int] = None
 
     def __post_init__(self) -> None:
@@ -117,6 +128,17 @@ class PipelineConfig(FrozenConfig):
             validate_positive("max_test_images", self.max_test_images)
         if self.early_exit_patience is not None:
             validate_positive("early_exit_patience", self.early_exit_patience)
+        if self.early_exit_margin is not None:
+            validate_positive("early_exit_margin", self.early_exit_margin)
+            if self.early_exit_patience is None:
+                raise ValueError(
+                    "early_exit_margin requires early_exit_patience (the margin "
+                    "must hold for a patience window to freeze an image)"
+                )
+        if self.backend is not None:
+            from repro.backends import validate_backend_name
+
+            validate_backend_name(self.backend)
         if self.num_workers is not None:
             validate_positive("num_workers", self.num_workers)
 
@@ -292,7 +314,9 @@ class SNNInferencePipeline:
             record_trains=config.record_trains,
             sample_fraction=config.sample_fraction,
             seed=config.seed,
+            backend=config.backend,
             early_exit_patience=config.early_exit_patience,
+            early_exit_margin=config.early_exit_margin,
         )
 
     def _simulate_range(
@@ -432,11 +456,17 @@ class SNNInferencePipeline:
             # independently — and possibly differently — inside each worker
             self.dnn_accuracy
             self.normalization
+            from repro.backends import resolve_backend
             from repro.utils.dtypes import resolve_dtype
 
             reset_dtype = resolve_dtype(sim_config.dtype)
+            reset_backend = resolve_backend(sim_config.backend)
             for layer in snn.layers:
-                layer.reset(min(config.batch_size, num_images), dtype=reset_dtype)
+                layer.reset(
+                    min(config.batch_size, num_images),
+                    dtype=reset_dtype,
+                    backend=reset_backend,
+                )
             shards = self._run_sharded(scheme, time_steps, num_images, workers, keep_batch_results)
 
         recorded_steps = shards[0].recorded_steps

@@ -55,16 +55,27 @@ def execute(prepared: PreparedBatch, labels: Optional[np.ndarray] = None) -> Sim
     )
     snapshot = 0
     patience = config.early_exit_patience
+    # Adaptive early exit: with a margin threshold configured, an image only
+    # freezes when its per-step output margin — (top1 − top2 accumulated
+    # score) / steps simulated — stays at or above the threshold throughout
+    # the whole patience window, on top of the argmax being stable.  With
+    # margin=None the loop below is exactly the fixed-count criterion.
+    margin = config.early_exit_margin
     # Early-exit bookkeeping: `active` maps the (shrinking) simulated batch
     # back to the original image indices.
     active = np.arange(batch_size)
     latest_logits: Optional[np.ndarray] = None
     prev_pred = stable = frozen_at = None
+    margin_scratch = None
     if patience is not None:
         latest_logits = np.zeros((batch_size, network.num_classes), dtype=dtype)
         prev_pred = np.full(batch_size, -1, dtype=np.int64)
         stable = np.zeros(batch_size, dtype=np.int64)
         frozen_at = np.full(batch_size, -1, dtype=np.int64)
+        if margin is not None and network.num_classes >= 2:
+            # top-two extraction works on this preallocated copy (sliced to
+            # the surviving rows), keeping the step loop allocation-free
+            margin_scratch = np.empty((batch_size, network.num_classes), dtype=dtype)
 
     # an encoder whose values are nonzero exactly where it spiked lets the
     # first layer (and the pools downstream) skip activity re-scans
@@ -105,7 +116,23 @@ def execute(prepared: PreparedBatch, labels: Optional[np.ndarray] = None) -> Sim
             snapshot += 1
         predictions = logits.argmax(axis=1)
         unchanged = predictions == prev_pred[active]
-        stable[active] = np.where(unchanged, stable[active] + 1, 1)
+        if margin is None:
+            stable[active] = np.where(unchanged, stable[active] + 1, 1)
+        else:
+            if margin_scratch is not None:
+                # the two largest accumulated scores per image, via an
+                # in-place partition of the preallocated scratch (no sort)
+                scratch = margin_scratch[: logits.shape[0]]
+                np.copyto(scratch, logits)
+                scratch.partition(logits.shape[1] - 2, axis=1)
+                confident = (scratch[:, -1] - scratch[:, -2]) / (t + 1) >= margin
+                qualifies = unchanged & confident
+            else:
+                qualifies = unchanged  # a 1-class output has no margin
+            # unlike the pure argmax criterion (where the step after a flip is
+            # already 1 step of the *new* prediction's stability), a step that
+            # misses the margin contributes nothing to the confident streak
+            stable[active] = np.where(qualifies, stable[active] + 1, 0)
         prev_pred[active] = predictions
         frozen = stable[active] >= patience
         if frozen.any() and t + 1 < config.time_steps:

@@ -52,7 +52,10 @@ def run_all_schemes(
     Parameters
     ----------
     schemes:
-        Coding schemes to evaluate; defaults to the nine Table 1 combinations.
+        Coding schemes to evaluate; defaults to the registry-driven Table 1
+        sweep (:func:`repro.core.hybrid.table1_schemes` — every registered
+        input coding × every registered hidden coding, so extensions like
+        TTFS appear automatically).
     v_th:
         Hidden-layer threshold used when building the default scheme list.
     """

@@ -52,24 +52,46 @@ class MethodSpec:
         return HybridCodingScheme.from_notation(self.notation, v_th=self.v_th)
 
 
-#: the method rows evaluated per dataset (mirrors Table 2's structure)
+def _expand_methods(*rows: tuple) -> "Sequence[MethodSpec]":
+    """Expand ``(label, spec, v_th, is_baseline)`` rows through the registry.
+
+    Each row's *spec* goes through
+    :func:`repro.core.registry.expand_scheme_specs`, so a method row can name
+    a registry product (``all-input:burst`` — one row per expanded notation,
+    labelled with the notation) as well as a plain notation, and unknown
+    codings fail with the registry's did-you-mean error at import time rather
+    than mid-experiment.
+    """
+    from repro.core.registry import expand_scheme_specs
+
+    methods = []
+    for label, spec, v_th, is_baseline in rows:
+        notations = expand_scheme_specs([spec])
+        for notation in notations:
+            row_label = label if len(notations) == 1 else f"{label} [{notation}]"
+            methods.append(MethodSpec(row_label, notation, v_th=v_th, is_baseline=is_baseline))
+    return tuple(methods)
+
+
+#: the method rows evaluated per dataset (mirrors Table 2's structure); the
+#: notations are resolved through the scheme registry, not hard-coded tuples
 TABLE2_METHODS: Dict[str, Sequence[MethodSpec]] = {
-    "mnist": (
-        MethodSpec("Diehl et al. 2015", "rate-rate", is_baseline=True),
-        MethodSpec("Kim et al. 2018", "phase-phase"),
-        MethodSpec("Ours (v_th=0.125)", "real-burst", v_th=0.125),
-        MethodSpec("Ours (v_th=0.0625)", "real-burst", v_th=0.0625),
+    "mnist": _expand_methods(
+        ("Diehl et al. 2015", "rate:rate", None, True),
+        ("Kim et al. 2018", "phase:phase", None, False),
+        ("Ours (v_th=0.125)", "real:burst", 0.125, False),
+        ("Ours (v_th=0.0625)", "real:burst", 0.0625, False),
     ),
-    "cifar10": (
-        MethodSpec("Cao et al. 2015", "rate-rate"),
-        MethodSpec("Rueckauer et al. 2016", "real-rate", is_baseline=True),
-        MethodSpec("Kim et al. 2018", "phase-phase"),
-        MethodSpec("Ours (v_th=0.125)", "phase-burst", v_th=0.125),
-        MethodSpec("Ours (v_th=0.0625)", "phase-burst", v_th=0.0625),
+    "cifar10": _expand_methods(
+        ("Cao et al. 2015", "rate:rate", None, False),
+        ("Rueckauer et al. 2016", "real:rate", None, True),
+        ("Kim et al. 2018", "phase:phase", None, False),
+        ("Ours (v_th=0.125)", "phase:burst", 0.125, False),
+        ("Ours (v_th=0.0625)", "phase:burst", 0.0625, False),
     ),
-    "cifar100": (
-        MethodSpec("Kim et al. 2018", "phase-phase", is_baseline=True),
-        MethodSpec("Ours (v_th=0.125)", "phase-burst", v_th=0.125),
+    "cifar100": _expand_methods(
+        ("Kim et al. 2018", "phase:phase", None, True),
+        ("Ours (v_th=0.125)", "phase:burst", 0.125, False),
     ),
 }
 

@@ -66,6 +66,9 @@ class ServingConfig(FrozenConfig):
     dtype:
         Simulation precision (``None`` = project policy, float32; float64
         answers are bit-identical to the batch pipeline).
+    backend:
+        Compute backend for every served simulation (a registered
+        :mod:`repro.backends` name; ``None`` = the backend policy default).
     early_exit_patience:
         Optional converged-image early exit (see
         :class:`~repro.snn.network.SimulationConfig`).
@@ -85,6 +88,7 @@ class ServingConfig(FrozenConfig):
     max_queue: int = 64
     time_steps: int = 100
     dtype: Optional[str] = None
+    backend: Optional[str] = None
     early_exit_patience: Optional[int] = None
     session_cache_size: int = 4
     calibration_images: int = 128
@@ -102,6 +106,10 @@ class ServingConfig(FrozenConfig):
             raise ValueError(f"max_wait_ms must be >= 0, got {self.max_wait_ms}")
         if self.early_exit_patience is not None:
             validate_positive("early_exit_patience", self.early_exit_patience)
+        if self.backend is not None:
+            from repro.backends import validate_backend_name
+
+            validate_backend_name(self.backend)
 
 
 class _SchemeServer:
@@ -120,6 +128,7 @@ class _SchemeServer:
                 record_outputs_every=config.time_steps,  # final scores only
                 seed=config.seed,
                 dtype=config.dtype,
+                backend=config.backend,
                 early_exit_patience=config.early_exit_patience,
             ),
             conversion=config.conversion,

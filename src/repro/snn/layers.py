@@ -13,6 +13,14 @@ them); max pooling uses the standard spiking gating approach of Rueckauer et
 al. [12]: each window forwards the amplitude of the input unit with the
 largest cumulative transmitted value.
 
+Every kernel primitive a layer's hot path touches — GEMMs, gathers, conv
+plans, pooling slabs and the IF/threshold elementwise updates — runs on the
+layer's resolved :class:`~repro.backends.base.KernelBackend` (``self.ops``,
+bound at ``reset``); the layers orchestrate *which* kernel runs per step but
+never call a kernel library directly.  The default numpy backend is the
+original code relocated behind the seam, so all guarantees below are
+unchanged.
+
 Performance contract
 --------------------
 ``step`` is called once per layer per simulation time step and is
@@ -59,11 +67,12 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.ann.im2col import DirectConvPlan, Im2colPlan, conv_output_size
+from repro.backends import resolve_backend
 from repro.snn.neurons import IFNeuronState, ResetMode
 from repro.snn.thresholds import ThresholdDynamics
 from repro.utils import sparsity
 from repro.utils.dtypes import DTypeLike, resolve_dtype
-from repro.utils.sparsity import SparsityDispatcher, nonzero_fraction
+from repro.utils.sparsity import SparsityDispatcher
 
 #: cap on cached periodic synaptic input (elements across all phases) so the
 #: phase cache cannot balloon on huge layers
@@ -94,6 +103,11 @@ class SpikingLayer:
         self.batch_size: Optional[int] = None
         #: simulation dtype resolved at the most recent reset()
         self.dtype: np.dtype = resolve_dtype(None)
+        self._ops = None
+        #: whether the most recent reset() switched backends — subclasses use
+        #: it to drop plans/buffers built by the previous backend (a built
+        #: network can be re-reset onto a different backend)
+        self.backend_changed = False
         #: boolean spike array of the most recent step (spiking layers only)
         self.last_spikes: Optional[np.ndarray] = None
         #: nonzero count of the most recent step's output, when the layer can
@@ -102,17 +116,40 @@ class SpikingLayer:
         #: layers can skip re-scanning their input for activity
         self.output_nonzero: Optional[int] = None
 
-    def reset(self, batch_size: int, dtype: DTypeLike = None) -> None:
+    def reset(self, batch_size: int, dtype: DTypeLike = None, backend=None) -> None:
         """Allocate per-simulation state for a batch of ``batch_size`` samples.
 
         ``dtype`` selects the simulation precision for this run (``None``
-        resolves through the project dtype policy).
+        resolves through the project dtype policy); ``backend`` selects the
+        :class:`~repro.backends.base.KernelBackend` running the layer's kernel
+        primitives (name, instance, or ``None`` for the backend policy
+        default).
         """
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
         self.batch_size = batch_size
         self.dtype = resolve_dtype(dtype)
+        resolved = resolve_backend(backend)
+        # backends are process-wide singletons, so identity is the right test
+        self.backend_changed = self._ops is not None and resolved is not self._ops
+        self._ops = resolved
         self.last_spikes = None
+
+    @property
+    def ops(self):
+        """The layer's :class:`~repro.backends.base.KernelBackend`.
+
+        Bound by :meth:`reset`; resolves the policy default lazily for layers
+        stepped without an explicit reset (the linear re-arrangement layers).
+        """
+        ops = self._ops
+        if ops is None:
+            ops = self._ops = resolve_backend(None)
+        return ops
+
+    @ops.setter
+    def ops(self, value) -> None:
+        self._ops = value
 
     def step(
         self, incoming: np.ndarray, t: int, incoming_nonzero: Optional[int] = None
@@ -216,19 +253,23 @@ class _SpikingNeuronLayer(SpikingLayer):
     def _calibrate_dispatcher(self) -> None:
         """Hook: auto-calibrate the sparse/dense crossover on first reset."""
 
-    def reset(self, batch_size: int, dtype: DTypeLike = None) -> None:
-        super().reset(batch_size, dtype)
+    def reset(self, batch_size: int, dtype: DTypeLike = None, backend=None) -> None:
+        super().reset(batch_size, dtype, backend)
         shape = self._state_shape(batch_size)
         if (
             self.state is not None
+            and not self.backend_changed
             and self.state.shape == shape
             and self.state.dtype == self.dtype
             and self.state.reset_mode is self.reset_mode
         ):
+            self.state.ops = self.ops  # the backend may change between runs
             self.state.reset()  # reuse the allocated membrane/scratch buffers
         else:
-            self.state = IFNeuronState(shape, reset_mode=self.reset_mode, dtype=self.dtype)
-        self.threshold.reset(shape, dtype=self.dtype)
+            self.state = IFNeuronState(
+                shape, reset_mode=self.reset_mode, dtype=self.dtype, ops=self.ops
+            )
+        self.threshold.reset(shape, dtype=self.dtype, backend=self.ops)
         exact_only = self.dtype == np.float64
         if self.dispatcher is None:
             self.dispatcher = SparsityDispatcher(self.name, exact_only=exact_only)
@@ -369,23 +410,27 @@ class SpikingDense(_SpikingNeuronLayer):
         return (batch_size, self.out_features)
 
     def _prepare_buffers(self, batch_size: int) -> None:
+        ops = self.ops
+        if self.backend_changed:
+            # buffers built by the previous backend must not leak into this run
+            self._z = self._xa_flat = self._wa_flat = self._z_empty = None
         self._w_sim = _cast_cached(self._cast_cache, "weight", self.weight, self.dtype)
         if self.bias is not None:
             self._scaled_bias = _cast_cached(
                 self._cast_cache, "scaled_bias", self.bias_scale * self.bias, self.dtype
             )
         if self._z is None or self._z.shape != (batch_size, self.out_features) or self._z.dtype != self.dtype:
-            self._z = np.empty((batch_size, self.out_features), dtype=self.dtype)
+            self._z = ops.empty((batch_size, self.out_features), self.dtype)
             # gather-path input accumulator: flat scratch carved into (N, a)
             # views for the step's active-feature count a
-            self._xa_flat = np.empty(batch_size * self.in_features, dtype=self.dtype)
+            self._xa_flat = ops.empty((batch_size * self.in_features,), self.dtype)
         if self._wa_flat is None or self._wa_flat.dtype != self.dtype:
             # weight gather scratch is batch-independent: rebuild on dtype only
-            self._wa_flat = np.empty(self.in_features * self.out_features, dtype=self.dtype)
+            self._wa_flat = ops.empty((self.in_features * self.out_features,), self.dtype)
         if self._z_empty is None or self._z_empty.shape != self._z.shape or self._z_empty.dtype != self.dtype:
-            self._z_empty = np.zeros((batch_size, self.out_features), dtype=self.dtype)
+            self._z_empty = ops.zeros((batch_size, self.out_features), self.dtype)
             if self._scaled_bias is not None:
-                self._z_empty += self._scaled_bias
+                ops.add_inplace(self._z_empty, self._scaled_bias)
 
     def _calibrate_dispatcher(self) -> None:
         dispatcher = self.dispatcher
@@ -393,7 +438,12 @@ class SpikingDense(_SpikingNeuronLayer):
         if dispatcher.exact_only or dispatcher._forced_mode() is not None:
             return
         batch = self.batch_size or 1
-        cache_key = ("dense", batch, self.in_features, self.out_features, str(self.dtype))
+        # keyed by backend: crossovers timed on one backend's kernels must
+        # never steer another backend's dispatch (see repro.utils.sparsity)
+        cache_key = (
+            "dense", self.ops.name, batch,
+            self.in_features, self.out_features, str(self.dtype),
+        )
         rng = np.random.default_rng(0)
 
         def make_input(fraction: float) -> np.ndarray:
@@ -411,16 +461,17 @@ class SpikingDense(_SpikingNeuronLayer):
         dispatcher.calibrate(
             cache_key,
             self._dense_input,
-            lambda x: self._sparse_input(x, np.flatnonzero(x.any(axis=0))),
+            lambda x: self._sparse_input(x, self.ops.active_features(x)),
             make_input,
         )
 
     def _dense_input(self, incoming: np.ndarray) -> np.ndarray:
         z = self._z
         assert z is not None and self._w_sim is not None
-        np.matmul(incoming, self._w_sim, out=z)
+        ops = self.ops
+        ops.matmul(incoming, self._w_sim, z)
         if self._scaled_bias is not None:
-            z += self._scaled_bias
+            ops.add_inplace(z, self._scaled_bias)
         return z
 
     def _sparse_input(self, incoming: np.ndarray, active: np.ndarray) -> np.ndarray:
@@ -437,15 +488,16 @@ class SpikingDense(_SpikingNeuronLayer):
             return self._dense_input(incoming)
         batch = incoming.shape[0]
         assert self._xa_flat is not None and self._wa_flat is not None
+        ops = self.ops
         gathered_x = self._xa_flat[: batch * count].reshape(batch, count)
         gathered_w = self._wa_flat[: count * self.out_features].reshape(count, self.out_features)
-        np.take(incoming, active, axis=1, out=gathered_x)
-        np.take(self._w_sim, active, axis=0, out=gathered_w)
+        ops.take(incoming, active, 1, gathered_x)
+        ops.take(self._w_sim, active, 0, gathered_w)
         z = self._z
         assert z is not None
-        np.matmul(gathered_x, gathered_w, out=z)
+        ops.matmul(gathered_x, gathered_w, z)
         if self._scaled_bias is not None:
-            z += self._scaled_bias
+            ops.add_inplace(z, self._scaled_bias)
         return z
 
     def _synaptic_input(self, incoming: np.ndarray) -> np.ndarray:
@@ -460,7 +512,7 @@ class SpikingDense(_SpikingNeuronLayer):
         if decision is None:
             # dispatch metric: fraction of input features active anywhere in
             # the batch — the gather path's cost driver, exact for emptiness
-            active = np.flatnonzero(incoming.any(axis=0))
+            active = self.ops.active_features(incoming)
             decision = dispatcher.choose(active.size / self.in_features)
             if decision == sparsity.SPARSE:
                 return self._sparse_input(incoming, active)
@@ -570,21 +622,26 @@ class SpikingConv2D(_SpikingNeuronLayer):
 
     def _prepare_buffers(self, batch_size: int) -> None:
         out_c, out_h, out_w = self._out_shape
+        ops = self.ops
+        if self.backend_changed:
+            # plans and buffers built by the previous backend must not leak
+            self._plan = self._direct = None
+            self._z2d = self._z4 = self._z_empty = self._taps_scratch_flat = None
         wmat = _cast_cached(self._cast_cache, "weight_matrix", self._weight_matrix, self.dtype)
         self._wmat_t = wmat.T
         self._taps = _cast_cached(self._cast_cache, "taps", self._tap_master, self.dtype)
         if self._taps_scratch_flat is None or self._taps_scratch_flat.dtype != self.dtype:
             # gather scratch for the sparse path's channel-packed tap stack
-            self._taps_scratch_flat = np.empty(self._taps.size, dtype=self.dtype)
+            self._taps_scratch_flat = ops.empty((self._taps.size,), self.dtype)
         if self.bias is not None:
             self._scaled_bias = _cast_cached(
                 self._cast_cache, "scaled_bias", self.bias_scale * self.bias, self.dtype
             )
         empty_shape = (batch_size, out_c, out_h, out_w)
         if self._z_empty is None or self._z_empty.shape != empty_shape or self._z_empty.dtype != self.dtype:
-            self._z_empty = np.zeros(empty_shape, dtype=self.dtype)
+            self._z_empty = ops.zeros(empty_shape, self.dtype)
             if self._scaled_bias is not None:
-                self._z_empty += self._scaled_bias[:, None, None]
+                ops.add_inplace(self._z_empty, self._scaled_bias[:, None, None])
 
     def _canonical_plan(self) -> Im2colPlan:
         c, h, w = self.input_shape
@@ -595,12 +652,12 @@ class SpikingConv2D(_SpikingNeuronLayer):
             or self._plan.input_shape != (batch_size, c, h, w)
             or self._plan.dtype != self.dtype
         ):
-            self._plan = Im2colPlan(
+            self._plan = self.ops.im2col_plan(
                 batch_size, c, h, w,
                 self.kernel_size, self.kernel_size, self.stride, self.padding,
-                dtype=self.dtype,
+                self.dtype,
             )
-            self._z2d = np.empty((batch_size * out_h * out_w, out_c), dtype=self.dtype)
+            self._z2d = self.ops.empty((batch_size * out_h * out_w, out_c), self.dtype)
             # (N, out_h, out_w, out_c) -> (N, out_c, out_h, out_w) view, built once
             self._z4 = self._z2d.reshape(batch_size, out_h, out_w, out_c).transpose(0, 3, 1, 2)
         return self._plan
@@ -613,9 +670,9 @@ class SpikingConv2D(_SpikingNeuronLayer):
             or self._direct.input_shape != (batch_size, c, h, w)
             or self._direct.dtype != self.dtype
         ):
-            self._direct = DirectConvPlan(
+            self._direct = self.ops.direct_conv_plan(
                 batch_size, c, h, w,
-                self.kernel_size, self.padding, self.out_channels, dtype=self.dtype,
+                self.kernel_size, self.padding, self.out_channels, self.dtype,
             )
         return self._direct
 
@@ -629,9 +686,10 @@ class SpikingConv2D(_SpikingNeuronLayer):
         ):
             return
         batch = self.batch_size or 1
+        # keyed by backend, like the dense layer's crossover cache
         cache_key = (
-            "conv", batch, self.input_shape, self.kernel_size, self.stride,
-            self.padding, self.out_channels, str(self.dtype),
+            "conv", self.ops.name, batch, self.input_shape, self.kernel_size,
+            self.stride, self.padding, self.out_channels, str(self.dtype),
         )
         rng = np.random.default_rng(0)
         channels = self.input_shape[0]
@@ -650,7 +708,7 @@ class SpikingConv2D(_SpikingNeuronLayer):
         dispatcher.calibrate(
             cache_key,
             self._dense_input,
-            lambda x: self._sparse_input(x, np.flatnonzero(x.any(axis=(0, 2, 3)))),
+            lambda x: self._sparse_input(x, self.ops.active_channels(x)),
             make_input,
         )
         # probe the direct plan's GEMM engine now (rather than lazily on the
@@ -661,10 +719,11 @@ class SpikingConv2D(_SpikingNeuronLayer):
     def _canonical_input(self, incoming: np.ndarray) -> np.ndarray:
         plan = self._canonical_plan()
         assert self._z2d is not None and self._z4 is not None
+        ops = self.ops
         cols = plan.fill(incoming)
-        np.matmul(cols, self._wmat_t, out=self._z2d)
+        ops.matmul(cols, self._wmat_t, self._z2d)
         if self._scaled_bias is not None:
-            self._z2d += self._scaled_bias
+            ops.add_inplace(self._z2d, self._scaled_bias)
         return self._z4
 
     def _dense_input(self, incoming: np.ndarray) -> np.ndarray:
@@ -687,7 +746,7 @@ class SpikingConv2D(_SpikingNeuronLayer):
         taps = self._taps_scratch_flat[: kk * count * self.out_channels].reshape(
             kk, count, self.out_channels
         )
-        np.take(self._taps, active, axis=1, out=taps)
+        self.ops.take(self._taps, active, 1, taps)
         return self._direct_plan().run(
             incoming, taps, self._scaled_bias, active_channels=active
         )
@@ -706,7 +765,7 @@ class SpikingConv2D(_SpikingNeuronLayer):
             # dispatch metric: fraction of input channels carrying any spike —
             # a cheap reduction that doubles as the sparse path's channel list
             # and is exact for empty detection (no active channel ⟺ all zero)
-            active = np.flatnonzero(incoming.any(axis=(0, 2, 3)))
+            active = self.ops.active_channels(incoming)
             decision = dispatcher.choose(
                 active.size / expected_c, sparse_available=self._direct_available
             )
@@ -744,6 +803,11 @@ class SpikingAvgPool2D(SpikingLayer):
         # only contributes the (exact) empty-step shortcut
         self.dispatcher = SparsityDispatcher(name, exact_only=True)
 
+    def reset(self, batch_size: int, dtype: DTypeLike = None, backend=None) -> None:
+        super().reset(batch_size, dtype, backend)
+        if self.backend_changed:
+            self._shape = None  # buffers rebuilt by the new backend on next step
+
     @property
     def _slab_mode(self) -> bool:
         """2×2 / stride-2 pooling (the only config the models use) averages
@@ -760,13 +824,13 @@ class SpikingAvgPool2D(SpikingLayer):
             out_h = conv_output_size(h, self.pool_size, self.stride, 0)
             out_w = conv_output_size(w, self.pool_size, self.stride, 0)
             self._plan = None
-            self._out = np.empty((n, c, out_h, out_w), dtype=self.dtype)
+            self._out = self.ops.empty((n, c, out_h, out_w), self.dtype)
             self._mean_flat = None
         else:
-            self._plan = Im2colPlan(
-                n * c, 1, h, w, self.pool_size, self.pool_size, self.stride, 0, dtype=self.dtype
+            self._plan = self.ops.im2col_plan(
+                n * c, 1, h, w, self.pool_size, self.pool_size, self.stride, 0, self.dtype
             )
-            self._out = np.empty((n, c, self._plan.out_h, self._plan.out_w), dtype=self.dtype)
+            self._out = self.ops.empty((n, c, self._plan.out_h, self._plan.out_w), self.dtype)
             self._mean_flat = self._out.reshape(-1)
 
     def shrink_batch(self, keep: np.ndarray) -> None:
@@ -784,32 +848,22 @@ class SpikingAvgPool2D(SpikingLayer):
         self._ensure_buffers((n, c, h, w))
         out = self._out
         assert out is not None
+        ops = self.ops
         fraction = (
             incoming_nonzero / incoming.size
             if incoming_nonzero is not None
-            else nonzero_fraction(incoming)
+            else ops.count_nonzero(incoming) / incoming.size
         )
         if self.dispatcher.choose(fraction, sparse_available=False) == sparsity.EMPTY:
             # pooling an all-zero step is exactly zero in every dtype
-            out.fill(0.0)
+            ops.fill(out, 0.0)
             return out
         if self._slab_mode:
-            oh, ow = out.shape[2], out.shape[3]
-            # window-column order (0,0), (0,1), (1,0), (1,1) — the same
-            # sequential reduction order as cols.mean(axis=1)
-            np.add(
-                incoming[:, :, 0 : oh * 2 : 2, 0 : ow * 2 : 2],
-                incoming[:, :, 0 : oh * 2 : 2, 1 : ow * 2 : 2],
-                out=out,
-            )
-            out += incoming[:, :, 1 : oh * 2 : 2, 0 : ow * 2 : 2]
-            out += incoming[:, :, 1 : oh * 2 : 2, 1 : ow * 2 : 2]
-            out /= 4
-            return out
+            return ops.avgpool2x2(incoming, out)
         plan = self._plan
         assert plan is not None and self._mean_flat is not None
         cols = plan.fill(incoming.reshape(n * c, 1, h, w))
-        cols.mean(axis=1, out=self._mean_flat)
+        ops.mean_columns(cols, self._mean_flat)
         return out
 
     def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
@@ -852,10 +906,12 @@ class SpikingMaxPool2D(SpikingLayer):
         self._gated: Optional[np.ndarray] = None
         self._gated_flat: Optional[np.ndarray] = None
 
-    def reset(self, batch_size: int, dtype: DTypeLike = None) -> None:
-        super().reset(batch_size, dtype)
+    def reset(self, batch_size: int, dtype: DTypeLike = None, backend=None) -> None:
+        super().reset(batch_size, dtype, backend)
         self._steps_seen = 0
-        if self._cumulative is not None:
+        if self.backend_changed:
+            self._cumulative = None  # full rebuild by the new backend
+        elif self._cumulative is not None:
             self._cumulative.fill(0.0)
 
     def shrink_batch(self, keep: np.ndarray) -> None:
@@ -877,9 +933,9 @@ class SpikingMaxPool2D(SpikingLayer):
             and self._cumulative.dtype == self.dtype
         ):
             return
-        self._cumulative = np.zeros(shape, dtype=self.dtype)
-        self._plan = Im2colPlan(
-            n * c, 1, h, w, self.pool_size, self.pool_size, self.stride, 0, dtype=self.dtype
+        self._cumulative = self.ops.zeros(shape, self.dtype)
+        self._plan = self.ops.im2col_plan(
+            n * c, 1, h, w, self.pool_size, self.pool_size, self.stride, 0, self.dtype
         )
         out_h, out_w = self._plan.out_h, self._plan.out_w
         rows = n * c * out_h * out_w
@@ -890,10 +946,10 @@ class SpikingMaxPool2D(SpikingLayer):
         self._base_y = oy * self.stride
         self._base_x = ox * self.stride
         self._base_off = nc * (h * w)
-        self._winners = np.empty(rows, dtype=np.intp)
-        self._ky = np.empty(rows, dtype=np.intp)
-        self._kx = np.empty(rows, dtype=np.intp)
-        self._gated = np.empty((n, c, out_h, out_w), dtype=self.dtype)
+        self._winners = self.ops.empty((rows,), np.dtype(np.intp))
+        self._ky = self.ops.empty((rows,), np.dtype(np.intp))
+        self._kx = self.ops.empty((rows,), np.dtype(np.intp))
+        self._gated = self.ops.empty((n, c, out_h, out_w), self.dtype)
         self._gated_flat = self._gated.reshape(-1)
 
     def step(
@@ -917,25 +973,27 @@ class SpikingMaxPool2D(SpikingLayer):
         self._steps_seen += 1
         cumulative = self._cumulative
         plan = self._plan
+        ops = self.ops
         assert cumulative is not None and plan is not None
         fraction = (
             incoming_nonzero / incoming.size
             if incoming_nonzero is not None
-            else nonzero_fraction(incoming)
+            else ops.count_nonzero(incoming) / incoming.size
         )
         if self.dispatcher.choose(fraction, sparse_available=False) == sparsity.EMPTY:
             # nothing spiked: the cumulative evidence is unchanged, and every
             # window's winner forwards an amplitude of exactly zero
             assert self._gated is not None
-            self._gated.fill(0.0)
+            ops.fill(self._gated, 0.0)
             return self._gated
-        cumulative += incoming
+        ops.add_inplace(cumulative, incoming)
 
         cum_cols = plan.fill(cumulative.reshape(n * c, 1, h, w))
         winners, ky, kx = self._winners, self._ky, self._kx
         assert winners is not None and ky is not None and kx is not None
-        np.argmax(cum_cols, axis=1, out=winners)
-        # winner index within the window -> absolute flat index into `incoming`
+        ops.argmax_columns(cum_cols, winners)
+        # winner index within the window -> absolute flat index into
+        # `incoming` (plain intp bookkeeping, backend-independent)
         np.floor_divide(winners, self.pool_size, out=ky)
         np.remainder(winners, self.pool_size, out=kx)
         ky += self._base_y
@@ -943,7 +1001,7 @@ class SpikingMaxPool2D(SpikingLayer):
         ky *= w
         ky += kx
         ky += self._base_off
-        np.take(incoming.reshape(-1), ky, out=self._gated_flat)
+        ops.take_flat(incoming, ky, self._gated_flat)
         return self._gated
 
     def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
@@ -1006,19 +1064,24 @@ class OutputAccumulator(SpikingLayer):
     def num_classes(self) -> int:
         return int(self.weight.shape[1])
 
-    def reset(self, batch_size: int, dtype: DTypeLike = None) -> None:
-        super().reset(batch_size, dtype)
+    def reset(self, batch_size: int, dtype: DTypeLike = None, backend=None) -> None:
+        super().reset(batch_size, dtype, backend)
         self._w_sim = _cast_cached(self._cast_cache, "weight", self.weight, self.dtype)
         if self.bias is not None:
             self._scaled_bias = _cast_cached(
                 self._cast_cache, "scaled_bias", self.bias_scale * self.bias, self.dtype
             )
         shape = (batch_size, self.num_classes)
-        if self._logits is not None and self._logits.shape == shape and self._logits.dtype == self.dtype:
+        if (
+            self._logits is not None
+            and not self.backend_changed
+            and self._logits.shape == shape
+            and self._logits.dtype == self.dtype
+        ):
             self._logits.fill(0.0)
         else:
-            self._logits = np.zeros(shape, dtype=self.dtype)
-            self._update = np.empty(shape, dtype=self.dtype)
+            self._logits = self.ops.zeros(shape, self.dtype)
+            self._update = self.ops.empty(shape, self.dtype)
 
     def shrink_batch(self, keep: np.ndarray) -> None:
         super().shrink_batch(keep)
@@ -1039,10 +1102,11 @@ class OutputAccumulator(SpikingLayer):
                 f"{self.name}: expected incoming shape (N, {self.weight.shape[0]}), "
                 f"got {incoming.shape}"
             )
-        np.matmul(incoming, self._w_sim, out=self._update)
+        ops = self.ops
+        ops.matmul(incoming, self._w_sim, self._update)
         if self._scaled_bias is not None:
-            self._update += self._scaled_bias
-        self._logits += self._update
+            ops.add_inplace(self._update, self._scaled_bias)
+        ops.add_inplace(self._logits, self._update)
         return self._logits
 
     @property

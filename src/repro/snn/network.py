@@ -50,6 +50,12 @@ class SimulationConfig(FrozenConfig):
         the project dtype policy (float32 by default; see
         :mod:`repro.utils.dtypes`).  Float64 runs reproduce the original
         engine's outputs bit for bit.
+    backend:
+        Compute backend running the kernel hot paths: a registered
+        :mod:`repro.backends` name (``"numpy"``, ``"numpy-blocked"``,
+        ``"torch"``, …) or ``None`` for the backend policy (the
+        ``repro --backend`` flag / ``REPRO_BACKEND`` environment variable /
+        the ``numpy`` reference backend).
     early_exit_patience:
         Converged-image early exit: freeze an image once its output argmax
         has been stable for this many consecutive steps, dropping it from the
@@ -57,6 +63,15 @@ class SimulationConfig(FrozenConfig):
         converged values for the rest of the run).  ``None`` (default)
         disables the mechanism entirely, leaving results identical to the
         seed engine.
+    early_exit_margin:
+        Adaptive early exit: additionally require the image's *per-step
+        output margin* — the gap between its top-two accumulated class
+        scores, divided by the steps simulated so far — to stay at or above
+        this threshold throughout the ``early_exit_patience`` window, so
+        images only freeze once the decision is confidently separated rather
+        than merely unchanged.  Requires ``early_exit_patience``; ``None``
+        (default) keeps the pure argmax-stability criterion, leaving results
+        identical to runs without the mechanism.
     """
 
     time_steps: int = 100
@@ -65,7 +80,9 @@ class SimulationConfig(FrozenConfig):
     sample_fraction: float = 0.1
     seed: int = 0
     dtype: Optional[str] = None
+    backend: Optional[str] = None
     early_exit_patience: Optional[int] = None
+    early_exit_margin: Optional[float] = None
 
     def __post_init__(self) -> None:
         validate_positive("time_steps", self.time_steps)
@@ -76,7 +93,20 @@ class SimulationConfig(FrozenConfig):
             )
         if self.early_exit_patience is not None:
             validate_positive("early_exit_patience", self.early_exit_patience)
+        if self.early_exit_margin is not None:
+            validate_positive("early_exit_margin", self.early_exit_margin)
+            if self.early_exit_patience is None:
+                raise ValueError(
+                    "early_exit_margin requires early_exit_patience (the margin "
+                    "must hold for a patience window to freeze an image)"
+                )
         resolve_dtype(self.dtype)  # fail fast on unsupported dtypes
+        if self.backend is not None:
+            from repro.backends import validate_backend_name
+
+            # fail fast on unknown backend names (with a did-you-mean hint);
+            # availability of optional dependencies is checked at plan time
+            validate_backend_name(self.backend)
 
 
 @dataclass

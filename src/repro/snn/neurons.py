@@ -26,6 +26,11 @@ Precision follows the project dtype policy (:mod:`repro.utils.dtypes`):
 float32 by default, float64 opt-in, with float64 results bit-identical to the
 original non-in-place implementation.
 
+The elementwise update itself runs on the resolved
+:class:`~repro.backends.base.KernelBackend` (``ops.if_step`` — one fused
+integrate / compare / reset kernel); the numpy reference backend is the
+relocated original code, so the bit-identity guarantee is unchanged.
+
 Threshold positivity is validated once per simulation (on the first step
 after ``reset``) rather than every step; the threshold dynamics classes
 already guarantee positivity structurally (``v_th > 0`` at construction,
@@ -40,6 +45,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.backends import resolve_backend
 from repro.utils.dtypes import DTypeLike, resolve_dtype
 
 
@@ -82,6 +88,9 @@ class IFNeuronState:
     dtype:
         Simulation precision; ``None`` resolves through the project dtype
         policy (float32 default, see :mod:`repro.utils.dtypes`).
+    ops:
+        The :class:`~repro.backends.base.KernelBackend` running the update
+        kernel (name, instance, or ``None`` for the backend policy default).
     """
 
     def __init__(
@@ -91,6 +100,7 @@ class IFNeuronState:
         v_rest: float = 0.0,
         allow_negative_membrane: bool = True,
         dtype: DTypeLike = None,
+        ops=None,
     ) -> None:
         if not shape or any(int(dim) <= 0 for dim in shape):
             raise ValueError(f"shape must contain positive dimensions, got {shape}")
@@ -99,14 +109,15 @@ class IFNeuronState:
         self.v_rest = float(v_rest)
         self.allow_negative_membrane = allow_negative_membrane
         self.dtype = resolve_dtype(dtype)
+        self.ops = resolve_backend(ops)
         self.v_mem = np.full(self.shape, self.v_rest, dtype=self.dtype)
         self.total_spikes = 0
         #: spikes emitted at the most recent step (int; kept for fast dispatch)
         self.last_spike_count = 0
         # Preallocated per-step scratch buffers (returned by step()).
-        self._spikes = np.zeros(self.shape, dtype=bool)
-        self._spike_signals = np.zeros(self.shape, dtype=self.dtype)
-        self._amplitudes = np.zeros(self.shape, dtype=self.dtype)
+        self._spikes = self.ops.zeros(self.shape, np.dtype(bool))
+        self._spike_signals = self.ops.zeros(self.shape, self.dtype)
+        self._amplitudes = self.ops.zeros(self.shape, self.dtype)
         self._threshold_validated = False
 
     def reset(self) -> None:
@@ -128,9 +139,9 @@ class IFNeuronState:
             raise ValueError("shrink_batch requires at least one kept row")
         self.v_mem = np.ascontiguousarray(self.v_mem[keep])
         self.shape = self.v_mem.shape
-        self._spikes = np.zeros(self.shape, dtype=bool)
-        self._spike_signals = np.zeros(self.shape, dtype=self.dtype)
-        self._amplitudes = np.zeros(self.shape, dtype=self.dtype)
+        self._spikes = self.ops.zeros(self.shape, np.dtype(bool))
+        self._spike_signals = self.ops.zeros(self.shape, self.dtype)
+        self._amplitudes = self.ops.zeros(self.shape, self.dtype)
 
     def step(self, z: np.ndarray, threshold: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         """Advance the population by one time step (in place, allocation-free).
@@ -161,28 +172,19 @@ class IFNeuronState:
                 raise ValueError("thresholds must be strictly positive")
             self._threshold_validated = True
 
-        v_mem = self.v_mem
         spikes = self._spikes
-        signals = self._spike_signals
         amplitudes = self._amplitudes
-
-        v_mem += z
-        np.greater_equal(v_mem, threshold, out=spikes)
-        # the same comparison as a 0.0/1.0 float array: float·float ufuncs are
-        # markedly faster than bool→float converting ones, and every value is
-        # exact, so th·signal ≡ th·spike bit for bit in both dtypes
-        np.greater_equal(v_mem, threshold, out=signals)
-        np.multiply(threshold, signals, out=amplitudes)
-
-        if self.reset_mode is ResetMode.SUBTRACT:
-            v_mem -= amplitudes
-        else:
-            np.copyto(v_mem, self.dtype.type(self.v_rest), where=spikes)
-
-        if not self.allow_negative_membrane:
-            np.maximum(v_mem, self.v_rest, out=v_mem)
-
-        self.last_spike_count = int(np.count_nonzero(spikes))
+        self.last_spike_count = self.ops.if_step(
+            self.v_mem,
+            z,
+            threshold,
+            spikes,
+            self._spike_signals,
+            amplitudes,
+            self.reset_mode is ResetMode.SUBTRACT,
+            self.v_rest,
+            self.allow_negative_membrane,
+        )
         self.total_spikes += self.last_spike_count
         return spikes, amplitudes
 

@@ -34,6 +34,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.backends import resolve_backend
 from repro.utils.config import validate_positive
 from repro.utils.dtypes import DTypeLike, resolve_dtype
 
@@ -45,15 +46,23 @@ class ThresholdDynamics:
     :meth:`reset` once per simulation, then alternates :meth:`thresholds`
     (before spike generation at step ``t``) and :meth:`update` (after spike
     generation, with the boolean spike array).
+
+    Stateful dynamics run their elementwise update kernels on the
+    :class:`~repro.backends.base.KernelBackend` handed to :meth:`reset` (the
+    owning layer forwards its resolved backend; ``None`` falls back to the
+    backend policy default).
     """
 
     #: short name used in configuration strings ("rate", "phase", "burst")
     coding = "base"
 
-    def reset(self, shape: Tuple[int, ...], dtype: DTypeLike = None) -> None:
+    def reset(
+        self, shape: Tuple[int, ...], dtype: DTypeLike = None, backend=None
+    ) -> None:
         """Prepare internal state for a layer of the given state shape."""
         self._shape = tuple(shape)
         self._dtype = resolve_dtype(dtype)
+        self.ops = resolve_backend(backend)
 
     def shrink_batch(self, keep: np.ndarray) -> None:
         """Keep only the batch rows ``keep`` (converged-image early exit).
@@ -113,8 +122,10 @@ class ConstantThreshold(ThresholdDynamics):
         self.v_th = float(v_th)
         self._cached: Optional[np.ndarray] = None
 
-    def reset(self, shape: Tuple[int, ...], dtype: DTypeLike = None) -> None:
-        super().reset(shape, dtype)
+    def reset(
+        self, shape: Tuple[int, ...], dtype: DTypeLike = None, backend=None
+    ) -> None:
+        super().reset(shape, dtype, backend)
         self._cached = np.asarray(self.v_th, dtype=self._dtype)
 
     def thresholds(self, t: int) -> np.ndarray:
@@ -154,8 +165,10 @@ class PhaseThreshold(ThresholdDynamics):
         phase = (t + self.phase_offset) % self.period
         return float(2.0 ** (-(1 + phase)))
 
-    def reset(self, shape: Tuple[int, ...], dtype: DTypeLike = None) -> None:
-        super().reset(shape, dtype)
+    def reset(
+        self, shape: Tuple[int, ...], dtype: DTypeLike = None, backend=None
+    ) -> None:
+        super().reset(shape, dtype, backend)
         self._table = self._build_table(self._dtype)
 
     def _build_table(self, dtype: np.dtype) -> Tuple[np.ndarray, ...]:
@@ -223,20 +236,30 @@ class BurstThreshold(ThresholdDynamics):
         self._grown: Optional[np.ndarray] = None
         self._silent: Optional[np.ndarray] = None
 
-    def reset(self, shape: Tuple[int, ...], dtype: DTypeLike = None) -> None:
-        super().reset(shape, dtype)
+    def reset(
+        self, shape: Tuple[int, ...], dtype: DTypeLike = None, backend=None
+    ) -> None:
+        previous_ops = getattr(self, "ops", None)
+        super().reset(shape, dtype, backend)
+        ops_unchanged = previous_ops is None or previous_ops is self.ops
         shape = tuple(shape)
-        if self._g is not None and self._g.shape == shape and self._g.dtype == self._dtype:
+        if (
+            self._g is not None
+            and ops_unchanged
+            and self._g.shape == shape
+            and self._g.dtype == self._dtype
+        ):
             # reuse the allocated buffers across simulation runs
             self._g.fill(1.0)
             self._consecutive.fill(0)
         else:
-            self._g = np.ones(shape, dtype=self._dtype)
-            self._consecutive = np.zeros(shape, dtype=np.int64)
-            self._th_buf = np.empty(shape, dtype=self._dtype)
-            self._grown = np.empty(shape, dtype=self._dtype)
-            self._silent = np.empty(shape, dtype=bool)
-            self._silent_signal = np.empty(shape, dtype=self._dtype)
+            ops = self.ops
+            self._g = ops.fill(ops.empty(shape, self._dtype), 1.0)
+            self._consecutive = ops.zeros(shape, np.dtype(np.int64))
+            self._th_buf = ops.empty(shape, self._dtype)
+            self._grown = ops.empty(shape, self._dtype)
+            self._silent = ops.empty(shape, np.dtype(bool))
+            self._silent_signal = ops.empty(shape, self._dtype)
         self._ceiling = np.finfo(self._dtype).max
         # g is bounded by β^updates (it resets to 1 on any silent step), so
         # the overflow clamp is provably the identity until β^(updates+1)
@@ -249,8 +272,8 @@ class BurstThreshold(ThresholdDynamics):
         self._g_uniform = True
         self._th_valid = False
         if self.max_burst_length is not None:
-            self._cons_scratch = np.empty(shape, dtype=np.int64)
-            self._capped = np.empty(shape, dtype=bool)
+            self._cons_scratch = self.ops.empty(shape, np.dtype(np.int64))
+            self._capped = self.ops.empty(shape, np.dtype(bool))
 
     def shrink_batch(self, keep: np.ndarray) -> None:
         super().shrink_batch(keep)
@@ -260,14 +283,15 @@ class BurstThreshold(ThresholdDynamics):
         self._g = np.ascontiguousarray(self._g[keep])
         self._consecutive = np.ascontiguousarray(self._consecutive[keep])
         shape = self._g.shape
-        self._th_buf = np.empty(shape, dtype=self._dtype)
-        self._grown = np.empty(shape, dtype=self._dtype)
-        self._silent = np.empty(shape, dtype=bool)
-        self._silent_signal = np.empty(shape, dtype=self._dtype)
+        ops = self.ops
+        self._th_buf = ops.empty(shape, self._dtype)
+        self._grown = ops.empty(shape, self._dtype)
+        self._silent = ops.empty(shape, np.dtype(bool))
+        self._silent_signal = ops.empty(shape, self._dtype)
         self._th_valid = False
         if self.max_burst_length is not None:
-            self._cons_scratch = np.empty(shape, dtype=np.int64)
-            self._capped = np.empty(shape, dtype=bool)
+            self._cons_scratch = ops.empty(shape, np.dtype(np.int64))
+            self._capped = ops.empty(shape, np.dtype(bool))
 
     def thresholds(self, t: int) -> np.ndarray:
         del t
@@ -277,7 +301,7 @@ class BurstThreshold(ThresholdDynamics):
             # g has not changed since the last call (silent regime): the
             # buffer already holds g·v_th
             return self._th_buf
-        np.multiply(self._g, self.v_th, out=self._th_buf)
+        self.ops.scale(self._g, self.v_th, self._th_buf)
         self._th_valid = True
         return self._th_buf
 
@@ -296,11 +320,10 @@ class BurstThreshold(ThresholdDynamics):
             return
         g = self._g
         grown = self._grown
-        consecutive = self._consecutive
+        ops = self.ops
         if spikes.dtype != np.bool_:
             spikes = np.asarray(spikes, dtype=bool)
 
-        np.multiply(g, self.beta, out=grown)
         # Clamp to the largest finite value: an extreme burst can overflow
         # g·β to inf, and the mask-free combine below would then produce
         # inf·0 = NaN on the first silent step and poison g permanently.
@@ -308,28 +331,21 @@ class BurstThreshold(ThresholdDynamics):
         # unreachable, so it falls silent and resets to 1 next step).  While
         # β^(updates+1) provably cannot reach the ceiling the clamp is the
         # identity and the pass is skipped.
-        if self._updates >= self._clamp_after:
-            np.minimum(grown, self._ceiling, out=grown)
+        ceiling = self._ceiling if self._updates >= self._clamp_after else None
+        ops.burst_grow(g, grown, self.beta, ceiling)
         self._updates += 1
         if self.max_burst_length is not None:
-            # stop growing once the burst reaches the cap
-            np.add(consecutive, 1, out=self._cons_scratch)
-            np.greater_equal(self._cons_scratch, self.max_burst_length, out=self._capped)
-            np.copyto(grown, g, where=self._capped)
-            np.multiply(self._cons_scratch, spikes, out=consecutive)
-        # g ← spikes ? grown : 1, as three unmasked passes (masked copyto is
-        # far slower).  Exact for finite grown: x·1 = x, x·0 = 0, 0+1 = 1.
-        # Prefer the exact 0.0/1.0 float rendering of the spikes: the
-        # all-float ufunc loops avoid the slow bool→float casts and produce
-        # bit-identical values.
+            ops.burst_cap(
+                grown, g, spikes, self._consecutive,
+                self._cons_scratch, self._capped, self.max_burst_length,
+            )
+        # g ← spikes ? grown : 1 — preferring the exact 0.0/1.0 float
+        # rendering of the spikes when the producing state supplies it (the
+        # all-float kernel avoids slow bool→float casts, bit-identically).
         if spike_signals is not None and spike_signals.dtype == self._dtype:
-            np.multiply(grown, spike_signals, out=grown)
-            np.subtract(1.0, spike_signals, out=self._silent_signal)
-            np.add(grown, self._silent_signal, out=g)
+            ops.burst_commit_signals(grown, spike_signals, self._silent_signal, g)
         else:
-            np.logical_not(spikes, out=self._silent)
-            np.multiply(grown, spikes, out=grown)
-            np.add(grown, self._silent, out=g)
+            ops.burst_commit_bool(grown, spikes, self._silent, g)
         self._th_valid = False  # g changed; thresholds() must recompute
         if spike_count is None:
             self._g_uniform = False  # unknown: assume g may have grown

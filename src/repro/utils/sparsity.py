@@ -68,8 +68,11 @@ _MAX_CROSSOVER = 0.60
 #: fallback crossover when calibration is unavailable (e.g. kernels missing)
 DEFAULT_CROSSOVER = 0.10
 
-#: process-wide calibration cache keyed by layer geometry, so the hundreds of
-#: identical layers a sweep resets pay the (one-off, ~ms) probe only once
+#: process-wide calibration cache keyed by layer geometry **and backend**
+#: (the owning layer puts its resolved backend's name in the cache key), so
+#: the hundreds of identical layers a sweep resets pay the (one-off, ~ms)
+#: probe only once — while crossovers timed on one backend's kernels can
+#: never steer another backend's dispatch in mixed-backend processes
 _CALIBRATION_CACHE: Dict[Tuple, float] = {}
 
 
@@ -80,7 +83,9 @@ def clear_calibration_cache() -> None:
 
 def calibration_cache_snapshot() -> Dict[Tuple, float]:
     """Copy of the process-wide crossover cache (shipped to shard workers so
-    their dispatch decisions match the parent's)."""
+    their dispatch decisions match the parent's).  Keys carry the backend
+    name, so a worker running a different backend than the snapshot's origin
+    simply misses the cache and calibrates its own geometry."""
     return dict(_CALIBRATION_CACHE)
 
 

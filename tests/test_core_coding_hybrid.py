@@ -108,10 +108,21 @@ class TestHybridCodingScheme:
 
 
 class TestSchemeCollections:
-    def test_table1_has_nine_combinations(self):
+    def test_table1_covers_the_registry_product(self):
+        from repro.core import registry
+
         schemes = table1_schemes()
-        assert len(schemes) == 9
-        assert len({s.notation for s in schemes}) == 9
+        expected = registry.expand_scheme_specs(["all"])
+        assert [s.notation for s in schemes] == expected
+        # the paper's nine combinations are always a subset
+        for input_coding in ("real", "rate", "phase"):
+            for hidden_coding in ("rate", "phase", "burst"):
+                assert f"{input_coding}-{hidden_coding}" in expected
+        # registered extensions appear in the sweep automatically (TTFS)
+        assert "ttfs-burst" in expected
+        # the specs parameter narrows the sweep through the same registry
+        narrowed = table1_schemes(specs=["phase:all"])
+        assert all(s.notation.startswith("phase-") for s in narrowed)
 
     def test_table1_v_th_only_applies_to_burst(self):
         schemes = table1_schemes(v_th=0.0625)

@@ -135,3 +135,107 @@ def test_accuracy_preserved_with_generous_patience(converted_snn, test_batch):
         x, SimulationConfig(time_steps=80, early_exit_patience=25), labels=y
     )
     assert fast.accuracy() == pytest.approx(dense.accuracy(), abs=1.0 / x.shape[0])
+
+
+# -- adaptive early exit (``early_exit_margin``) -----------------------------
+
+def test_margin_validation():
+    SimulationConfig(early_exit_patience=5, early_exit_margin=0.05)
+    with pytest.raises(ValueError, match="requires early_exit_patience"):
+        SimulationConfig(early_exit_margin=0.05)
+    with pytest.raises(ValueError):
+        SimulationConfig(early_exit_patience=5, early_exit_margin=0.0)
+    with pytest.raises(ValueError):
+        SimulationConfig(early_exit_patience=5, early_exit_margin=-0.1)
+
+
+def test_margin_off_is_identical_to_patience_only(converted_snn, test_batch):
+    """``early_exit_margin=None`` must leave the fixed-count criterion (and
+    therefore every output and spike) exactly as before."""
+    x, y = test_batch
+    base = converted_snn.run(
+        x, SimulationConfig(time_steps=80, early_exit_patience=15), labels=y
+    )
+    again = converted_snn.run(
+        x,
+        SimulationConfig(time_steps=80, early_exit_patience=15, early_exit_margin=None),
+        labels=y,
+    )
+    assert np.array_equal(base.output_history, again.output_history)
+    assert np.array_equal(base.frozen_at, again.frozen_at)
+    assert base.total_spikes() == again.total_spikes()
+
+
+def test_margin_freezes_no_earlier_than_argmax_only(converted_snn, test_batch):
+    """The margin criterion is a *conjunction* with argmax stability, so each
+    image freezes at the same step or later (never earlier)."""
+    x, y = test_batch
+    argmax_only = converted_snn.run(
+        x, SimulationConfig(time_steps=80, early_exit_patience=10), labels=y
+    )
+    confident = converted_snn.run(
+        x,
+        SimulationConfig(time_steps=80, early_exit_patience=10, early_exit_margin=1e-6),
+        labels=y,
+    )
+    for base_step, margin_step in zip(argmax_only.frozen_at, confident.frozen_at):
+        effective_base = base_step if base_step > 0 else 81
+        effective_margin = margin_step if margin_step > 0 else 81
+        assert effective_margin >= effective_base
+
+
+def test_unreachable_margin_never_freezes(converted_snn, test_batch):
+    """A margin no per-step score gap can reach disables freezing entirely,
+    reproducing the dense run step for step."""
+    x, y = test_batch
+    dense = converted_snn.run(x, SimulationConfig(time_steps=60), labels=y)
+    gated = converted_snn.run(
+        x,
+        SimulationConfig(time_steps=60, early_exit_patience=5, early_exit_margin=1e9),
+        labels=y,
+    )
+    assert (gated.frozen_at == -1).all()
+    assert np.array_equal(dense.output_history, gated.output_history)
+    assert dense.total_spikes() == gated.total_spikes()
+
+
+def test_margin_curves_stay_complete(converted_snn, test_batch):
+    x, y = test_batch
+    result = converted_snn.run(
+        x,
+        SimulationConfig(time_steps=120, early_exit_patience=8, early_exit_margin=1e-4),
+        labels=y,
+    )
+    assert result.output_history.shape[0] == 120
+    frozen = result.frozen_at
+    assert frozen is not None
+    # frozen images repeat their converged scores for the rest of the run
+    for image, step in enumerate(frozen):
+        if step <= 0:
+            continue
+        converged = result.output_history[step - 1, image]
+        assert np.array_equal(result.output_history[-1, image], converged)
+
+
+def test_margin_through_pipeline_config(trained_cnn, tiny_color_split):
+    """The adaptive criterion threads PipelineConfig → SimulationConfig."""
+    from repro.core.pipeline import PipelineConfig, SNNInferencePipeline
+
+    with pytest.raises(ValueError, match="requires early_exit_patience"):
+        PipelineConfig(early_exit_margin=0.1)
+    pipeline = SNNInferencePipeline(
+        trained_cnn,
+        tiny_color_split,
+        PipelineConfig(
+            time_steps=40,
+            batch_size=8,
+            max_test_images=8,
+            early_exit_patience=8,
+            early_exit_margin=1e-5,
+        ),
+    )
+    run = pipeline.run_scheme(
+        HybridCodingScheme.from_notation("phase-burst", v_th=0.125),
+        keep_batch_results=True,
+    )
+    assert all(result.frozen_at is not None for result in run.batch_results)

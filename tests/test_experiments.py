@@ -134,11 +134,16 @@ class TestFig2:
 
 
 class TestTable1:
-    def test_has_nine_rows(self, tiny_runs):
+    def test_has_one_row_per_registry_combination(self, tiny_runs):
+        from repro.core.registry import expand_scheme_specs
+
         rows = run_table1(runs=tiny_runs)
-        assert len(rows) == 9
+        expected = expand_scheme_specs(["all"])
+        assert len(rows) == len(expected)
         combos = {(r.input_coding, r.hidden_coding) for r in rows}
-        assert len(combos) == 9
+        assert len(combos) == len(expected)
+        # the paper's nine combinations are always present
+        assert {("phase", "burst"), ("rate", "phase"), ("real", "rate")} <= combos
 
     def test_burst_rows_reach_dnn_accuracy(self, tiny_runs):
         rows = run_table1(runs=tiny_runs)
