@@ -1,0 +1,150 @@
+"""Per-kernel seam profile of one simulation step: composed vs fused.
+
+Run from the repo root with::
+
+    PYTHONPATH=src python benchmarks/perf/profile_step.py
+
+Drives one step of a representative layer stack (conv → avgpool → maxpool →
+flatten → dense → output, burst thresholds) through an
+:class:`~repro.backends.instrument.InstrumentedBackend` twice — once on the
+composed per-kernel path, once on the fused step programs — and writes the
+per-primitive call counts and wall-clock seconds to
+``benchmarks/results/BENCH_step_profile.json``.
+
+This makes the backend-seam tax visible per primitive: the composed column
+shows where the 5–8 crossings per layer go, the fused column shows what is
+left after program compilation (GEMMs, gathers and scans still cross the
+seam; the elementwise IF/threshold chains are inlined and count zero).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+HERE = Path(__file__).resolve().parent
+RESULTS_PATH = HERE.parent / "results" / "BENCH_step_profile.json"
+
+#: steps timed per path (per-step figures are averaged over these)
+PROFILE_STEPS = 20
+
+
+def build_stack(rng: np.random.Generator):
+    from repro.snn.layers import (
+        OutputAccumulator,
+        SpikingAvgPool2D,
+        SpikingConv2D,
+        SpikingDense,
+        SpikingFlatten,
+        SpikingMaxPool2D,
+    )
+    from repro.snn.thresholds import BurstThreshold
+
+    return [
+        SpikingConv2D(
+            rng.normal(scale=0.1, size=(16, 16, 3, 3)),
+            rng.normal(scale=0.1, size=16),
+            BurstThreshold(v_th=0.125),
+            padding=1,
+            input_shape=(16, 16, 16),
+            name="conv",
+        ),
+        SpikingAvgPool2D(2, name="avgpool"),
+        SpikingMaxPool2D(2, name="maxpool"),
+        SpikingFlatten(name="flatten"),
+        SpikingDense(
+            rng.normal(scale=0.05, size=(16 * 4 * 4, 128)),
+            rng.normal(scale=0.05, size=128),
+            BurstThreshold(v_th=0.125),
+            name="dense",
+        ),
+        OutputAccumulator(
+            rng.normal(scale=0.05, size=(128, 10)),
+            rng.normal(scale=0.05, size=10),
+            name="output",
+        ),
+    ]
+
+
+def profile_path(fused: bool, batch: int = 8) -> dict:
+    from repro.backends import fused_scope, get_backend
+    from repro.backends.instrument import InstrumentedBackend
+    from repro.utils.dtypes import simulation_dtype
+
+    rng = np.random.default_rng(0)
+    dtype = simulation_dtype()
+    backend = InstrumentedBackend(get_backend("numpy"))
+    layers = build_stack(rng)
+    x = np.asarray(
+        (rng.random((batch, 16, 16, 16)) < 0.3) * 0.125, dtype=dtype
+    )
+
+    with fused_scope(fused):
+        for layer in layers:
+            layer.reset(batch, dtype=dtype, backend=backend)
+        programs = [layer.ensure_step_program() for layer in layers]
+
+        def one_step(t: int) -> None:
+            values = x
+            hint = None
+            for layer, program in zip(layers, programs):
+                layer.output_nonzero = None
+                values = program.run(values, t, hint)
+                hint = layer.output_nonzero
+
+        one_step(0)  # build lazy buffers outside the profiled region
+        backend.recorder.reset()
+        start = time.perf_counter()
+        for t in range(1, 1 + PROFILE_STEPS):
+            one_step(t)
+        elapsed = time.perf_counter() - start
+
+    snapshot = backend.recorder.snapshot()
+    kernels = {k: v for k, v in snapshot.items() if not k.startswith("program:")}
+    program_calls = {k: v for k, v in snapshot.items() if k.startswith("program:")}
+    seam_calls = sum(entry["calls"] for entry in kernels.values())
+    return {
+        "fused": fused,
+        "steps": PROFILE_STEPS,
+        "layers": len(layers),
+        "seconds_total": elapsed,
+        "seam_calls_per_step": seam_calls / PROFILE_STEPS,
+        "seam_calls_per_layer_per_step": seam_calls / PROFILE_STEPS / len(layers),
+        "kernels": kernels,
+        "programs": program_calls,
+    }
+
+
+def main() -> None:
+    composed = profile_path(fused=False)
+    fused = profile_path(fused=True)
+    report = {
+        "description": (
+            "per-kernel backend-seam profile of one simulation step "
+            "(composed per-kernel path vs fused step programs)"
+        ),
+        "composed": composed,
+        "fused": fused,
+        "seam_call_reduction": (
+            composed["seam_calls_per_step"] / max(fused["seam_calls_per_step"], 1e-9)
+        ),
+    }
+    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(
+        f"composed: {composed['seam_calls_per_step']:.1f} seam calls/step, "
+        f"{composed['seconds_total']:.4f}s total"
+    )
+    print(
+        f"fused:    {fused['seam_calls_per_step']:.1f} seam calls/step, "
+        f"{fused['seconds_total']:.4f}s total"
+    )
+    print(f"seam-call reduction: {report['seam_call_reduction']:.1f}x")
+    print(f"[BENCH_step_profile written to {RESULTS_PATH}]")
+
+
+if __name__ == "__main__":
+    main()

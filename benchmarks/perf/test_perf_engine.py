@@ -19,7 +19,7 @@ import numpy as np
 import pytest
 
 import perf_cases
-from repro.backends import default_backend_name
+from repro.backends import default_backend_name, fused_programs_enabled
 from repro.core.hybrid import HybridCodingScheme
 from repro.utils.dtypes import simulation_dtype, simulation_precision
 from repro.utils.timing import load_bench_json, write_bench_json
@@ -68,6 +68,9 @@ def _append_trajectory(report: dict) -> None:
         "backend": report.get("backend", "numpy"),
         "seconds": seconds,
         "speedup_vs_seed": end_to_end.get("speedup_vs_seed"),
+        # which step-loop path measured the run; additive field — the row key
+        # stays (git_rev, scale, backend) so existing rows keep matching
+        "fused": report.get("fused", True),
     }
     runs = history.setdefault("runs", [])
     for index, run in enumerate(runs):
@@ -90,6 +93,7 @@ def perf_report():
         "description": "engine perf report (components + end-to-end Table 2 VGG)",
         "dtype_default": str(simulation_dtype()),
         "backend": default_backend_name(),
+        "fused": fused_programs_enabled(),
         "scale": perf_cases.current_scale(),
         "components": {},
         "end_to_end": {},
@@ -154,6 +158,40 @@ def test_end_to_end_vgg_speedup(perf_report, cifar10_vgg_workload):
             f"end-to-end speedup {entry['speedup_vs_seed']:.2f}x fell below "
             f"{MIN_END_TO_END_SPEEDUP}x vs the seed baseline"
         )
+
+
+def test_no_perf_drift_vs_trajectory(perf_report):
+    """CI guard: the measured speedup must stay within 5% of the last
+    recorded ``BENCH_trajectory.json`` row for the same (scale, backend).
+
+    This is the tripwire for the 4.85x → 4.67x slide the backend-seam PRs
+    caused: any PR that silently costs more than noise fails here instead of
+    merging.  Rows from the current revision are skipped (re-running the
+    benchmark at one revision must compare against the *previous* PR, not
+    against itself).
+    """
+    current = perf_report["end_to_end"].get("speedup_vs_seed")
+    if current is None:
+        pytest.skip("no seed-comparable end-to-end measurement in this run")
+    history = load_bench_json(BENCH_TRAJECTORY_PATH) or {}
+    rev = _git_revision()
+    previous = None
+    for run in history.get("runs", []):
+        if (
+            run.get("scale") == perf_report["scale"]
+            and run.get("backend", "numpy") == perf_report["backend"]
+            and run.get("git_rev") != rev
+            and run.get("speedup_vs_seed") is not None
+        ):
+            previous = run  # rows are appended chronologically: keep the last
+    if previous is None:
+        pytest.skip("no prior trajectory row at this (scale, backend)")
+    floor = 0.95 * previous["speedup_vs_seed"]
+    assert current >= floor, (
+        f"end-to-end speedup regressed >5%: {current:.2f}x vs "
+        f"{previous['speedup_vs_seed']:.2f}x recorded at {previous['git_rev']} "
+        f"(floor {floor:.2f}x)"
+    )
 
 
 def test_early_exit_sharded_matches_dense(perf_report, cifar10_vgg_workload):

@@ -370,7 +370,9 @@ class DirectConvPlan:
             )
         halo, interior = self._halo_view(packed)
         if active_channels is None:
-            interior[...] = np.moveaxis(x, 1, 3)
+            # transpose builds the NHWC view directly (moveaxis pays an extra
+            # normalisation pass on this hot path)
+            interior[...] = x.transpose(0, 2, 3, 1)
         else:
             for packed_index, channel in enumerate(active_channels):
                 interior[..., packed_index] = x[:, channel]

@@ -19,9 +19,24 @@ In-tree backends:
 Selection: ``SimulationConfig(backend=...)`` / ``PipelineConfig(backend=...)``
 / ``ServingConfig(backend=...)``, the ``repro --backend`` CLI flag, or the
 ``REPRO_BACKEND`` environment variable.
+
+Fused step programs: every backend can additionally compile a layer's whole
+per-step kernel sequence into one
+:class:`~repro.backends.programs.StepProgram` (``compile_step_program``) —
+one seam crossing per layer per step; backends that only implement the
+unfused primitives fall back to the composed multi-call step automatically.
+See :mod:`repro.backends.programs` and :mod:`repro.backends.instrument`.
 """
 
 from repro.backends.base import KernelBackend
+from repro.backends.instrument import InstrumentedBackend, KernelCallRecorder
+from repro.backends.programs import (
+    ComposedStepProgram,
+    StepProgram,
+    fused_programs_enabled,
+    fused_scope,
+    set_fused_programs,
+)
 from repro.backends.registry import (
     BACKEND_ENV_VAR,
     DEFAULT_BACKEND,
@@ -43,8 +58,15 @@ __all__ = [
     "BACKEND_ENV_VAR",
     "DEFAULT_BACKEND",
     "BackendUnavailableError",
+    "ComposedStepProgram",
+    "InstrumentedBackend",
     "KernelBackend",
+    "KernelCallRecorder",
+    "StepProgram",
     "UnknownBackendError",
+    "fused_programs_enabled",
+    "fused_scope",
+    "set_fused_programs",
     "backend_metadata",
     "backend_names",
     "backend_scope",

@@ -59,6 +59,21 @@ class KernelBackend:
         """Human-readable reason when :meth:`available` is False."""
         return None
 
+    # -- fused step programs -----------------------------------------------
+    def compile_step_program(self, layer):
+        """Compile ``layer``'s per-step kernel sequence into one fused
+        :class:`~repro.backends.programs.StepProgram`, or return ``None``.
+
+        ``None`` — the default — means "this backend only implements the
+        unfused primitives"; the layer then composes them through its
+        original multi-call step body.  The hook is therefore additive:
+        third-party backends that predate fused programs keep working
+        unchanged.  Implementations must only capture buffers owned by the
+        layer/state/threshold objects at call time — the layer drops the
+        program on ``reset``/``shrink_batch``/backend switch and asks again.
+        """
+        return None
+
     # -- buffer allocation -------------------------------------------------
     def empty(self, shape: Tuple[int, ...], dtype: np.dtype) -> np.ndarray:
         """Allocate an uninitialised buffer the engine will fill."""

@@ -1,0 +1,154 @@
+"""Backend instrumentation: count and time every kernel-seam crossing.
+
+``InstrumentedBackend`` wraps any :class:`~repro.backends.base.KernelBackend`
+and records, per primitive name, how many times it was called and how long
+the calls took.  It exists for two consumers:
+
+* the backend-call-count tests (``tests/test_backends.py``), which assert
+  the fused step programs actually collapsed the per-layer seam traffic, and
+* ``benchmarks/perf/profile_step.py``, which reports the per-kernel seam tax
+  of one simulation step.
+
+The wrapper reports the inner backend's ``name`` so calibration caches keyed
+by backend stay warm, and it forwards ``compile_step_program`` with *itself*
+as the backend — compiled programs therefore capture the counting wrappers
+for the primitives they keep calling through the seam (GEMMs, gathers,
+scans), while their inlined elementwise chains correctly count as zero
+crossings.  Each compiled program is additionally wrapped so program
+invocations themselves show up under ``program:<layer name>``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+from repro.backends.base import KernelBackend
+from repro.backends.programs import StepProgram
+
+__all__ = ["KernelCallRecorder", "InstrumentedBackend", "PRIMITIVE_NAMES"]
+
+#: every seam primitive the recorder intercepts
+PRIMITIVE_NAMES = (
+    "empty",
+    "zeros",
+    "fill",
+    "matmul",
+    "add_inplace",
+    "scale",
+    "take",
+    "take_flat",
+    "active_features",
+    "active_channels",
+    "count_nonzero",
+    "im2col_plan",
+    "direct_conv_plan",
+    "avgpool2x2",
+    "mean_columns",
+    "argmax_columns",
+    "if_step",
+    "burst_grow",
+    "burst_cap",
+    "burst_commit_signals",
+    "burst_commit_bool",
+)
+
+
+class KernelCallRecorder:
+    """Per-primitive call counts and wall-clock seconds."""
+
+    def __init__(self) -> None:
+        self.counts: Dict[str, int] = {}
+        self.seconds: Dict[str, float] = {}
+
+    def record(self, name: str, elapsed: float) -> None:
+        self.counts[name] = self.counts.get(name, 0) + 1
+        self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
+
+    def reset(self) -> None:
+        self.counts.clear()
+        self.seconds.clear()
+
+    def total_calls(self) -> int:
+        return sum(self.counts.values())
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        return {
+            name: {"calls": self.counts[name], "seconds": self.seconds[name]}
+            for name in sorted(self.counts)
+        }
+
+
+class _InstrumentedProgram(StepProgram):
+    """Counts each compiled-program invocation as ``program:<layer>``."""
+
+    def __init__(self, inner: StepProgram, recorder: KernelCallRecorder) -> None:
+        super().__init__(inner.layer)
+        self.fused = inner.fused
+        self._inner = inner
+        self._recorder = recorder
+        self._key = f"program:{inner.layer.name}"
+
+    def run(self, incoming, t, incoming_nonzero=None):
+        start = time.perf_counter()
+        try:
+            return self._inner.run(incoming, t, incoming_nonzero)
+        finally:
+            self._recorder.record(self._key, time.perf_counter() - start)
+
+    def describe(self) -> str:
+        return self._inner.describe()
+
+
+class InstrumentedBackend(KernelBackend):
+    """Counting/timing proxy around a real backend (tests and profiling)."""
+
+    def __init__(
+        self, inner: KernelBackend, recorder: Optional[KernelCallRecorder] = None
+    ) -> None:
+        self._inner = inner
+        self.recorder = recorder if recorder is not None else KernelCallRecorder()
+        # same registry name: calibration caches keyed by backend stay warm
+        self.name = inner.name
+        self.description = f"instrumented({inner.name})"
+        for primitive in PRIMITIVE_NAMES:
+            target = getattr(inner, primitive, None)
+            if target is None:
+                continue
+            setattr(self, primitive, self._wrap(primitive, target))
+
+    def _wrap(self, primitive: str, target):
+        recorder = self.recorder
+
+        def counted(*args, **kwargs):
+            start = time.perf_counter()
+            try:
+                return target(*args, **kwargs)
+            finally:
+                recorder.record(primitive, time.perf_counter() - start)
+
+        counted.__name__ = primitive
+        return counted
+
+    def available(self) -> bool:
+        return self._inner.available()
+
+    def availability_error(self):
+        return self._inner.availability_error()
+
+    def compile_step_program(self, layer):
+        # dispatch on the *inner* backend's class but pass ourselves as the
+        # backend, so fused programs capture the counting wrappers for every
+        # primitive they still route through the seam
+        program = type(self._inner).compile_step_program(self, layer)
+        if program is None:
+            return None
+        return _InstrumentedProgram(program, self.recorder)
+
+    def __getattr__(self, attribute):
+        # anything not wrapped above (tuning knobs like min_rows/threads,
+        # helper methods) resolves on the real backend
+        return getattr(self._inner, attribute)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"InstrumentedBackend({self._inner!r})"

@@ -27,7 +27,16 @@ class NumpyBackend(KernelBackend):
     """Reference kernels on plain numpy (the project's golden implementation)."""
 
     name = "numpy"
-    description = "reference numpy kernels (float64 bit-identical to the seed engine)"
+    description = (
+        "reference numpy kernels with fused per-layer step programs "
+        "(float64 bit-identical to the seed engine)"
+    )
+
+    # -- fused step programs -----------------------------------------------
+    def compile_step_program(self, layer):
+        from repro.backends.programs import compile_numpy_program
+
+        return compile_numpy_program(layer, self)
 
     # -- buffer allocation -------------------------------------------------
     def empty(self, shape: Tuple[int, ...], dtype: np.dtype) -> np.ndarray:

@@ -1,0 +1,706 @@
+"""Fused per-step kernel programs: one backend call per layer per step.
+
+The simulation engine's per-layer step used to be a chain of 5–8 separate
+:class:`~repro.backends.base.KernelBackend` calls (activity scan → GEMM →
+bias → integrate-and-fire update → threshold commit), each paying Python
+dispatch, per-call validation and an environment read in the sparsity
+dispatcher.  A :class:`StepProgram` compiles that chain once per prepared
+batch into a single callable over the layer's preallocated buffers, so the
+step loop makes **one program call per layer per step**.
+
+Contracts
+---------
+* **Bit-identity** — the fused numpy programs execute the exact ufunc
+  sequences of the reference backend (:mod:`repro.backends.numpy_backend`)
+  over the same buffers in the same order, so float64 results stay
+  bit-identical to the seed engine (``benchmarks/perf/seed_reference.json``)
+  and float32 results bit-identical to the composed path.
+* **Fallback** — backends that implement only the unfused primitives keep
+  working: :meth:`KernelBackend.compile_step_program` returns ``None`` by
+  default and the layer falls back to :class:`ComposedStepProgram`, which
+  simply runs the original multi-call step body.  The seam contract is
+  therefore additive; third-party backends need not know programs exist.
+* **Invalidation** — programs capture layer/state/threshold buffers at
+  compile time, so the owning layer drops its program on ``reset``,
+  ``shrink_batch``, ``enable_input_caching`` and backend switches and the
+  engine re-resolves programs after any mid-run shrink.
+* **Dispatch parity** — the sparse/dense kernel choice remains a per-step
+  decision with the exact counter semantics of
+  :class:`~repro.utils.sparsity.SparsityDispatcher`: programs re-read the
+  cheap ``dispatcher.force`` attribute every step and bake only the
+  ``REPRO_SPARSE_MODE`` environment parse at compile time (compilation is
+  lazy — it happens on the first step after reset — so tests that pin
+  ``force`` or the environment between ``reset`` and the first step see
+  identical behaviour).
+
+Unknown layer or threshold-dynamics subclasses are never fused (strict
+``type(...) is`` checks), so custom components always get the composed path.
+
+Toggling: fused programs are on by default; set ``REPRO_FUSED=0`` (or use
+:func:`set_fused_programs` / the :func:`fused_scope` context manager in
+tests) to force the composed path everywhere.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.sparsity import DENSE, EMPTY, SPARSE
+
+__all__ = [
+    "StepProgram",
+    "ComposedStepProgram",
+    "compile_numpy_program",
+    "fused_programs_enabled",
+    "set_fused_programs",
+    "fused_scope",
+]
+
+#: environment toggle — any of these values disables fused programs
+_FUSED_ENV_VAR = "REPRO_FUSED"
+_FALSE_VALUES = ("0", "false", "off", "no")
+
+#: process-wide override installed by :func:`set_fused_programs` (tests)
+_fused_override: Optional[bool] = None
+
+
+def fused_programs_enabled() -> bool:
+    """Whether layers should ask their backend for fused step programs."""
+    if _fused_override is not None:
+        return _fused_override
+    raw = os.environ.get(_FUSED_ENV_VAR)
+    if raw is None:
+        return True
+    return raw.strip().lower() not in _FALSE_VALUES
+
+
+def set_fused_programs(enabled: Optional[bool]) -> None:
+    """Force fused programs on/off process-wide (``None`` restores the
+    environment-driven default).  Takes effect at the next layer reset."""
+    global _fused_override
+    _fused_override = enabled
+
+
+@contextmanager
+def fused_scope(enabled: bool):
+    """Temporarily force fused programs on/off (tests)."""
+    previous = _fused_override
+    set_fused_programs(enabled)
+    try:
+        yield
+    finally:
+        set_fused_programs(previous)
+
+
+def _env_sparse_mode() -> Optional[str]:
+    """The ``REPRO_SPARSE_MODE`` forced mode, parsed once at compile time.
+
+    Raises :class:`ValueError` on an invalid value, mirroring
+    :meth:`~repro.utils.sparsity.SparsityDispatcher._forced_mode` — callers
+    catch it and refuse to compile so the composed path reports the error.
+    """
+    mode = os.environ.get("REPRO_SPARSE_MODE") or None
+    if mode is not None:
+        mode = mode.strip().lower()
+        if mode == "auto":
+            mode = None
+    if mode is not None and mode not in (DENSE, SPARSE):
+        raise ValueError(f"invalid REPRO_SPARSE_MODE {mode!r}")
+    return mode
+
+
+def _resolve_forced(name: str, force: Optional[str], env_mode: Optional[str]) -> Optional[str]:
+    """Per-step forced-mode resolution: the layer's ``force`` attribute wins
+    over the compile-time environment parse, with the dispatcher's exact
+    validation error for unknown values."""
+    forced = force if force is not None else env_mode
+    if forced is not None and forced not in (DENSE, SPARSE):
+        raise ValueError(
+            f"{name}: sparse mode must be 'dense', 'sparse' or 'auto', got {forced!r}"
+        )
+    return forced
+
+
+class StepProgram:
+    """One layer's per-step kernel sequence, resolved once per prepared batch.
+
+    ``run(incoming, t, incoming_nonzero)`` has exactly the signature and
+    semantics of :meth:`repro.snn.layers.SpikingLayer.step`; the returned
+    array is a reusable buffer valid until the layer's next step.
+    """
+
+    #: whether this program is a fused single-call chain (False: composed)
+    fused = False
+
+    def __init__(self, layer) -> None:
+        self.layer = layer
+
+    def run(
+        self, incoming: np.ndarray, t: int, incoming_nonzero: Optional[int] = None
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """One-line description (diagnostics / the step profiler)."""
+        return f"{type(self).__name__}({self.layer.name})"
+
+
+class ComposedStepProgram(StepProgram):
+    """Fallback program: the layer's original multi-call step body.
+
+    This is what every layer runs when its backend implements only the
+    unfused primitives (``compile_step_program`` → ``None``) or when fused
+    programs are disabled — the backend seam's compatibility contract.
+    """
+
+    fused = False
+
+    def run(
+        self, incoming: np.ndarray, t: int, incoming_nonzero: Optional[int] = None
+    ) -> np.ndarray:
+        return self.layer._step_composed(incoming, t, incoming_nonzero)
+
+
+# -- threshold dynamics, compiled ---------------------------------------------
+
+class _StaticThresholdOps:
+    """Constant threshold: one cached 0-d array, no per-spike update."""
+
+    def __init__(self, cached: np.ndarray) -> None:
+        self._cached = cached
+
+    def thresholds(self, t: int) -> np.ndarray:
+        return self._cached
+
+    def update(self, spikes: np.ndarray, signals: np.ndarray, count: int) -> None:
+        pass
+
+
+class _PhaseThresholdOps:
+    """Phase coding: the precomputed per-phase 0-d table, no update."""
+
+    def __init__(self, table, phase_offset: int, period: int) -> None:
+        self._table = table
+        self._phase_offset = phase_offset
+        self._period = period
+
+    def thresholds(self, t: int) -> np.ndarray:
+        return self._table[(t + self._phase_offset) % self._period]
+
+    def update(self, spikes: np.ndarray, signals: np.ndarray, count: int) -> None:
+        pass
+
+
+class _BurstThresholdOps:
+    """Burst coding: the reference backend's grow/cap/commit chain, inlined.
+
+    State (``_g_uniform`` / ``_th_valid`` / ``_updates``) stays on the
+    :class:`~repro.snn.thresholds.BurstThreshold` object so interleaved
+    direct calls to ``thresholds()`` / ``update()`` (tests, analysis) observe
+    and advance the same machine; the buffers are captured at compile (the
+    owning layer invalidates the program whenever they are reallocated).
+    """
+
+    def __init__(self, threshold, backend) -> None:
+        self._threshold = threshold
+        self._backend = backend
+        self._beta = threshold.beta
+        self._v_th = threshold.v_th
+        self._max_burst = threshold.max_burst_length
+
+    def thresholds(self, t: int) -> np.ndarray:
+        th = self._threshold
+        buf = th._th_buf
+        if th._th_valid:
+            return buf
+        np.multiply(th._g, self._v_th, out=buf)
+        th._th_valid = True
+        return buf
+
+    def update(self, spikes: np.ndarray, signals: np.ndarray, count: int) -> None:
+        th = self._threshold
+        if count == 0 and th._g_uniform and self._max_burst is None:
+            th._updates += 1
+            return
+        g = th._g
+        grown = th._grown
+        np.multiply(g, self._beta, out=grown)
+        if th._updates >= th._clamp_after:
+            np.minimum(grown, th._ceiling, out=grown)
+        th._updates += 1
+        if self._max_burst is not None:
+            self._backend.burst_cap(
+                grown, g, spikes, th._consecutive,
+                th._cons_scratch, th._capped, self._max_burst,
+            )
+        np.multiply(grown, signals, out=grown)
+        np.subtract(1.0, signals, out=th._silent_signal)
+        np.add(grown, th._silent_signal, out=g)
+        th._th_valid = False
+        th._g_uniform = count == 0
+
+
+def _threshold_ops_for(layer, backend):
+    """Compile the layer's threshold dynamics, or ``None`` when the dynamics
+    class is unknown (custom subclasses keep the composed path)."""
+    from repro.snn.thresholds import BurstThreshold, ConstantThreshold, PhaseThreshold
+
+    threshold = layer.threshold
+    kind = type(threshold)
+    if kind is ConstantThreshold:
+        cached = threshold._cached
+        if cached is None or not float(cached) > 0:
+            return None
+        return _StaticThresholdOps(cached)
+    if kind is PhaseThreshold:
+        if threshold._table is None or threshold.v_th <= 0:
+            return None
+        return _PhaseThresholdOps(
+            threshold._table, threshold.phase_offset, threshold.period
+        )
+    if kind is BurstThreshold:
+        state = layer.state
+        if (
+            threshold._g is None
+            or threshold._th_buf is None
+            or threshold._g.shape != state.shape
+            or threshold._dtype != state.dtype
+        ):
+            return None
+        return _BurstThresholdOps(threshold, backend)
+    return None
+
+
+# -- fused neuron-layer programs ----------------------------------------------
+
+class _FusedNeuronProgram(StepProgram):
+    """Shared machinery of the fused dense/conv programs.
+
+    Captures the neuron state's buffers and the compile-time reset flags, and
+    runs the reference backend's integrate-and-fire ufunc chain inline —
+    bit-identical to ``NumpyBackend.if_step`` over the same buffers.
+    """
+
+    fused = True
+
+    def __init__(self, layer, backend, threshold_ops, env_mode: Optional[str]) -> None:
+        super().__init__(layer)
+        self.backend = backend
+        self._threshold_ops = threshold_ops
+        #: the compile-time REPRO_SPARSE_MODE parse; ``dispatcher.force`` is
+        #: still re-read every step (tests flip it between steps)
+        self._env_mode = env_mode
+        state = layer.state
+        self._state = state
+        self._v_mem = state.v_mem
+        self._spikes = state._spikes
+        self._signals = state._spike_signals
+        self._amplitudes = state._amplitudes
+        self._subtract_reset = state.reset_mode.value == "subtract"
+        self._v_rest = state.v_rest
+        self._v_rest_typed = state.v_mem.dtype.type(state.v_rest)
+        self._allow_negative = state.allow_negative_membrane
+        # thresholds are structurally positive for the compiled dynamics, so
+        # the one-off positivity validation is settled here, not per step
+        state._threshold_validated = True
+
+    def _forced_mode(self) -> Optional[str]:
+        layer = self.layer
+        return _resolve_forced(layer.name, layer.dispatcher.force, self._env_mode)
+
+    def _synaptic(self, incoming: np.ndarray, hint: Optional[int]) -> np.ndarray:
+        raise NotImplementedError
+
+    def run(
+        self, incoming: np.ndarray, t: int, incoming_nonzero: Optional[int] = None
+    ) -> np.ndarray:
+        layer = self.layer
+        incoming = np.asarray(incoming)
+        cache = layer._z_cache
+        if cache is not None:
+            phase = t % layer._input_period
+            z = cache[phase]
+            if z is None:
+                z = np.array(self._synaptic(incoming, incoming_nonzero))
+                cache[phase] = z
+        else:
+            z = self._synaptic(incoming, incoming_nonzero)
+        return self._neuron_step(z, t)
+
+    def _neuron_step(self, z: np.ndarray, t: int) -> np.ndarray:
+        threshold_ops = self._threshold_ops
+        threshold = threshold_ops.thresholds(t)
+        v_mem = self._v_mem
+        spikes = self._spikes
+        signals = self._signals
+        amplitudes = self._amplitudes
+        v_mem += z
+        np.greater_equal(v_mem, threshold, out=spikes)
+        np.greater_equal(v_mem, threshold, out=signals)
+        np.multiply(threshold, signals, out=amplitudes)
+        if self._subtract_reset:
+            v_mem -= amplitudes
+        else:
+            np.copyto(v_mem, self._v_rest_typed, where=spikes)
+        if not self._allow_negative:
+            np.maximum(v_mem, self._v_rest, out=v_mem)
+        count = int(np.count_nonzero(spikes))
+        state = self._state
+        state.last_spike_count = count
+        state.total_spikes += count
+        threshold_ops.update(spikes, signals, count)
+        layer = self.layer
+        layer.last_spikes = spikes
+        layer.output_nonzero = count
+        return amplitudes
+
+
+class FusedDenseProgram(_FusedNeuronProgram):
+    """Fused :class:`~repro.snn.layers.SpikingDense` step: dispatch → GEMM /
+    gather-GEMM / empty shortcut → bias → IF update → threshold commit."""
+
+    def __init__(self, layer, backend, threshold_ops, env_mode) -> None:
+        super().__init__(layer, backend, threshold_ops, env_mode)
+        self._matmul = backend.matmul
+        self._take = backend.take
+        self._active_features = backend.active_features
+        self._w = layer._w_sim
+        self._bias = layer._scaled_bias
+        self._z = layer._z
+        self._z_empty = layer._z_empty
+        self._xa_flat = layer._xa_flat
+        self._wa_flat = layer._wa_flat
+        self._in_features = layer.in_features
+        self._out_features = layer.out_features
+
+    def _dense(self, incoming: np.ndarray) -> np.ndarray:
+        z = self._z
+        self._matmul(incoming, self._w, z)
+        if self._bias is not None:
+            z += self._bias
+        return z
+
+    def _sparse(self, incoming: np.ndarray, active: np.ndarray) -> np.ndarray:
+        count = int(active.size)
+        if count == 0:
+            return self._z_empty
+        if count == self._in_features:
+            return self._dense(incoming)
+        batch = incoming.shape[0]
+        gathered_x = self._xa_flat[: batch * count].reshape(batch, count)
+        gathered_w = self._wa_flat[: count * self._out_features].reshape(
+            count, self._out_features
+        )
+        self._take(incoming, active, 1, gathered_x)
+        self._take(self._w, active, 0, gathered_w)
+        z = self._z
+        self._matmul(gathered_x, gathered_w, z)
+        if self._bias is not None:
+            z += self._bias
+        return z
+
+    def _synaptic(self, incoming: np.ndarray, hint: Optional[int]) -> np.ndarray:
+        layer = self.layer
+        if incoming.ndim != 2 or incoming.shape[1] != self._in_features:
+            raise ValueError(
+                f"{layer.name}: expected incoming shape (N, {self._in_features}), "
+                f"got {incoming.shape}"
+            )
+        dispatcher = layer.dispatcher
+        forced = self._forced_mode()
+        decision = None
+        active = None
+        if hint is not None and forced is None:
+            # the engine's exact nonzero count settles the decision when it
+            # can (mirrors _SpikingNeuronLayer._hinted_decision)
+            if hint == 0:
+                decision = dispatcher.choose_resolved(None, 0.0)
+            else:
+                fraction = hint / incoming.size
+                if dispatcher.exact_only or fraction >= dispatcher.crossover:
+                    decision = dispatcher.choose_resolved(None, fraction)
+        if decision is None:
+            active = self._active_features(incoming)
+            decision = dispatcher.choose_resolved(
+                forced, active.size / self._in_features
+            )
+            if decision == SPARSE:
+                return self._sparse(incoming, active)
+        if decision == EMPTY:
+            return self._z_empty
+        return self._dense(incoming)
+
+
+class FusedConvProgram(_FusedNeuronProgram):
+    """Fused :class:`~repro.snn.layers.SpikingConv2D` step.
+
+    The propagation kernel is chosen at compile time the way the composed
+    path chooses it per step: float64 (or strided) layers keep the canonical
+    im2col fill + GEMM chain (bit-identical to the seed engine), float32
+    stride-1 layers run the direct halo plan with its GEMM engine resolved
+    once here instead of per call.  The sparse channel-packed path delegates
+    to the layer (it is already a single plan call).
+    """
+
+    def __init__(self, layer, backend, threshold_ops, env_mode) -> None:
+        super().__init__(layer, backend, threshold_ops, env_mode)
+        self._matmul = backend.matmul
+        self._active_channels = backend.active_channels
+        self._bias = layer._scaled_bias
+        self._z_empty = layer._z_empty
+        self._channels = layer.input_shape[0]
+        self._sparse_available = layer._direct_available
+        self._canonical = layer.dtype == np.float64 or not layer._direct_available
+        if self._canonical:
+            self._plan = layer._canonical_plan()
+            self._fill = self._plan.fill
+            self._z2d = layer._z2d
+            self._z4 = layer._z4
+            self._wmat_t = layer._wmat_t
+        else:
+            self._direct = layer._direct_plan()
+            engine = self._direct._select_engine()
+            self._run_engine = (
+                self._direct._run_accumulate
+                if engine == "accumulate"
+                else self._direct._run_stacked
+            )
+            self._taps = layer._taps
+
+    def _dense(self, incoming: np.ndarray) -> np.ndarray:
+        if self._canonical:
+            cols = self._fill(incoming)
+            z2d = self._z2d
+            self._matmul(cols, self._wmat_t, z2d)
+            if self._bias is not None:
+                z2d += self._bias
+            return self._z4
+        # direct halo path with the per-call validation and engine re-check
+        # of DirectConvPlan.run compiled away
+        plan = self._direct
+        halo, interior = plan._halo_view(self._channels)
+        interior[...] = incoming.transpose(0, 2, 3, 1)
+        return self._run_engine(halo, self._taps, self._bias, self._channels)
+
+    def _synaptic(self, incoming: np.ndarray, hint: Optional[int]) -> np.ndarray:
+        layer = self.layer
+        if incoming.ndim != 4 or incoming.shape[1] != self._channels:
+            raise ValueError(
+                f"{layer.name}: expected incoming shape (N, {self._channels}, H, W), "
+                f"got {incoming.shape}"
+            )
+        dispatcher = layer.dispatcher
+        forced = self._forced_mode()
+        decision = None
+        if hint is not None and forced is None:
+            if hint == 0:
+                decision = dispatcher.choose_resolved(None, 0.0)
+            else:
+                fraction = hint / incoming.size
+                if dispatcher.exact_only or fraction >= dispatcher.crossover:
+                    decision = dispatcher.choose_resolved(None, fraction)
+        if decision is None:
+            active = self._active_channels(incoming)
+            decision = dispatcher.choose_resolved(
+                forced, active.size / self._channels,
+                sparse_available=self._sparse_available,
+            )
+            if decision == SPARSE:
+                return layer._sparse_input(incoming, active)
+        if decision == EMPTY:
+            return self._z_empty
+        return self._dense(incoming)
+
+
+# -- fused linear re-arrangement / readout programs ---------------------------
+
+class FusedAvgPoolProgram(StepProgram):
+    """Fused average pooling: the empty shortcut plus the slab/unfold kernel
+    with the dispatcher's environment read compiled away."""
+
+    fused = True
+
+    def __init__(self, layer, backend, env_mode: Optional[str]) -> None:
+        super().__init__(layer)
+        self._env_mode = env_mode
+        self._slab = layer._slab_mode
+
+    def run(
+        self, incoming: np.ndarray, t: int, incoming_nonzero: Optional[int] = None
+    ) -> np.ndarray:
+        layer = self.layer
+        incoming = np.asarray(incoming)
+        if not incoming.flags.c_contiguous:
+            incoming = np.ascontiguousarray(incoming)
+        n, c, h, w = incoming.shape
+        layer._ensure_buffers((n, c, h, w))
+        out = layer._out
+        dispatcher = layer.dispatcher
+        forced = _resolve_forced(layer.name, dispatcher.force, self._env_mode)
+        fraction = (
+            incoming_nonzero / incoming.size
+            if incoming_nonzero is not None
+            else int(np.count_nonzero(incoming)) / incoming.size
+        )
+        if dispatcher.choose_resolved(forced, fraction, sparse_available=False) == EMPTY:
+            out.fill(0.0)
+            return out
+        if self._slab:
+            # the reference backend's avgpool2x2 slab chain, inlined
+            oh, ow = out.shape[2], out.shape[3]
+            np.add(
+                incoming[:, :, 0 : oh * 2 : 2, 0 : ow * 2 : 2],
+                incoming[:, :, 0 : oh * 2 : 2, 1 : ow * 2 : 2],
+                out=out,
+            )
+            out += incoming[:, :, 1 : oh * 2 : 2, 0 : ow * 2 : 2]
+            out += incoming[:, :, 1 : oh * 2 : 2, 1 : ow * 2 : 2]
+            out /= 4
+            return out
+        cols = layer._plan.fill(incoming.reshape(n * c, 1, h, w))
+        cols.mean(axis=1, out=layer._mean_flat)
+        return out
+
+
+class FusedMaxPoolProgram(StepProgram):
+    """Fused cumulative-evidence max pooling (unfold → argmax → gather)."""
+
+    fused = True
+
+    def __init__(self, layer, backend, env_mode: Optional[str]) -> None:
+        super().__init__(layer)
+        self._env_mode = env_mode
+        self._pool_size = layer.pool_size
+
+    def run(
+        self, incoming: np.ndarray, t: int, incoming_nonzero: Optional[int] = None
+    ) -> np.ndarray:
+        layer = self.layer
+        incoming = np.asarray(incoming)
+        if not incoming.flags.c_contiguous:
+            incoming = np.ascontiguousarray(incoming)
+        if (
+            layer._steps_seen > 0
+            and layer._cumulative is not None
+            and layer._cumulative.shape != incoming.shape
+        ):
+            raise ValueError(
+                f"{layer.name}: incoming shape changed mid-simulation "
+                f"({layer._cumulative.shape} -> {incoming.shape})"
+            )
+        n, c, h, w = incoming.shape
+        layer._ensure_buffers((n, c, h, w))
+        layer._steps_seen += 1
+        cumulative = layer._cumulative
+        dispatcher = layer.dispatcher
+        forced = _resolve_forced(layer.name, dispatcher.force, self._env_mode)
+        fraction = (
+            incoming_nonzero / incoming.size
+            if incoming_nonzero is not None
+            else int(np.count_nonzero(incoming)) / incoming.size
+        )
+        if dispatcher.choose_resolved(forced, fraction, sparse_available=False) == EMPTY:
+            gated = layer._gated
+            gated.fill(0.0)
+            return gated
+        cumulative += incoming
+        cum_cols = layer._plan.fill(cumulative.reshape(n * c, 1, h, w))
+        winners, ky, kx = layer._winners, layer._ky, layer._kx
+        np.argmax(cum_cols, axis=1, out=winners)
+        pool = self._pool_size
+        np.floor_divide(winners, pool, out=ky)
+        np.remainder(winners, pool, out=kx)
+        ky += layer._base_y
+        kx += layer._base_x
+        ky *= w
+        ky += kx
+        ky += layer._base_off
+        np.take(incoming.reshape(-1), ky, out=layer._gated_flat)
+        return layer._gated
+
+
+class FusedFlattenProgram(StepProgram):
+    """Flatten is a view; the program only forwards the nonzero hint."""
+
+    fused = True
+
+    def run(
+        self, incoming: np.ndarray, t: int, incoming_nonzero: Optional[int] = None
+    ) -> np.ndarray:
+        self.layer.output_nonzero = incoming_nonzero
+        incoming = np.asarray(incoming)
+        return incoming.reshape(incoming.shape[0], -1)
+
+
+class FusedOutputProgram(StepProgram):
+    """Fused output accumulation: GEMM → bias → running logits, one call."""
+
+    fused = True
+
+    def __init__(self, layer, backend) -> None:
+        super().__init__(layer)
+        self._matmul = backend.matmul
+        self._w = layer._w_sim
+        self._bias = layer._scaled_bias
+        self._update = layer._update
+        self._logits = layer._logits
+        self._in_features = int(layer.weight.shape[0])
+
+    def run(
+        self, incoming: np.ndarray, t: int, incoming_nonzero: Optional[int] = None
+    ) -> np.ndarray:
+        incoming = np.asarray(incoming)
+        if incoming.ndim != 2 or incoming.shape[1] != self._in_features:
+            raise ValueError(
+                f"{self.layer.name}: expected incoming shape (N, {self._in_features}), "
+                f"got {incoming.shape}"
+            )
+        update = self._update
+        self._matmul(incoming, self._w, update)
+        if self._bias is not None:
+            update += self._bias
+        logits = self._logits
+        logits += update
+        return logits
+
+
+def compile_numpy_program(layer, backend) -> Optional[StepProgram]:
+    """Compile ``layer``'s step into a fused numpy-family program.
+
+    Returns ``None`` — meaning "compose the unfused primitives instead" —
+    for unknown layer types, unknown threshold dynamics, layers not yet
+    reset, or an invalid ``REPRO_SPARSE_MODE`` (the composed path surfaces
+    the error with the original message).  Strict ``type(...) is`` checks
+    keep user subclasses on their own (composed) step bodies.
+    """
+    from repro.snn import layers as snn_layers
+
+    kind = type(layer)
+    try:
+        env_mode = _env_sparse_mode()
+    except ValueError:
+        return None
+    if kind is snn_layers.SpikingDense or kind is snn_layers.SpikingConv2D:
+        if layer.state is None or layer.dispatcher is None:
+            return None
+        threshold_ops = _threshold_ops_for(layer, backend)
+        if threshold_ops is None:
+            return None
+        if kind is snn_layers.SpikingDense:
+            return FusedDenseProgram(layer, backend, threshold_ops, env_mode)
+        return FusedConvProgram(layer, backend, threshold_ops, env_mode)
+    if kind is snn_layers.SpikingAvgPool2D:
+        return FusedAvgPoolProgram(layer, backend, env_mode)
+    if kind is snn_layers.SpikingMaxPool2D:
+        return FusedMaxPoolProgram(layer, backend, env_mode)
+    if kind is snn_layers.SpikingFlatten:
+        return FusedFlattenProgram(layer)
+    if kind is snn_layers.OutputAccumulator:
+        if layer._logits is None or layer._update is None:
+            return None
+        return FusedOutputProgram(layer, backend)
+    return None

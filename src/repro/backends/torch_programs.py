@@ -1,0 +1,262 @@
+"""Fused torch step programs: the whole per-layer step on device tensors.
+
+Only imported by :meth:`TorchBackend.compile_step_program`, so the module —
+like the backend itself — needs PyTorch at import time but never earlier.
+
+The composed torch path crosses the numpy↔torch boundary once per kernel
+call (5–8 wraps per layer per step); these programs wrap each engine buffer
+in a tensor **once at compile time** and run the full synaptic + IF +
+threshold chain in torch in-place ops over those views.  On CPU
+``torch.from_numpy`` is zero-copy, so the engine's numpy buffers stay the
+single source of truth (recording, early exit and the parity suite read them
+directly) while the step loop itself makes no per-step host transfers.
+
+The convolution path replaces the im2col / direct-conv plans with
+``torch.nn.functional.conv2d`` on a weight tensor built once at compile —
+the on-device conv the issue's tentpole asks for.  Sparse gather paths
+delegate to the layer's channel-packed kernels (already single plan calls on
+torch primitives); like every non-reference backend, results are held to
+prediction-level agreement with the numpy reference, not bit-identity.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+import torch
+import torch.nn.functional as F
+
+from repro.backends.programs import (
+    DENSE,
+    EMPTY,
+    SPARSE,
+    StepProgram,
+    _env_sparse_mode,
+    _resolve_forced,
+    _threshold_ops_for,
+)
+
+__all__ = ["compile_torch_program"]
+
+
+class _TorchNeuronProgram(StepProgram):
+    """Shared fused dense/conv machinery on torch tensor views."""
+
+    fused = True
+
+    def __init__(self, layer, backend, threshold_ops, env_mode: Optional[str]) -> None:
+        super().__init__(layer)
+        self.backend = backend
+        self._threshold_ops = threshold_ops
+        self._env_mode = env_mode
+        state = layer.state
+        self._state = state
+        # one-time zero-copy tensor views over the engine's numpy buffers
+        self._v_mem_t = torch.from_numpy(state.v_mem)
+        self._spikes_np = state._spikes
+        self._spikes_t = torch.from_numpy(state._spikes)
+        self._signals_t = torch.from_numpy(state._spike_signals)
+        self._amplitudes_np = state._amplitudes
+        self._amplitudes_t = torch.from_numpy(state._amplitudes)
+        self._subtract_reset = state.reset_mode.value == "subtract"
+        self._v_rest = float(state.v_rest)
+        self._allow_negative = state.allow_negative_membrane
+        state._threshold_validated = True
+
+    def _forced_mode(self) -> Optional[str]:
+        layer = self.layer
+        return _resolve_forced(layer.name, layer.dispatcher.force, self._env_mode)
+
+    def _synaptic_t(self, incoming: np.ndarray, hint: Optional[int]):
+        """Return the synaptic input as a tensor (or ``None`` for numpy z)."""
+        raise NotImplementedError
+
+    def run(
+        self, incoming: np.ndarray, t: int, incoming_nonzero: Optional[int] = None
+    ) -> np.ndarray:
+        layer = self.layer
+        incoming = np.asarray(incoming)
+        cache = layer._z_cache
+        if cache is not None:
+            phase = t % layer._input_period
+            z = cache[phase]
+            if z is None:
+                z = np.array(self._as_numpy(self._synaptic_t(incoming, incoming_nonzero)))
+                cache[phase] = z
+            z_t = torch.from_numpy(z)
+        else:
+            z_t = self._synaptic_t(incoming, incoming_nonzero)
+        return self._neuron_step(z_t, t)
+
+    @staticmethod
+    def _as_numpy(z) -> np.ndarray:
+        return z.numpy() if isinstance(z, torch.Tensor) else np.asarray(z)
+
+    def _neuron_step(self, z_t, t: int) -> np.ndarray:
+        threshold_ops = self._threshold_ops
+        threshold = threshold_ops.thresholds(t)  # numpy (0-d or burst buffer)
+        th_t = torch.from_numpy(np.ascontiguousarray(threshold, dtype=self._state.dtype))
+        v_t = self._v_mem_t
+        spikes_t = self._spikes_t
+        sig_t = self._signals_t
+        amp_t = self._amplitudes_t
+        if not isinstance(z_t, torch.Tensor):
+            z_t = torch.from_numpy(np.ascontiguousarray(z_t, dtype=self._state.dtype))
+        v_t += z_t
+        torch.ge(v_t, th_t, out=spikes_t)
+        sig_t.copy_(spikes_t)
+        torch.mul(th_t, sig_t, out=amp_t)
+        if self._subtract_reset:
+            v_t -= amp_t
+        else:
+            v_t.masked_fill_(spikes_t, self._v_rest)
+        if not self._allow_negative:
+            torch.clamp_(v_t, min=self._v_rest)
+        count = int(torch.count_nonzero(spikes_t).item())
+        state = self._state
+        state.last_spike_count = count
+        state.total_spikes += count
+        # threshold dynamics run on the (shared-memory) numpy views — burst
+        # buffers are tiny relative to the GEMM and stay backend-portable
+        threshold_ops.update(self._spikes_np, state._spike_signals, count)
+        layer = self.layer
+        layer.last_spikes = self._spikes_np
+        layer.output_nonzero = count
+        return self._amplitudes_np
+
+
+class TorchFusedDenseProgram(_TorchNeuronProgram):
+    """Fused dense step: ``torch.matmul`` into the layer's z buffer."""
+
+    def __init__(self, layer, backend, threshold_ops, env_mode) -> None:
+        super().__init__(layer, backend, threshold_ops, env_mode)
+        self._w_t = torch.from_numpy(np.ascontiguousarray(layer._w_sim))
+        self._bias_t = (
+            None
+            if layer._scaled_bias is None
+            else torch.from_numpy(np.ascontiguousarray(layer._scaled_bias))
+        )
+        self._z_np = layer._z
+        self._z_t = torch.from_numpy(layer._z)
+        self._z_empty_t = torch.from_numpy(layer._z_empty)
+        self._in_features = layer.in_features
+
+    def _synaptic_t(self, incoming: np.ndarray, hint: Optional[int]):
+        layer = self.layer
+        if incoming.ndim != 2 or incoming.shape[1] != self._in_features:
+            raise ValueError(
+                f"{layer.name}: expected incoming shape (N, {self._in_features}), "
+                f"got {incoming.shape}"
+            )
+        dispatcher = layer.dispatcher
+        forced = self._forced_mode()
+        decision = None
+        active = None
+        if hint is not None and forced is None:
+            if hint == 0:
+                decision = dispatcher.choose_resolved(None, 0.0)
+            else:
+                fraction = hint / incoming.size
+                if dispatcher.exact_only or fraction >= dispatcher.crossover:
+                    decision = dispatcher.choose_resolved(None, fraction)
+        if decision is None:
+            active = self.backend.active_features(incoming)
+            decision = dispatcher.choose_resolved(
+                forced, active.size / self._in_features
+            )
+        if decision == EMPTY:
+            return self._z_empty_t
+        if decision == SPARSE:
+            # the gather kernels already run on this backend's primitives
+            return torch.from_numpy(np.asarray(layer._sparse_input(incoming, active)))
+        x_t = torch.from_numpy(np.ascontiguousarray(incoming))
+        torch.matmul(x_t, self._w_t, out=self._z_t)
+        if self._bias_t is not None:
+            self._z_t += self._bias_t
+        return self._z_t
+
+
+class TorchFusedConvProgram(_TorchNeuronProgram):
+    """Fused conv step on ``torch.nn.functional.conv2d`` — no im2col fill,
+    no per-step host↔device crossings for the dense path."""
+
+    def __init__(self, layer, backend, threshold_ops, env_mode) -> None:
+        super().__init__(layer, backend, threshold_ops, env_mode)
+        self._weight_t = torch.from_numpy(
+            np.ascontiguousarray(np.asarray(layer.weight, dtype=layer.dtype))
+        )
+        scaled = layer._scaled_bias
+        self._bias_t = (
+            None if scaled is None else torch.from_numpy(np.ascontiguousarray(scaled))
+        )
+        self._stride = layer.stride
+        self._padding = layer.padding
+        self._z_empty_t = torch.from_numpy(layer._z_empty)
+        self._channels = layer.input_shape[0]
+        self._sparse_available = layer._direct_available
+
+    def _synaptic_t(self, incoming: np.ndarray, hint: Optional[int]):
+        layer = self.layer
+        if incoming.ndim != 4 or incoming.shape[1] != self._channels:
+            raise ValueError(
+                f"{layer.name}: expected incoming shape (N, {self._channels}, H, W), "
+                f"got {incoming.shape}"
+            )
+        dispatcher = layer.dispatcher
+        forced = self._forced_mode()
+        decision = None
+        active = None
+        if hint is not None and forced is None:
+            if hint == 0:
+                decision = dispatcher.choose_resolved(None, 0.0)
+            else:
+                fraction = hint / incoming.size
+                if dispatcher.exact_only or fraction >= dispatcher.crossover:
+                    decision = dispatcher.choose_resolved(None, fraction)
+        if decision is None:
+            active = self.backend.active_channels(incoming)
+            decision = dispatcher.choose_resolved(
+                forced, active.size / self._channels,
+                sparse_available=self._sparse_available,
+            )
+        if decision == EMPTY:
+            return self._z_empty_t
+        if decision == SPARSE:
+            return torch.from_numpy(np.asarray(layer._sparse_input(incoming, active)))
+        x_t = torch.from_numpy(np.ascontiguousarray(incoming))
+        return F.conv2d(
+            x_t, self._weight_t, self._bias_t,
+            stride=self._stride, padding=self._padding,
+        )
+
+
+def compile_torch_program(layer, backend) -> Optional[StepProgram]:
+    """Compile a fused torch program for ``layer``, or ``None`` to fall back.
+
+    Dense and conv layers get the on-device fused chain; pooling, flatten and
+    output layers keep the numpy-family fused programs (their kernels are
+    strided copies and one small GEMM — the numpy programs already run them
+    through this backend's overridden primitives).
+    """
+    from repro.snn import layers as snn_layers
+
+    kind = type(layer)
+    if kind is not snn_layers.SpikingDense and kind is not snn_layers.SpikingConv2D:
+        return None
+    if layer.state is None or layer.dispatcher is None:
+        return None
+    try:
+        env_mode = _env_sparse_mode()
+    except ValueError:
+        return None
+    threshold_ops = _threshold_ops_for(layer, backend)
+    if threshold_ops is None:
+        return None
+    if kind is snn_layers.SpikingDense:
+        if layer._z is None or layer._z_empty is None:
+            return None
+        return TorchFusedDenseProgram(layer, backend, threshold_ops, env_mode)
+    if layer._z_empty is None:
+        return None
+    return TorchFusedConvProgram(layer, backend, threshold_ops, env_mode)

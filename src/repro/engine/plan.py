@@ -116,6 +116,10 @@ class SimulationPlan:
         first = network.layers[0]
         if hasattr(first, "enable_input_caching"):
             first.enable_input_caching(getattr(network.encoder, "steady_period", None))
+        # compile each layer's fused step program (or its composed fallback)
+        # now, so resolution cost never lands inside the timed step loop
+        for layer in network.layers:
+            layer.ensure_step_program()
 
         return PreparedBatch(
             plan=self,

@@ -80,6 +80,9 @@ def execute(prepared: PreparedBatch, labels: Optional[np.ndarray] = None) -> Sim
     # an encoder whose values are nonzero exactly where it spiked lets the
     # first layer (and the pools downstream) skip activity re-scans
     encoder_tracks_spikes = getattr(encoder, "values_nonzero_tracks_spikes", False)
+    # resolve each layer's compiled step program outside the timed loop (one
+    # program call per layer per step; refreshed after any mid-run shrink)
+    programs = [layer.ensure_step_program() for layer in layers]
     for t in range(config.time_steps):
         encoded = encoder.step(t)
         batch_indices = active if patience is not None else None
@@ -92,9 +95,9 @@ def execute(prepared: PreparedBatch, labels: Optional[np.ndarray] = None) -> Sim
         )
         values = encoded.values
         nonzero_hint = input_spikes if encoder_tracks_spikes else None
-        for layer, layer_record in zip(layers, layer_records):
+        for layer, program, layer_record in zip(layers, programs, layer_records):
             layer.output_nonzero = None
-            values = layer.step(values, t, incoming_nonzero=nonzero_hint)
+            values = program.run(values, t, nonzero_hint)
             nonzero_hint = layer.output_nonzero
             layer_record.record_step(
                 layer.last_spikes if layer.is_spiking else None,
@@ -148,6 +151,9 @@ def execute(prepared: PreparedBatch, labels: Optional[np.ndarray] = None) -> Sim
             encoder.shrink_batch(keep)
             for layer in layers:
                 layer.shrink_batch(keep)
+            # shrinking reallocates the per-batch buffers compiled programs
+            # capture — recompile before the next step touches stale views
+            programs = [layer.ensure_step_program() for layer in layers]
             active = active[keep]
 
     return SimulationResult(

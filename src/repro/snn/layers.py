@@ -68,6 +68,7 @@ import numpy as np
 
 from repro.ann.im2col import DirectConvPlan, Im2colPlan, conv_output_size
 from repro.backends import resolve_backend
+from repro.backends.programs import ComposedStepProgram, fused_programs_enabled
 from repro.snn.neurons import IFNeuronState, ResetMode
 from repro.snn.thresholds import ThresholdDynamics
 from repro.utils import sparsity
@@ -115,6 +116,9 @@ class SpikingLayer:
         #: forwards it to the next layer as ``incoming_nonzero`` so cheap
         #: layers can skip re-scanning their input for activity
         self.output_nonzero: Optional[int] = None
+        #: the compiled per-step program (fused when the backend offers one,
+        #: composed otherwise); dropped whenever captured buffers may change
+        self._program = None
 
     def reset(self, batch_size: int, dtype: DTypeLike = None, backend=None) -> None:
         """Allocate per-simulation state for a batch of ``batch_size`` samples.
@@ -134,6 +138,7 @@ class SpikingLayer:
         self.backend_changed = self._ops is not None and resolved is not self._ops
         self._ops = resolved
         self.last_spikes = None
+        self._program = None
 
     @property
     def ops(self):
@@ -159,7 +164,39 @@ class SpikingLayer:
         ``incoming_nonzero`` is an optional exact nonzero count of
         ``incoming`` supplied by the producing layer (see
         :attr:`output_nonzero`); layers may use it to skip an activity scan.
+
+        Runs through the layer's compiled :class:`~repro.backends.programs.
+        StepProgram` — fused when the backend offers one for this layer,
+        otherwise the composed multi-call body (:meth:`_step_composed`).
         """
+        program = self._program
+        if program is None:
+            program = self.ensure_step_program()
+        return program.run(incoming, t, incoming_nonzero)
+
+    def ensure_step_program(self):
+        """Resolve (compiling if needed) and cache the layer's step program.
+
+        Compilation is lazy — it happens on the first step after a reset —
+        so anything pinned between ``reset()`` and the first step (dispatcher
+        ``force`` modes, environment variables) is honoured.  The engine also
+        calls this eagerly at plan-prepare time and again after mid-run batch
+        shrinks so program resolution never lands inside the timed loop.
+        """
+        program = self._program
+        if program is None:
+            if fused_programs_enabled():
+                program = self.ops.compile_step_program(self)
+            if program is None:
+                program = ComposedStepProgram(self)
+            self._program = program
+        return program
+
+    def _step_composed(
+        self, incoming: np.ndarray, t: int, incoming_nonzero: Optional[int] = None
+    ) -> np.ndarray:
+        """The layer's original unfused step body (one backend primitive per
+        kernel) — the universal fallback every backend can run."""
         raise NotImplementedError
 
     def shrink_batch(self, keep: np.ndarray) -> None:
@@ -173,6 +210,8 @@ class SpikingLayer:
             raise ValueError(f"{self.name}: shrink_batch requires at least one kept row")
         self.batch_size = int(keep.size)
         self.last_spikes = None
+        # compiled programs capture per-batch buffers — recompile after slicing
+        self._program = None
 
     def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
         """Per-sample output shape given a per-sample input shape."""
@@ -290,6 +329,7 @@ class _SpikingNeuronLayer(SpikingLayer):
         the cache afterwards — bit-exact in every dtype, since the cached
         array *is* the earlier result.  ``None`` disables caching.
         """
+        self._program = None  # programs bind the cache list at compile time
         if period is None or period <= 0:
             self._input_period = None
             self._z_cache = None
@@ -318,7 +358,7 @@ class _SpikingNeuronLayer(SpikingLayer):
     def _synaptic_input(self, incoming: np.ndarray) -> np.ndarray:
         raise NotImplementedError
 
-    def step(
+    def _step_composed(
         self, incoming: np.ndarray, t: int, incoming_nonzero: Optional[int] = None
     ) -> np.ndarray:
         if self.state is None:
@@ -837,7 +877,7 @@ class SpikingAvgPool2D(SpikingLayer):
         super().shrink_batch(keep)
         self._shape = None  # buffers rebuilt for the smaller batch on next step
 
-    def step(
+    def _step_composed(
         self, incoming: np.ndarray, t: int, incoming_nonzero: Optional[int] = None
     ) -> np.ndarray:
         del t
@@ -952,7 +992,7 @@ class SpikingMaxPool2D(SpikingLayer):
         self._gated = self.ops.empty((n, c, out_h, out_w), self.dtype)
         self._gated_flat = self._gated.reshape(-1)
 
-    def step(
+    def _step_composed(
         self, incoming: np.ndarray, t: int, incoming_nonzero: Optional[int] = None
     ) -> np.ndarray:
         del t
@@ -1017,7 +1057,7 @@ class SpikingFlatten(SpikingLayer):
     def __init__(self, name: str = "spiking_flatten") -> None:
         super().__init__(name)
 
-    def step(
+    def _step_composed(
         self, incoming: np.ndarray, t: int, incoming_nonzero: Optional[int] = None
     ) -> np.ndarray:
         del t
@@ -1090,7 +1130,7 @@ class OutputAccumulator(SpikingLayer):
             self._logits = np.ascontiguousarray(self._logits[keep])
             self._update = np.empty_like(self._logits)
 
-    def step(
+    def _step_composed(
         self, incoming: np.ndarray, t: int, incoming_nonzero: Optional[int] = None
     ) -> np.ndarray:
         del t, incoming_nonzero

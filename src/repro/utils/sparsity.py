@@ -230,7 +230,19 @@ class SparsityDispatcher:
             Whether the owning layer has a sparse kernel for the current
             geometry (e.g. strided convolutions fall back to dense).
         """
-        forced = self._forced_mode()
+        return self.choose_resolved(self._forced_mode(), fraction, sparse_available)
+
+    def choose_resolved(
+        self, forced: Optional[str], fraction: float, sparse_available: bool = True
+    ) -> str:
+        """:meth:`choose` with the forced mode already resolved by the caller.
+
+        Fused step programs (:mod:`repro.backends.programs`) resolve the
+        ``REPRO_SPARSE_MODE`` environment variable once at compile time and
+        re-read only the cheap ``force`` attribute per step, so they call this
+        entry point directly; the decision logic and the ``decisions``
+        counters are exactly those of :meth:`choose`.
+        """
         if forced == DENSE:
             decision = DENSE
         elif forced == SPARSE and sparse_available:

@@ -217,6 +217,70 @@ def test_margin_curves_stay_complete(converted_snn, test_batch):
         assert np.array_equal(result.output_history[-1, image], converged)
 
 
+# -- fused step programs × early exit ---------------------------------------
+#
+# Early exit shrinks every layer's per-batch buffers mid-simulation; compiled
+# step programs capture those buffers, so ``shrink_batch`` must invalidate
+# the programs and the engine must re-fetch them before the next step.  These
+# are the regression tests for that interaction (the original bug: programs
+# kept writing through stale pre-shrink views).
+
+
+def test_early_exit_fused_matches_composed(converted_snn, test_batch):
+    from repro.backends import fused_scope
+
+    x, y = test_batch
+    config = SimulationConfig(time_steps=60, early_exit_patience=8)
+    with fused_scope(False):
+        composed = converted_snn.run(x, config, labels=y)
+    with fused_scope(True):
+        fused = converted_snn.run(x, config, labels=y)
+    assert np.array_equal(composed.output_history, fused.output_history)
+    assert np.array_equal(composed.frozen_at, fused.frozen_at)
+    assert composed.total_spikes() == fused.total_spikes()
+
+
+def test_aggressive_patience_shrink_on_fused_path(converted_snn, test_batch):
+    """Aggressive patience forces repeated shrinks while fused programs are
+    live; predictions must still match the dense (never-shrinking) run."""
+    x, y = test_batch
+    shrunk = converted_snn.run(
+        x, SimulationConfig(time_steps=200, early_exit_patience=5), labels=y
+    )
+    assert (shrunk.frozen_at > 0).all(), "patience=5 must freeze every image"
+    dense = converted_snn.run(x, SimulationConfig(time_steps=200), labels=y)
+    assert np.array_equal(shrunk.predictions(), dense.predictions())
+
+
+def test_early_exit_fused_sharded_evaluation(trained_cnn, tiny_color_split, monkeypatch):
+    """early_exit_patience + fused programs + sharded evaluation: the merged
+    sharded run equals the sequential one, shrink included."""
+    from repro.core.pipeline import PipelineConfig, SNNInferencePipeline
+
+    scheme = HybridCodingScheme.from_notation("phase-burst", v_th=0.125)
+
+    def build(num_workers):
+        return SNNInferencePipeline(
+            trained_cnn,
+            tiny_color_split,
+            PipelineConfig(
+                time_steps=40,
+                batch_size=4,
+                max_test_images=8,
+                early_exit_patience=5,
+                num_workers=num_workers,
+                seed=0,
+            ),
+        )
+
+    sequential = build(None).run_scheme(scheme)
+    monkeypatch.setenv("REPRO_FORCE_SHARDING", "1")
+    sharded = build(2).run_scheme(scheme)
+    assert np.array_equal(sequential.outputs_final, sharded.outputs_final)
+    assert np.array_equal(sequential.accuracy_curve, sharded.accuracy_curve)
+    assert sequential.total_spikes == sharded.total_spikes
+
+
 def test_margin_through_pipeline_config(trained_cnn, tiny_color_split):
     """The adaptive criterion threads PipelineConfig → SimulationConfig."""
     from repro.core.pipeline import PipelineConfig, SNNInferencePipeline
