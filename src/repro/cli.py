@@ -10,7 +10,9 @@ Four subcommands cover the common workflows:
   scheme registry;
 * ``repro serve`` — start the concurrent batching inference server
   (:mod:`repro.serving`): micro-batched ``/v1/classify`` over a trained
-  workload, with graceful drain on SIGTERM/SIGINT;
+  workload, replica session pools (``--num-replicas``), per-client rate
+  limits and quotas (``--max-rps`` / ``--client-quota``), with graceful
+  drain on SIGTERM/SIGINT;
 * ``repro info`` — print the installed version and the available experiments,
   datasets, models and coding schemes.
 
@@ -151,6 +153,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="longest a non-full batch waits before flushing")
     serve.add_argument("--max-queue", type=int, default=64,
                        help="admission-control bound per scheme queue (beyond it: 429)")
+    serve.add_argument("--num-replicas", type=int, default=1,
+                       help="inference session replicas (and batcher workers) per "
+                       "scheme; N replicas serve N micro-batches concurrently "
+                       "on a multi-core machine")
+    serve.add_argument("--max-rps", type=float, default=None,
+                       help="per-client token-bucket rate limit in requests/s "
+                       "(default: unlimited; over-rate requests get 429 + Retry-After)")
+    serve.add_argument("--rate-burst", type=float, default=None,
+                       help="token-bucket capacity: requests a quiet client may "
+                       "fire at once (default: ceil(max-rps))")
+    serve.add_argument("--client-quota", type=int, default=None,
+                       help="admitted requests per client per quota window "
+                       "(default: unlimited)")
+    serve.add_argument("--quota-window-s", type=float, default=60.0,
+                       help="length of the fixed per-client quota window, seconds")
     serve.add_argument("--early-exit-patience", type=int, default=None,
                        help="converged-image early exit patience (default: off)")
     serve.add_argument("--samples-per-class", type=int, default=30,
@@ -352,6 +369,11 @@ def _command_serve(args: argparse.Namespace) -> int:
         max_batch_size=args.max_batch_size,
         max_wait_ms=args.max_wait_ms,
         max_queue=args.max_queue,
+        num_replicas=args.num_replicas,
+        max_rps=args.max_rps,
+        rate_burst=args.rate_burst,
+        client_quota=args.client_quota,
+        quota_window_s=args.quota_window_s,
         time_steps=args.time_steps,
         early_exit_patience=args.early_exit_patience,
         backend=args.backend,
@@ -377,10 +399,18 @@ def _command_serve(args: argparse.Namespace) -> int:
 
     signal.signal(signal.SIGTERM, _drain)
     signal.signal(signal.SIGINT, _drain)
+    limits = (
+        f", max_rps={args.max_rps:g}" if args.max_rps is not None else ""
+    ) + (
+        f", client_quota={args.client_quota}/{args.quota_window_s:g}s"
+        if args.client_quota is not None else ""
+    )
     print(
         f"repro serve listening on {server.url} "
         f"(workload {workload.name}, default scheme {schemes[0].notation}, "
-        f"max_batch_size={args.max_batch_size}, max_wait_ms={args.max_wait_ms})",
+        f"num_replicas={args.num_replicas}, "
+        f"max_batch_size={args.max_batch_size}, max_wait_ms={args.max_wait_ms}"
+        f"{limits})",
         flush=True,
     )
     server.serve_forever()

@@ -29,26 +29,48 @@ in flight per session at any time.  :meth:`InferenceSession.run` enforces
 this with an internal lock — concurrent callers (e.g. the serving engine's
 batcher threads, or user threads sharing one session) serialise instead of
 corrupting each other's buffers.  For *parallel* execution build one session
-per thread (each owns its own converted network) or use the sharded
-evaluation path.
+per thread (each owns its own converted network) — or a whole pool in one
+call with :meth:`InferenceSession.replica_pool`, which shares the float64
+weight masters across replicas (per-replica plan/scratch buffers and
+sparsity-calibration cache keys, so replicas never contend on plan state) —
+or use the sharded evaluation path.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 
 from repro.ann.model import Sequential
 from repro.conversion.converter import ConversionConfig
-from repro.conversion.normalization import NormalizationResult
+from repro.conversion.normalization import NormalizationResult, normalize_weights
 from repro.core.hybrid import HybridCodingScheme
 from repro.engine.build import build_network
 from repro.engine.plan import SimulationPlan, plan_simulation
 from repro.engine.run import execute
 from repro.snn.network import SimulationConfig, SimulationResult, SpikingNetwork
 from repro.utils.rng import SeedLike
+
+#: float64 master arrays shared across replica networks (read-only during
+#: simulation: runs cast them into per-replica buffers, never write them)
+_SHARED_MASTER_ATTRS = ("weight", "bias", "_weight_matrix", "_tap_master")
+
+
+def _share_weight_masters(primary: SpikingNetwork, replica: SpikingNetwork) -> None:
+    """Alias ``replica``'s weight masters to ``primary``'s arrays.
+
+    Replicas are built from the same model and normalisation, so the values
+    are already identical — aliasing just deduplicates the float64 masters in
+    memory.  Per-replica state (cast caches, kernel plans, scratch buffers,
+    neuron state) stays owned by each replica's own layers.
+    """
+    for p_layer, r_layer in zip(primary.layers, replica.layers):
+        for attr in _SHARED_MASTER_ATTRS:
+            master = getattr(p_layer, attr, None)
+            if master is not None and getattr(r_layer, attr, None) is not None:
+                setattr(r_layer, attr, master)
 
 
 class InferenceSession:
@@ -78,6 +100,9 @@ class InferenceSession:
         self.batches_served = 0
         #: number of images served so far
         self.images_served = 0
+        #: position of this session inside a :meth:`replica_pool` (0 for a
+        #: standalone session and for the pool's primary)
+        self.replica_index = 0
 
     @classmethod
     def from_model(
@@ -101,6 +126,67 @@ class InferenceSession:
             seed=seed,
         )
         return cls(network, config)
+
+    @classmethod
+    def replica_pool(
+        cls,
+        model: Sequential,
+        scheme: HybridCodingScheme,
+        *,
+        count: int,
+        config: Optional[SimulationConfig] = None,
+        conversion: Optional[ConversionConfig] = None,
+        normalization: Optional[NormalizationResult] = None,
+        calibration_x: Optional[np.ndarray] = None,
+        seed: SeedLike = None,
+    ) -> List["InferenceSession"]:
+        """Build ``count`` independently runnable sessions over one model.
+
+        Every replica is converted from the same model with the same (shared,
+        computed-once) weight normalisation and identical configuration, so a
+        float64 batch answers bit-identically on any replica.  The float64
+        weight masters are aliased across replicas (one copy in memory);
+        everything mutable — plan buffers, kernel plans, cast caches, neuron
+        state — is per-replica, and each replica beyond the first tags its
+        sparsity-calibration cache keys (``sparsity_cache_tag``) so replicas
+        calibrating concurrently never contend on shared plan state.
+
+        Note: a stochastic (Poisson) input encoder owns one RNG stream *per
+        replica* — deterministic encoders (phase, TTFS, real amplitudes) are
+        unaffected and keep the pool's bit-identity guarantee.
+        """
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        if normalization is None:
+            if calibration_x is None:
+                raise ValueError(
+                    "replica_pool needs a shared normalization or calibration_x "
+                    "to compute one"
+                )
+            shared_conversion = conversion or ConversionConfig()
+            normalization = normalize_weights(
+                model,
+                calibration_x=calibration_x,
+                percentile=shared_conversion.percentile,
+                method=shared_conversion.normalization,
+            )
+        sessions: List[InferenceSession] = []
+        for index in range(count):
+            session = cls.from_model(
+                model,
+                scheme,
+                config=config,
+                conversion=conversion,
+                normalization=normalization,
+                seed=seed,
+            )
+            session.replica_index = index
+            if index > 0:
+                _share_weight_masters(sessions[0].network, session.network)
+                for layer in session.network.layers:
+                    layer.sparsity_cache_tag = f"replica-{index}"
+            sessions.append(session)
+        return sessions
 
     @property
     def plan(self) -> SimulationPlan:

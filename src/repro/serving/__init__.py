@@ -6,11 +6,18 @@ actual server: many concurrent clients share one prepared network per coding
 scheme, with their individual requests coalesced into micro-batches.
 
 * :mod:`repro.serving.scheduler` — the request queue + micro-batching
-  scheduler (:class:`MicroBatcher`): flush on ``max_batch_size`` or
-  ``max_wait_ms``, bounded-queue admission control, graceful drain;
+  scheduler (:class:`MicroBatcher`): priority-ordered flush on
+  ``max_batch_size`` or ``max_wait_ms``, a worker pool (one thread per
+  session replica), bounded-queue admission control with
+  lowest-priority-first shedding and computed retry-after estimates,
+  graceful drain;
+* :mod:`repro.serving.limits` — per-client token-bucket rate limits and
+  windowed quotas (:class:`ClientRateLimiter`), LRU-bounded and fake-clock
+  testable;
 * :mod:`repro.serving.engine` — the embeddable :class:`ServingEngine`:
-  per-scheme sessions built lazily through the scheme registry behind an
-  LRU-bounded cache, shared weight normalisation, per-request futures;
+  per-scheme **replica session pools** built lazily through the scheme
+  registry behind an LRU-bounded cache, shared weight normalisation and
+  shared float64 weight masters, per-request futures;
 * :mod:`repro.serving.http` — the stdlib-only JSON front end
   (:class:`ServingHTTPServer`): ``/v1/classify``, ``/v1/schemes``,
   ``/healthz``, ``/metrics``;
@@ -24,13 +31,22 @@ sockets.
 
 from repro.serving.engine import ServingConfig, ServingEngine
 from repro.serving.http import ServingHTTPServer
+from repro.serving.limits import (
+    ANONYMOUS_CLIENT,
+    ClientRateLimiter,
+    RateLimitedError,
+    TokenBucket,
+)
 from repro.serving.metrics import ServerMetrics
 from repro.serving.protocol import ClassifyResult, parse_image, scheme_listing
 from repro.serving.scheduler import (
+    PRIORITY_BATCH,
+    PRIORITY_INTERACTIVE,
     BatcherClosedError,
     BatchInfo,
     MicroBatcher,
     QueueFullError,
+    resolve_priority,
 )
 
 __all__ = [
@@ -45,4 +61,11 @@ __all__ = [
     "BatchInfo",
     "QueueFullError",
     "BatcherClosedError",
+    "PRIORITY_INTERACTIVE",
+    "PRIORITY_BATCH",
+    "resolve_priority",
+    "ClientRateLimiter",
+    "TokenBucket",
+    "RateLimitedError",
+    "ANONYMOUS_CLIENT",
 ]

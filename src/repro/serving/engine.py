@@ -1,25 +1,35 @@
-"""The embeddable serving engine: shared sessions behind micro-batchers.
+"""The embeddable serving engine: replica session pools behind micro-batchers.
 
 :class:`ServingEngine` is the in-process core of ``repro serve`` — tests,
 examples and the HTTP front end all drive the same object:
 
-* per coding scheme, one shared
-  :class:`~repro.engine.session.InferenceSession` (built lazily through the
-  scheme registry, weight normalisation computed once and shared across
-  schemes, exactly like the pipeline) behind one
-  :class:`~repro.serving.scheduler.MicroBatcher`;
+* per coding scheme, a **pool of replica**
+  :class:`~repro.engine.session.InferenceSession`\\ s
+  (``ServingConfig.num_replicas``; built lazily through the scheme registry,
+  weight normalisation computed once and shared across schemes *and*
+  replicas, float64 weight masters aliased across the pool) behind one
+  priority-aware :class:`~repro.serving.scheduler.MicroBatcher` whose worker
+  pool runs one thread per replica — on a multi-core machine N replicas
+  simulate N micro-batches concurrently;
+* per-client admission control
+  (:class:`~repro.serving.limits.ClientRateLimiter`): token-bucket rate
+  limits (``max_rps`` / ``rate_burst``) and windowed quotas
+  (``client_quota``), surfaced as
+  :class:`~repro.serving.limits.RateLimitedError` with retry guidance;
 * the scheme cache is **LRU-bounded** (``ServingConfig.session_cache_size``):
-  the least recently used scheme's batcher is drained and its session
+  the least recently used scheme's batcher is drained and its sessions
   dropped when a new scheme would exceed the bound;
 * :meth:`ServingEngine.classify` is non-blocking and returns a future of a
   :class:`~repro.serving.protocol.ClassifyResult`;
   :meth:`~ServingEngine.classify_sync` waits for it.
 
-Because the engine serves each scheme through a single session guarded by
-both the batcher's worker thread and the session's own single-flight lock,
+Every replica is converted from the same model under the same shared
+normalisation and runs the same configuration, and each is guarded by the
+batcher worker owning it plus the session's own single-flight lock — so
 float64 responses are bit-identical to running the same images through the
-pipeline / a fresh session in one batch — micro-batching changes *when* work
-happens, never *what* is computed.
+pipeline / a fresh session in one batch, *whichever replica serves them*.
+Replication and micro-batching change *when* and *where* work happens, never
+*what* is computed.
 """
 
 from __future__ import annotations
@@ -29,7 +39,7 @@ import time
 from collections import OrderedDict
 from concurrent.futures import Future
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -38,6 +48,7 @@ from repro.conversion.converter import ConversionConfig
 from repro.conversion.normalization import NormalizationResult, normalize_weights
 from repro.core.hybrid import HybridCodingScheme
 from repro.engine.session import InferenceSession
+from repro.serving.limits import ClientRateLimiter
 from repro.serving.metrics import ServerMetrics
 from repro.serving.protocol import ClassifyResult, parse_image, scheme_listing
 from repro.serving.scheduler import BatcherClosedError, BatchInfo, MicroBatcher
@@ -60,7 +71,24 @@ class ServingConfig(FrozenConfig):
         Longest a non-full batch waits for company (flush trigger #2).
     max_queue:
         Admission-control bound per scheme queue; submissions beyond it are
-        rejected (HTTP 429).
+        rejected — or shed lowest-priority-first — with retry guidance
+        (HTTP 429 + ``Retry-After``).
+    num_replicas:
+        Inference sessions (and batcher workers) per scheme.  Replicas share
+        the float64 weight masters and the weight normalisation but own
+        their plan/scratch buffers, so N replicas serve N micro-batches
+        concurrently on a multi-core machine.
+    max_rps:
+        Per-client token-bucket rate limit in requests/second
+        (``None`` = unlimited).
+    rate_burst:
+        Token-bucket capacity — requests a quiet client may fire at once
+        (``None`` = ``ceil(max_rps)``).
+    client_quota:
+        Admitted requests per client per ``quota_window_s`` window
+        (``None`` = unlimited).
+    quota_window_s:
+        Length of the fixed quota window, seconds.
     time_steps:
         Simulation horizon every request is answered with.
     dtype:
@@ -73,7 +101,8 @@ class ServingConfig(FrozenConfig):
         Optional converged-image early exit (see
         :class:`~repro.snn.network.SimulationConfig`).
     session_cache_size:
-        Number of per-scheme sessions kept alive (LRU eviction beyond it).
+        Number of per-scheme session pools kept alive (LRU eviction beyond
+        it).
     calibration_images:
         Training images used for the shared weight normalisation.
     request_timeout_s:
@@ -86,6 +115,11 @@ class ServingConfig(FrozenConfig):
     max_batch_size: int = 8
     max_wait_ms: float = 5.0
     max_queue: int = 64
+    num_replicas: int = 1
+    max_rps: Optional[float] = None
+    rate_burst: Optional[float] = None
+    client_quota: Optional[int] = None
+    quota_window_s: float = 60.0
     time_steps: int = 100
     dtype: Optional[str] = None
     backend: Optional[str] = None
@@ -99,11 +133,19 @@ class ServingConfig(FrozenConfig):
     def __post_init__(self) -> None:
         validate_positive("max_batch_size", self.max_batch_size)
         validate_positive("max_queue", self.max_queue)
+        validate_positive("num_replicas", self.num_replicas)
         validate_positive("time_steps", self.time_steps)
         validate_positive("session_cache_size", self.session_cache_size)
         validate_positive("calibration_images", self.calibration_images)
+        validate_positive("quota_window_s", self.quota_window_s)
         if self.max_wait_ms < 0:
             raise ValueError(f"max_wait_ms must be >= 0, got {self.max_wait_ms}")
+        if self.max_rps is not None:
+            validate_positive("max_rps", self.max_rps)
+        if self.rate_burst is not None:
+            validate_positive("rate_burst", self.rate_burst)
+        if self.client_quota is not None:
+            validate_positive("client_quota", self.client_quota)
         if self.early_exit_patience is not None:
             validate_positive("early_exit_patience", self.early_exit_patience)
         if self.backend is not None:
@@ -113,16 +155,17 @@ class ServingConfig(FrozenConfig):
 
 
 class _SchemeServer:
-    """One scheme's shared session plus the batcher feeding it."""
+    """One scheme's replica session pool plus the batcher feeding it."""
 
     def __init__(
         self, engine: "ServingEngine", scheme: HybridCodingScheme
     ) -> None:
         config = engine.config
         self.scheme = scheme
-        self.session = InferenceSession.from_model(
+        self.sessions = InferenceSession.replica_pool(
             engine.model,
             scheme,
+            count=config.num_replicas,
             config=SimulationConfig(
                 time_steps=config.time_steps,
                 record_outputs_every=config.time_steps,  # final scores only
@@ -140,16 +183,20 @@ class _SchemeServer:
             max_batch_size=config.max_batch_size,
             max_wait_ms=config.max_wait_ms,
             max_queue=config.max_queue,
+            num_workers=config.num_replicas,
             metrics=engine.metrics,
+            clock=engine.clock,
             name=scheme.notation,
         )
 
     def _run_batch(
         self, payloads: List[np.ndarray], info: BatchInfo
     ) -> List[ClassifyResult]:
-        """Simulate one coalesced batch and split it into per-request results."""
+        """Simulate one coalesced batch on the worker's replica and split it
+        into per-request results."""
+        session = self.sessions[info.replica]
         started = time.monotonic()
-        result = self.session.run(np.stack(payloads))
+        result = session.run(np.stack(payloads))
         batch_ms = (time.monotonic() - started) * 1000.0
         scores = result.final_outputs
         predictions = scores.argmax(axis=1)
@@ -166,9 +213,23 @@ class _SchemeServer:
                 queue_ms=info.queue_ms[i],
                 batch_ms=batch_ms,
                 time_steps=result.time_steps,
+                replica=info.replica,
             )
             for i in range(len(payloads))
         ]
+
+    def stats(self) -> Dict[str, object]:
+        """Per-scheme gauges for ``/metrics``."""
+        return {
+            "num_replicas": len(self.sessions),
+            "batches_served": sum(s.batches_served for s in self.sessions),
+            "images_served": sum(s.images_served for s in self.sessions),
+            "batches_per_replica": [s.batches_served for s in self.sessions],
+            "replica_utilisation": [
+                round(u, 4) for u in self.batcher.replica_utilisation()
+            ],
+            "queue_depth": self.batcher.queue_depth,
+        }
 
     def close(self) -> None:
         self.batcher.close()
@@ -188,6 +249,10 @@ class ServingEngine:
         Serving knobs (see :class:`ServingConfig`).
     normalization:
         Optional precomputed normalisation (skips ``calibration_x``).
+    clock:
+        Monotonic time source shared by the batchers and the rate limiter
+        (injectable so limiter refill and wait-window flushes are tested
+        with a fake clock).
     """
 
     def __init__(
@@ -197,12 +262,21 @@ class ServingEngine:
         config: Optional[ServingConfig] = None,
         *,
         normalization: Optional[NormalizationResult] = None,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if calibration_x is None and normalization is None:
             raise ValueError("provide calibration_x or a precomputed normalization")
         self.model = model
         self.config = config or ServingConfig()
         self.metrics = ServerMetrics()
+        self.clock = clock
+        self.limiter = ClientRateLimiter(
+            self.config.max_rps,
+            burst=self.config.rate_burst,
+            quota=self.config.client_quota,
+            quota_window_s=self.config.quota_window_s,
+            clock=clock,
+        )
         self._calibration_x = calibration_x
         self._normalization = normalization
         self._servers: "OrderedDict[str, _SchemeServer]" = OrderedDict()
@@ -244,56 +318,79 @@ class ServingEngine:
                 self._servers.move_to_end(key)
                 return server
             self.normalization  # noqa: B018 - force the one-time computation
-            logger.info("building session for scheme %s", key)
+            logger.info(
+                "building %d session replica(s) for scheme %s",
+                self.config.num_replicas, key,
+            )
             server = _SchemeServer(self, resolved)
             self._servers[key] = server
             if len(self._servers) > self.config.session_cache_size:
                 old_key, evicted = self._servers.popitem(last=False)
-                logger.info("evicting LRU scheme session %s", old_key)
+                logger.info("evicting LRU scheme session pool %s", old_key)
         if evicted is not None:
             # drain outside the lock: eviction must not block new submissions
             evicted.close()
         return server
 
     def warm(self, scheme: object) -> None:
-        """Pre-build the session for ``scheme`` (conversion + plan)."""
+        """Pre-build the session pool for ``scheme`` (conversion + plans)."""
         self._scheme_server(scheme)
 
     def loaded_schemes(self) -> List[str]:
-        """Notations with a live session, most recently used last."""
+        """Notations with a live session pool, most recently used last."""
         with self._lock:
             return list(self._servers)
 
     # -- request path ------------------------------------------------------
     def classify(
-        self, image: object, scheme: object = "phase-burst"
+        self,
+        image: object,
+        scheme: object = "phase-burst",
+        *,
+        priority: object = None,
+        client_id: Optional[str] = None,
     ) -> "Future[ClassifyResult]":
         """Submit one image; returns a future of its :class:`ClassifyResult`.
 
-        Raises :class:`~repro.core.registry.UnknownCodingError` for an
-        unregistered scheme, :class:`ValueError` for a malformed image and
+        ``priority`` is ``"interactive"`` (default), ``"batch"``, or an
+        integer (lower serves first); ``client_id`` keys the per-client rate
+        limits and quotas (``None`` shares the anonymous identity).
+
+        Raises :class:`~repro.serving.limits.RateLimitedError` when the
+        client is over its rate limit or quota,
+        :class:`~repro.core.registry.UnknownCodingError` for an unregistered
+        scheme, :class:`ValueError` for a malformed image or priority and
         :class:`~repro.serving.scheduler.QueueFullError` when admission
-        control rejects the request.
+        control rejects the request — the two 429-mapped errors both carry
+        ``retry_after_s``.
         """
+        try:
+            self.limiter.admit(client_id)
+        except Exception:
+            self.metrics.record_rate_limited()
+            raise
         payload = parse_image(image, self.input_shape)
         # an LRU eviction can close the batcher between lookup and submit
         # (eviction drains outside the engine lock); the evicted entry is
-        # already out of the cache, so retrying rebuilds the session
+        # already out of the cache, so retrying rebuilds the session pool
         for _ in range(3):
             try:
-                return self._scheme_server(scheme).batcher.submit(payload)
+                return self._scheme_server(scheme).batcher.submit(payload, priority)
             except BatcherClosedError:
                 continue
-        return self._scheme_server(scheme).batcher.submit(payload)
+        return self._scheme_server(scheme).batcher.submit(payload, priority)
 
     def classify_sync(
         self,
         image: object,
         scheme: object = "phase-burst",
         timeout: Optional[float] = None,
+        *,
+        priority: object = None,
+        client_id: Optional[str] = None,
     ) -> ClassifyResult:
         """Blocking variant of :meth:`classify`."""
-        future = self.classify(image, scheme)
+        future = self.classify(image, scheme, priority=priority, client_id=client_id)
         return future.result(
             timeout if timeout is not None else self.config.request_timeout_s
         )
@@ -305,22 +402,19 @@ class ServingEngine:
             return sum(server.batcher.queue_depth for server in self._servers.values())
 
     def stats(self) -> Dict[str, object]:
-        """Metrics snapshot plus per-session serving counters (``/metrics``)."""
+        """Metrics snapshot plus per-pool serving gauges (``/metrics``)."""
         with self._lock:
             sessions = {
-                key: {
-                    "batches_served": server.session.batches_served,
-                    "images_served": server.session.images_served,
-                    "queue_depth": server.batcher.queue_depth,
-                }
-                for key, server in self._servers.items()
+                key: server.stats() for key, server in self._servers.items()
             }
         snapshot = self.metrics.snapshot(queue_depth=self.queue_depth())
         snapshot["sessions"] = sessions
+        snapshot["rate_limits"] = self.limiter.snapshot()
         snapshot["config"] = {
             "max_batch_size": self.config.max_batch_size,
             "max_wait_ms": self.config.max_wait_ms,
             "max_queue": self.config.max_queue,
+            "num_replicas": self.config.num_replicas,
             "time_steps": self.config.time_steps,
             "session_cache_size": self.config.session_cache_size,
         }
@@ -332,7 +426,8 @@ class ServingEngine:
 
     # -- lifecycle ---------------------------------------------------------
     def close(self) -> None:
-        """Graceful drain: every batcher flushes its queue, futures resolve."""
+        """Graceful drain: every batcher flushes its queue across all
+        replicas, and every admitted future resolves."""
         with self._lock:
             if self._closed:
                 return

@@ -3,16 +3,23 @@
 A thin JSON layer over :class:`~repro.serving.engine.ServingEngine` built on
 ``http.server`` only (no third-party dependencies):
 
-* ``POST /v1/classify`` — body ``{"image": [...], "scheme": "phase-burst"}``
-  (``image`` nested or flat, ``scheme`` optional → the server default);
-  responds with the :meth:`~repro.serving.protocol.ClassifyResult.to_dict`
-  payload.  Admission-control rejections map to **429**, malformed payloads
-  and unknown schemes to **400**, timeouts to **504**.
+* ``POST /v1/classify`` — body ``{"image": [...], "scheme": "phase-burst",
+  "priority": "interactive" | "batch", "client_id": "..."}`` (``image``
+  nested or flat; everything else optional); responds with the
+  :meth:`~repro.serving.protocol.ClassifyResult.to_dict` payload.
+  Admission-control rejections *and* per-client rate-limit / quota bounces
+  map to **429 Too Many Requests** carrying a computed ``Retry-After``
+  header (estimated queue-drain time, token-refill time, or quota-window
+  reset); malformed payloads and unknown schemes map to **400**, timeouts
+  to **504**.  Clients identify themselves with an ``X-API-Key`` header (or
+  the ``client_id`` body field); anonymous traffic shares one rate-limit
+  identity.
 * ``GET /v1/schemes`` — the registry listing (same source of truth as
   ``repro --list-schemes``).
 * ``GET /healthz`` — liveness plus the loaded schemes.
-* ``GET /metrics`` — request counters, queue depth, batch-size histogram and
-  p50/p95 latency.
+* ``GET /metrics`` — request counters, queue depth, batch-size histogram,
+  p50/p95/p99 latency and queue-wait percentiles, per-scheme replica
+  utilisation and rate-limiter gauges.
 
 :class:`ServingHTTPServer` wraps ``ThreadingHTTPServer`` with non-daemon
 request threads so :meth:`ServingHTTPServer.close` is a graceful drain:
@@ -23,14 +30,16 @@ batchers — every admitted request is answered before the process exits.
 from __future__ import annotations
 
 import json
+import math
 import threading
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro import __version__
 from repro.core.registry import UnknownCodingError
 from repro.serving.engine import ServingEngine
+from repro.serving.limits import RateLimitedError
 from repro.serving.scheduler import BatcherClosedError, QueueFullError
 from repro.utils.logging import get_logger
 
@@ -54,22 +63,43 @@ class _RequestHandler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args: object) -> None:  # noqa: A002
         logger.debug("%s %s", self.address_string(), format % args)
 
-    def _send_json(self, status: int, payload: object) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: object,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         if self.close_connection:
             self.send_header("Connection", "close")
         self.end_headers()
         self.wfile.write(body)
 
-    def _error(self, status: int, message: str, *, unread_body: bool = False) -> None:
+    def _error(
+        self,
+        status: int,
+        message: str,
+        *,
+        unread_body: bool = False,
+        retry_after_s: Optional[float] = None,
+    ) -> None:
         if unread_body:
             # responding before consuming the request body would leave its
             # bytes in the keep-alive socket and corrupt the next request
             self.close_connection = True
-        self._send_json(status, {"error": message})
+        headers: Optional[Dict[str, str]] = None
+        payload: Dict[str, object] = {"error": message}
+        if retry_after_s is not None:
+            # Retry-After is integer seconds; round up so clients never
+            # retry before the server expects capacity back
+            headers = {"Retry-After": str(max(1, math.ceil(retry_after_s)))}
+            payload["retry_after_s"] = round(float(retry_after_s), 3)
+        self._send_json(status, payload, headers)
 
     # -- routes ------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
@@ -115,10 +145,21 @@ class _RequestHandler(BaseHTTPRequestHandler):
             self._error(400, "request body must be a JSON object with an 'image' field")
             return
         scheme = body.get("scheme") or self.server.default_scheme  # type: ignore[attr-defined]
+        client_id = self.headers.get("X-API-Key") or body.get("client_id")
+        if client_id is not None and not isinstance(client_id, str):
+            self._error(400, "'client_id' must be a string")
+            return
         try:
-            result = self.engine.classify_sync(body["image"], scheme)
+            result = self.engine.classify_sync(
+                body["image"],
+                scheme,
+                priority=body.get("priority"),
+                client_id=client_id,
+            )
         except QueueFullError as exc:
-            self._error(429, str(exc))
+            self._error(429, str(exc), retry_after_s=exc.retry_after_s)
+        except RateLimitedError as exc:
+            self._error(429, str(exc), retry_after_s=exc.retry_after_s)
         except (UnknownCodingError, ValueError) as exc:
             self._error(400, str(exc))
         except FutureTimeoutError:

@@ -1,0 +1,216 @@
+"""Per-client admission control: token-bucket rate limits and quotas.
+
+The serving engine guards its queues with a :class:`ClientRateLimiter`:
+every classify request names a client (the ``X-API-Key`` header or a
+``client_id`` field; anonymous traffic shares one identity) and must pass
+
+* a **token bucket** — ``max_rps`` tokens refill per second up to a
+  ``burst`` capacity, one token per request.  Short bursts ride on banked
+  tokens; sustained overload drains the bucket and requests bounce until it
+  refills.
+* a **windowed quota** — at most ``quota`` admitted requests per client per
+  ``quota_window_s`` seconds (a fixed window), independent of pacing.
+
+Violations raise :class:`RateLimitedError` carrying ``retry_after_s`` — the
+exact time until the bucket holds a token again, or until the quota window
+resets — which the HTTP layer surfaces as *429 Too Many Requests* with a
+``Retry-After`` header.
+
+Per-client state is LRU-bounded (``max_clients``), so an open endpoint
+churning through client ids cannot grow the limiter without bound.  Time is
+read through an injectable ``clock`` (default :func:`time.monotonic`), so
+refill and window-reset behaviour is tested with a fake clock instead of
+sleeps.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import OrderedDict
+from typing import Callable, Dict, Optional
+
+#: identity assigned to requests that present no API key / client id
+ANONYMOUS_CLIENT = "anonymous"
+
+
+class RateLimitedError(RuntimeError):
+    """A request bounced by a per-client rate limit or quota.
+
+    ``retry_after_s`` is when the client may usefully retry (token refill or
+    quota-window reset); the HTTP layer rounds it up into a ``Retry-After``
+    header on the 429 response.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = float(retry_after_s)
+
+
+class TokenBucket:
+    """The classic token bucket: ``rate`` tokens/second up to ``capacity``.
+
+    Not thread-safe on its own — :class:`ClientRateLimiter` serialises
+    access; standalone users must provide their own locking.
+    """
+
+    __slots__ = ("rate", "capacity", "tokens", "updated_at")
+
+    def __init__(self, rate: float, capacity: float, now: float) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.rate = float(rate)
+        self.capacity = float(capacity)
+        self.tokens = float(capacity)  # a fresh client may burst immediately
+        self.updated_at = float(now)
+
+    def try_acquire(self, now: float, cost: float = 1.0) -> Optional[float]:
+        """Take ``cost`` tokens; ``None`` on success, else seconds until the
+        bucket will hold enough tokens to retry."""
+        elapsed = max(0.0, now - self.updated_at)
+        self.tokens = min(self.capacity, self.tokens + elapsed * self.rate)
+        self.updated_at = now
+        if self.tokens >= cost:
+            self.tokens -= cost
+            return None
+        return (cost - self.tokens) / self.rate
+
+
+class _ClientState:
+    __slots__ = ("bucket", "window_start", "window_count")
+
+    def __init__(self, bucket: Optional[TokenBucket], now: float) -> None:
+        self.bucket = bucket
+        self.window_start = now
+        self.window_count = 0
+
+
+class ClientRateLimiter:
+    """Admission control keyed by client id (API key), LRU-bounded.
+
+    Parameters
+    ----------
+    max_rps:
+        Sustained per-client request rate (token-bucket refill); ``None``
+        disables pacing.
+    burst:
+        Bucket capacity — how many requests a quiet client may fire at once
+        (defaults to ``max(1, ceil(max_rps))``).
+    quota:
+        Maximum admitted requests per client per window; ``None`` disables
+        quotas.
+    quota_window_s:
+        Fixed quota window length in seconds.
+    clock:
+        Monotonic time source (injectable for fake-clock tests).
+    max_clients:
+        Per-client states kept; the least recently seen client is evicted
+        beyond this (an evicted client restarts with a full bucket).
+    """
+
+    def __init__(
+        self,
+        max_rps: Optional[float] = None,
+        *,
+        burst: Optional[float] = None,
+        quota: Optional[int] = None,
+        quota_window_s: float = 60.0,
+        clock: Callable[[], float] = time.monotonic,
+        max_clients: int = 1024,
+    ) -> None:
+        if max_rps is not None and max_rps <= 0:
+            raise ValueError(f"max_rps must be positive, got {max_rps}")
+        if burst is not None and burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        if quota is not None and quota < 1:
+            raise ValueError(f"quota must be >= 1, got {quota}")
+        if quota_window_s <= 0:
+            raise ValueError(f"quota_window_s must be positive, got {quota_window_s}")
+        if max_clients < 1:
+            raise ValueError(f"max_clients must be >= 1, got {max_clients}")
+        self.max_rps = max_rps
+        self.burst = (
+            None if max_rps is None
+            else float(burst) if burst is not None
+            else float(max(1, math.ceil(max_rps)))
+        )
+        self.quota = quota
+        self.quota_window_s = float(quota_window_s)
+        self.max_clients = int(max_clients)
+        self._clock = clock
+        self._clients: "OrderedDict[str, _ClientState]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._limited_total = 0
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any limit is actually configured."""
+        return self.max_rps is not None or self.quota is not None
+
+    def admit(self, client_id: Optional[str]) -> None:
+        """Admit one request for ``client_id`` or raise :class:`RateLimitedError`.
+
+        The quota is charged only when the request passes both checks, so a
+        paced-out request does not consume quota.
+        """
+        if not self.enabled:
+            return
+        key = client_id or ANONYMOUS_CLIENT
+        now = self._clock()
+        with self._lock:
+            state = self._clients.get(key)
+            if state is None:
+                bucket = (
+                    None if self.max_rps is None
+                    else TokenBucket(self.max_rps, self.burst, now)
+                )
+                state = _ClientState(bucket, now)
+                self._clients[key] = state
+                if len(self._clients) > self.max_clients:
+                    self._clients.popitem(last=False)
+            else:
+                self._clients.move_to_end(key)
+            if self.quota is not None:
+                if now - state.window_start >= self.quota_window_s:
+                    state.window_start = now
+                    state.window_count = 0
+                if state.window_count >= self.quota:
+                    retry_after = state.window_start + self.quota_window_s - now
+                    self._limited_total += 1
+                    raise RateLimitedError(
+                        f"client {key!r} exceeded its quota of {self.quota} requests "
+                        f"per {self.quota_window_s:g}s window",
+                        retry_after_s=max(0.001, retry_after),
+                    )
+            if state.bucket is not None:
+                retry_after = state.bucket.try_acquire(now)
+                if retry_after is not None:
+                    self._limited_total += 1
+                    raise RateLimitedError(
+                        f"client {key!r} exceeded its rate limit of "
+                        f"{self.max_rps:g} requests/s (burst {self.burst:g})",
+                        retry_after_s=max(0.001, retry_after),
+                    )
+            if self.quota is not None:
+                state.window_count += 1
+
+    # -- introspection (``/metrics``) --------------------------------------
+    @property
+    def limited_total(self) -> int:
+        with self._lock:
+            return self._limited_total
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-ready limiter view for the ``/metrics`` response."""
+        with self._lock:
+            return {
+                "max_rps": self.max_rps,
+                "burst": self.burst,
+                "quota": self.quota,
+                "quota_window_s": self.quota_window_s if self.quota is not None else None,
+                "clients_tracked": len(self._clients),
+                "rate_limited_total": self._limited_total,
+            }

@@ -2,10 +2,11 @@
 
 One :class:`ServerMetrics` instance is shared by every micro-batcher of a
 :class:`~repro.serving.engine.ServingEngine`; the HTTP front end renders
-:meth:`ServerMetrics.snapshot` as the ``/metrics`` response.  Latency
-quantiles are computed over a bounded reservoir of the most recent
-observations (default 2048) so a long-lived server neither grows without
-bound nor loses recency.
+:meth:`ServerMetrics.snapshot` as the ``/metrics`` response.  Latency and
+queue-wait quantiles are computed over **bounded rolling windows** of the
+most recent observations (default 2048 samples), so a long-lived server
+neither grows without bound nor reports stale percentiles: p50/p95/p99
+always reflect the current load, not the whole process lifetime.
 """
 
 from __future__ import annotations
@@ -24,6 +25,16 @@ def percentile(values: List[float], q: float) -> float:
     return float(ordered[rank])
 
 
+def _quantile_summary(values: List[float]) -> Dict[str, object]:
+    """The rolling-window ``{count, p50, p95, p99}`` rendering."""
+    return {
+        "count": len(values),
+        "p50": round(percentile(values, 50.0), 3),
+        "p95": round(percentile(values, 95.0), 3),
+        "p99": round(percentile(values, 99.0), 3),
+    }
+
+
 class ServerMetrics:
     """Aggregated serving statistics, safe to update from batcher threads."""
 
@@ -31,11 +42,14 @@ class ServerMetrics:
         self._lock = threading.Lock()
         self._requests_total = 0
         self._rejected_total = 0
+        self._shed_total = 0
+        self._rate_limited_total = 0
         self._errors_total = 0
         self._batches_total = 0
         self._images_total = 0
         self._batch_size_histogram: Dict[int, int] = {}
         self._latencies_ms: Deque[float] = deque(maxlen=latency_window)
+        self._queue_wait_ms: Deque[float] = deque(maxlen=latency_window)
 
     # -- recording (called by the scheduler) -------------------------------
     def record_submit(self) -> None:
@@ -48,13 +62,28 @@ class ServerMetrics:
         with self._lock:
             self._rejected_total += 1
 
+    def record_shed(self) -> None:
+        """One queued low-priority request shed to admit higher-priority work."""
+        with self._lock:
+            self._shed_total += 1
+
+    def record_rate_limited(self) -> None:
+        """One request bounced by a per-client rate limit or quota."""
+        with self._lock:
+            self._rate_limited_total += 1
+
     def record_batch(
-        self, size: int, latencies_ms: Optional[List[float]] = None, error: bool = False
+        self,
+        size: int,
+        latencies_ms: Optional[List[float]] = None,
+        error: bool = False,
+        queue_ms: Optional[List[float]] = None,
     ) -> None:
         """One executed micro-batch of ``size`` requests.
 
         ``latencies_ms`` are the per-request end-to-end latencies (queue wait
-        plus batch execution) feeding the p50/p95 estimates.
+        plus batch execution) and ``queue_ms`` the queue-wait components;
+        both feed bounded rolling windows behind the p50/p95/p99 estimates.
         """
         with self._lock:
             self._batches_total += 1
@@ -64,6 +93,8 @@ class ServerMetrics:
                 self._errors_total += size
             for latency in latencies_ms or ():
                 self._latencies_ms.append(float(latency))
+            for wait in queue_ms or ():
+                self._queue_wait_ms.append(float(wait))
 
     # -- reading -----------------------------------------------------------
     @property
@@ -75,6 +106,16 @@ class ServerMetrics:
     def rejected_total(self) -> int:
         with self._lock:
             return self._rejected_total
+
+    @property
+    def shed_total(self) -> int:
+        with self._lock:
+            return self._shed_total
+
+    @property
+    def rate_limited_total(self) -> int:
+        with self._lock:
+            return self._rate_limited_total
 
     def batch_size_histogram(self) -> Dict[int, int]:
         """Copy of the ``{batch_size: count}`` histogram."""
@@ -90,9 +131,12 @@ class ServerMetrics:
         """JSON-ready metrics view (the ``/metrics`` response body)."""
         with self._lock:
             latencies = list(self._latencies_ms)
+            queue_waits = list(self._queue_wait_ms)
             return {
                 "requests_total": self._requests_total,
                 "rejected_total": self._rejected_total,
+                "shed_total": self._shed_total,
+                "rate_limited_total": self._rate_limited_total,
                 "errors_total": self._errors_total,
                 "batches_total": self._batches_total,
                 "images_total": self._images_total,
@@ -101,9 +145,6 @@ class ServerMetrics:
                     str(size): count
                     for size, count in sorted(self._batch_size_histogram.items())
                 },
-                "latency_ms": {
-                    "count": len(latencies),
-                    "p50": round(percentile(latencies, 50.0), 3),
-                    "p95": round(percentile(latencies, 95.0), 3),
-                },
+                "latency_ms": _quantile_summary(latencies),
+                "queue_wait_ms": _quantile_summary(queue_waits),
             }

@@ -47,6 +47,9 @@ class ClassifyResult:
         duration of the shared batch simulation it rode in.
     time_steps:
         Simulation horizon the scores were accumulated over.
+    replica:
+        Index of the session replica that simulated the batch (0 on a
+        single-replica server).
     """
 
     prediction: int
@@ -57,6 +60,7 @@ class ClassifyResult:
     queue_ms: float = 0.0
     batch_ms: float = 0.0
     time_steps: int = 0
+    replica: int = 0
 
     @property
     def total_ms(self) -> float:
@@ -75,6 +79,7 @@ class ClassifyResult:
             "batch_ms": round(float(self.batch_ms), 3),
             "total_ms": round(float(self.total_ms), 3),
             "time_steps": int(self.time_steps),
+            "replica": int(self.replica),
         }
 
 

@@ -119,6 +119,10 @@ class SpikingLayer:
         #: the compiled per-step program (fused when the backend offers one,
         #: composed otherwise); dropped whenever captured buffers may change
         self._program = None
+        #: extra component of the sparsity-calibration cache key; replica
+        #: session pools set a per-replica tag so replicas calibrating the
+        #: same geometry concurrently never contend on one cache entry
+        self.sparsity_cache_tag = ""
 
     def reset(self, batch_size: int, dtype: DTypeLike = None, backend=None) -> None:
         """Allocate per-simulation state for a batch of ``batch_size`` samples.
@@ -481,7 +485,7 @@ class SpikingDense(_SpikingNeuronLayer):
         # keyed by backend: crossovers timed on one backend's kernels must
         # never steer another backend's dispatch (see repro.utils.sparsity)
         cache_key = (
-            "dense", self.ops.name, batch,
+            "dense", self.ops.name, self.sparsity_cache_tag, batch,
             self.in_features, self.out_features, str(self.dtype),
         )
         rng = np.random.default_rng(0)
@@ -728,7 +732,8 @@ class SpikingConv2D(_SpikingNeuronLayer):
         batch = self.batch_size or 1
         # keyed by backend, like the dense layer's crossover cache
         cache_key = (
-            "conv", self.ops.name, batch, self.input_shape, self.kernel_size,
+            "conv", self.ops.name, self.sparsity_cache_tag, batch,
+            self.input_shape, self.kernel_size,
             self.stride, self.padding, self.out_channels, str(self.dtype),
         )
         rng = np.random.default_rng(0)

@@ -10,6 +10,7 @@ from repro.core.hybrid import HybridCodingScheme
 from repro.core.registry import UnknownCodingError
 from repro.engine.session import InferenceSession
 from repro.serving.engine import ServingConfig, ServingEngine
+from repro.serving.limits import RateLimitedError
 from repro.snn.network import SimulationConfig
 
 TIME_STEPS = 20
@@ -191,6 +192,189 @@ class TestEngineBehaviour:
         engine.close()
         with pytest.raises(RuntimeError, match="closed"):
             engine.classify(tiny_image_split.test.x[0])
+
+
+class TestReplicaPool:
+    def test_pool_replicas_answer_bit_identically(self, trained_mlp, tiny_image_split):
+        """Every replica of a pool produces the exact float64 scores of a
+        standalone session for the same batch, and the float64 weight
+        masters are genuinely shared (aliased, not copied)."""
+        scheme = HybridCodingScheme.from_notation("phase-burst")
+        config = SimulationConfig(time_steps=TIME_STEPS, dtype="float64")
+        pool = InferenceSession.replica_pool(
+            trained_mlp,
+            scheme,
+            count=3,
+            config=config,
+            calibration_x=tiny_image_split.train.x[:64],
+            seed=0,
+        )
+        solo = InferenceSession.from_model(
+            trained_mlp,
+            scheme,
+            config=config,
+            calibration_x=tiny_image_split.train.x[:64],
+            seed=0,
+        )
+        batch = tiny_image_split.test.x[:5]
+        reference = solo.run(batch).final_outputs
+        for session in pool:
+            assert np.array_equal(session.run(batch).final_outputs, reference)
+        assert [session.replica_index for session in pool] == [0, 1, 2]
+        # weight masters are aliased across the pool; calibration cache keys
+        # are tagged per replica beyond the primary
+        for replica, session in enumerate(pool[1:], start=1):
+            for primary_layer, layer in zip(pool[0].network.layers, session.network.layers):
+                if getattr(layer, "weight", None) is not None:
+                    assert layer.weight is primary_layer.weight
+                assert layer.sparsity_cache_tag == f"replica-{replica}"
+        assert all(layer.sparsity_cache_tag == "" for layer in pool[0].network.layers)
+
+    def test_replica_pool_requires_normalization_source(self, trained_mlp):
+        with pytest.raises(ValueError, match="normalization or calibration_x"):
+            InferenceSession.replica_pool(
+                trained_mlp,
+                HybridCodingScheme.from_notation("phase-burst"),
+                count=2,
+            )
+        with pytest.raises(ValueError, match="count"):
+            InferenceSession.replica_pool(
+                trained_mlp,
+                HybridCodingScheme.from_notation("phase-burst"),
+                count=0,
+                calibration_x=np.zeros((1, 1, 12, 12)),
+            )
+
+    def test_replicated_engine_matches_single_session_bitwise(
+        self, trained_mlp, tiny_image_split
+    ):
+        """The tentpole acceptance check: a replica-pooled engine serves the
+        exact float64 answers of a single fresh session, whichever replica a
+        request lands on (single-image batches keep the coalescing — and
+        hence the summation order — identical on both sides)."""
+        engine = ServingEngine(
+            trained_mlp,
+            tiny_image_split.train.x,
+            ServingConfig(
+                max_batch_size=1,
+                max_wait_ms=0.0,
+                num_replicas=2,
+                time_steps=TIME_STEPS,
+                dtype="float64",
+                seed=0,
+            ),
+        )
+        try:
+            images = tiny_image_split.test.x[:8]
+            session = InferenceSession.from_model(
+                trained_mlp,
+                HybridCodingScheme.from_notation("phase-burst"),
+                config=SimulationConfig(time_steps=TIME_STEPS, dtype="float64"),
+                normalization=engine.normalization,
+                seed=0,
+            )
+            reference = np.stack(
+                [session.run(image[None]).final_outputs[0] for image in images]
+            )
+            futures = [engine.classify(image) for image in images]
+            results = [future.result(timeout=60) for future in futures]
+            served = np.array([result.scores for result in results], dtype=np.float64)
+            assert np.array_equal(served, reference)
+            stats = engine.stats()["sessions"]["phase-burst"]
+            assert stats["num_replicas"] == 2
+            assert len(stats["replica_utilisation"]) == 2
+            assert sum(stats["batches_per_replica"]) == len(images)
+            assert {result.replica for result in results} <= {0, 1}
+        finally:
+            engine.close()
+
+    def test_multi_replica_drain_resolves_every_future(
+        self, trained_mlp, tiny_image_split
+    ):
+        engine = ServingEngine(
+            trained_mlp,
+            tiny_image_split.train.x,
+            ServingConfig(
+                max_batch_size=2,
+                max_wait_ms=50.0,
+                num_replicas=3,
+                time_steps=8,
+                seed=0,
+            ),
+        )
+        futures = [
+            engine.classify(tiny_image_split.test.x[i % 12]) for i in range(13)
+        ]
+        engine.close()  # graceful drain across all three replicas
+        assert all(future.done() for future in futures)
+        predictions = [future.result(timeout=0).prediction for future in futures]
+        assert len(predictions) == 13
+
+
+class TestEngineAdmissionControl:
+    class ManualClock:
+        def __init__(self):
+            self.now = 0.0
+
+        def __call__(self):
+            return self.now
+
+    @pytest.fixture()
+    def limited_engine(self, trained_mlp, tiny_image_split):
+        """Rate-limited engine on a manual clock (max_batch_size=1 so batches
+        flush on size — a frozen clock never expires the wait window)."""
+        clock = self.ManualClock()
+        engine = ServingEngine(
+            trained_mlp,
+            tiny_image_split.train.x,
+            ServingConfig(
+                max_batch_size=1,
+                max_wait_ms=0.0,
+                time_steps=8,
+                max_rps=1.0,
+                client_quota=3,
+                quota_window_s=60.0,
+                seed=0,
+            ),
+            clock=clock,
+        )
+        yield engine, clock
+        engine.close()
+
+    def test_rate_limit_bounces_and_recovers(self, limited_engine, tiny_image_split):
+        engine, clock = limited_engine
+        image = tiny_image_split.test.x[0]
+        engine.classify_sync(image, client_id="alice")
+        with pytest.raises(RateLimitedError) as excinfo:
+            engine.classify(image, client_id="alice")
+        assert excinfo.value.retry_after_s == pytest.approx(1.0)
+        engine.classify_sync(image, client_id="bob")  # independent client
+        clock.now += 1.0  # refill alice's bucket
+        engine.classify_sync(image, client_id="alice")
+        stats = engine.stats()
+        assert stats["rate_limited_total"] == 1
+        assert stats["rate_limits"]["rate_limited_total"] == 1
+        assert stats["rate_limits"]["clients_tracked"] == 2
+
+    def test_quota_exhaustion_names_the_window(self, limited_engine, tiny_image_split):
+        engine, clock = limited_engine
+        image = tiny_image_split.test.x[0]
+        for _ in range(3):
+            engine.classify_sync(image, client_id="carol")
+            clock.now += 2.0  # stay under the rate limit
+        with pytest.raises(RateLimitedError, match="quota"):
+            engine.classify(image, client_id="carol")
+
+    def test_priority_is_validated_before_submission(
+        self, limited_engine, tiny_image_split
+    ):
+        engine, clock = limited_engine
+        image = tiny_image_split.test.x[0]
+        result = engine.classify_sync(image, priority="batch", client_id="dave")
+        assert result.prediction >= 0
+        clock.now += 10.0
+        with pytest.raises(ValueError, match="priority"):
+            engine.classify(image, priority="urgent", client_id="dave")
 
 
 class TestSessionSingleFlight:

@@ -26,16 +26,22 @@ def _get(url):
         return response.status, json.load(response)
 
 
-def _post(url, payload):
+def _post(url, payload, headers=None):
+    status, body, _ = _post_full(url, payload, headers)
+    return status, body
+
+
+def _post_full(url, payload, headers=None):
+    """POST returning ``(status, body, response_headers)``."""
     body = json.dumps(payload).encode("utf-8")
     request = urllib.request.Request(
-        url, data=body, headers={"Content-Type": "application/json"}
+        url, data=body, headers={"Content-Type": "application/json", **(headers or {})}
     )
     try:
         with urllib.request.urlopen(request, timeout=60) as response:
-            return response.status, json.load(response)
+            return response.status, json.load(response), dict(response.headers)
     except urllib.error.HTTPError as error:
-        return error.code, json.load(error)
+        return error.code, json.load(error), dict(error.headers)
 
 
 @pytest.fixture(scope="module")
@@ -96,8 +102,13 @@ class TestEndpoints:
         assert status == 200
         assert body["requests_total"] >= 1
         assert "batch_size_histogram" in body
-        assert set(body["latency_ms"]) == {"count", "p50", "p95"}
+        assert set(body["latency_ms"]) == {"count", "p50", "p95", "p99"}
+        assert set(body["queue_wait_ms"]) == {"count", "p50", "p95", "p99"}
         assert "phase-burst" in body["sessions"]
+        scheme_stats = body["sessions"]["phase-burst"]
+        assert scheme_stats["num_replicas"] == 1
+        assert len(scheme_stats["replica_utilisation"]) == 1
+        assert "rate_limited_total" in body["rate_limits"]
 
     def test_health_after_traffic_lists_loaded_schemes(self, served):
         server, _, _ = served
@@ -166,6 +177,33 @@ class TestErrorMapping:
         assert status == 400
         assert "did you mean" in body["error"]
 
+    def test_invalid_priority_400(self, served):
+        server, _, test_x = served
+        status, body = _post(
+            server.url + "/v1/classify",
+            {"image": test_x[0].tolist(), "priority": "urgent"},
+        )
+        assert status == 400
+        assert "priority" in body["error"]
+
+    def test_priority_field_accepted(self, served):
+        server, _, test_x = served
+        status, body = _post(
+            server.url + "/v1/classify",
+            {"image": test_x[0].tolist(), "priority": "batch"},
+        )
+        assert status == 200
+        assert body["scheme"] == "phase-burst"
+
+    def test_non_string_client_id_400(self, served):
+        server, _, test_x = served
+        status, body = _post(
+            server.url + "/v1/classify",
+            {"image": test_x[0].tolist(), "client_id": 7},
+        )
+        assert status == 400
+        assert "client_id" in body["error"]
+
     def test_admission_control_maps_to_429(self, trained_mlp, tiny_image_split):
         """Saturate the scheme queue while its session is wedged; the next
         HTTP request must bounce with 429 instead of queueing forever.
@@ -185,7 +223,7 @@ class TestErrorMapping:
         server = ServingHTTPServer(engine, port=0, default_scheme="phase-burst").start()
         try:
             scheme_server = engine._scheme_server("phase-burst")
-            with scheme_server.session._run_lock:  # wedge the batch executor
+            with scheme_server.sessions[0]._run_lock:  # wedge the batch executor
                 # let the worker pull one item into the stuck batch, then
                 # fill the bounded queue behind it
                 probe = engine.classify(test_x[0])
@@ -199,15 +237,59 @@ class TestErrorMapping:
                     engine.classify(test_x[0])
                     for _ in range(engine.config.max_queue)
                 ]
-                status, body = _post(
+                status, body, headers = _post_full(
                     server.url + "/v1/classify", {"image": test_x[0].tolist()}
                 )
             assert status == 429
             assert "full" in body["error"]
+            # the rejection tells the client when to come back
+            assert int(headers["Retry-After"]) >= 1
+            assert body["retry_after_s"] > 0.0
             # once the session is released every queued request still resolves
             assert probe.result(timeout=60).prediction >= 0
             for future in backlog:
                 assert future.result(timeout=60).prediction >= 0
+        finally:
+            server.close()
+
+    def test_rate_limited_client_maps_to_429_with_retry_after(
+        self, trained_mlp, tiny_image_split
+    ):
+        """A client over its token-bucket budget gets 429 + Retry-After while
+        an independently keyed client sails through."""
+        test_x = tiny_image_split.test.x
+        engine = ServingEngine(
+            trained_mlp,
+            tiny_image_split.train.x,
+            ServingConfig(
+                max_batch_size=1, max_wait_ms=0.0, time_steps=8,
+                max_rps=0.001, rate_burst=1.0, seed=0,
+            ),
+        )
+        server = ServingHTTPServer(engine, port=0, default_scheme="phase-burst").start()
+        try:
+            payload = {"image": test_x[0].tolist()}
+            key = {"X-API-Key": "tenant-a"}
+            status, _, _ = _post_full(server.url + "/v1/classify", payload, key)
+            assert status == 200  # burst token
+            status, body, headers = _post_full(
+                server.url + "/v1/classify", payload, key
+            )
+            assert status == 429
+            assert "rate limit" in body["error"]
+            assert int(headers["Retry-After"]) >= 1
+            assert body["retry_after_s"] > 0.0
+            # a different API key has its own bucket
+            status, _, _ = _post_full(
+                server.url + "/v1/classify", payload, {"X-API-Key": "tenant-b"}
+            )
+            assert status == 200
+            # the body client_id field keys the limiter too
+            status, _, _ = _post_full(
+                server.url + "/v1/classify", {**payload, "client_id": "tenant-a"}
+            )
+            assert status == 429
+            assert engine.metrics.rate_limited_total == 2
         finally:
             server.close()
 

@@ -1,0 +1,163 @@
+"""Tests for per-client admission control (repro.serving.limits).
+
+Everything here drives an injected fake clock — token-bucket refill and
+quota-window resets are exercised deterministically, with no sleeping.
+"""
+
+import pytest
+
+from repro.serving.limits import (
+    ANONYMOUS_CLIENT,
+    ClientRateLimiter,
+    RateLimitedError,
+    TokenBucket,
+)
+
+
+class ManualClock:
+    """Monotonic clock advanced explicitly by the test."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestTokenBucket:
+    def test_fresh_bucket_allows_a_full_burst(self):
+        bucket = TokenBucket(rate=2.0, capacity=3.0, now=0.0)
+        assert [bucket.try_acquire(0.0) for _ in range(3)] == [None, None, None]
+        retry = bucket.try_acquire(0.0)
+        assert retry == pytest.approx(0.5)  # one token at 2 tokens/s
+
+    def test_refill_is_proportional_to_elapsed_time(self):
+        bucket = TokenBucket(rate=2.0, capacity=4.0, now=0.0)
+        for _ in range(4):
+            assert bucket.try_acquire(0.0) is None
+        # 0.75 s later: 1.5 tokens back -> one request passes, the next
+        # needs another quarter second
+        assert bucket.try_acquire(0.75) is None
+        assert bucket.try_acquire(0.75) == pytest.approx(0.25)
+
+    def test_refill_caps_at_capacity(self):
+        bucket = TokenBucket(rate=10.0, capacity=2.0, now=0.0)
+        assert bucket.try_acquire(0.0) is None
+        # an hour idle banks only `capacity` tokens, not rate * elapsed
+        assert [bucket.try_acquire(3600.0) for _ in range(3)] == [
+            None, None, pytest.approx(0.1),
+        ]
+
+    def test_clock_going_backwards_is_tolerated(self):
+        bucket = TokenBucket(rate=1.0, capacity=1.0, now=10.0)
+        assert bucket.try_acquire(5.0) is None  # no negative refill, no crash
+
+    @pytest.mark.parametrize("kwargs", [{"rate": 0.0}, {"rate": -1.0}, {"capacity": 0.5}])
+    def test_invalid_parameters(self, kwargs):
+        params = {"rate": 1.0, "capacity": 1.0, **kwargs}
+        with pytest.raises(ValueError):
+            TokenBucket(params["rate"], params["capacity"], now=0.0)
+
+
+class TestClientRateLimiter:
+    def test_disabled_limiter_admits_everything(self):
+        limiter = ClientRateLimiter()
+        assert not limiter.enabled
+        for _ in range(1000):
+            limiter.admit("anyone")
+        assert limiter.limited_total == 0
+
+    def test_rate_limit_bounces_with_refill_guidance(self):
+        clock = ManualClock()
+        limiter = ClientRateLimiter(2.0, clock=clock)
+        limiter.admit("a")
+        limiter.admit("a")  # burst = ceil(max_rps) = 2
+        with pytest.raises(RateLimitedError) as excinfo:
+            limiter.admit("a")
+        assert excinfo.value.retry_after_s == pytest.approx(0.5)
+        clock.advance(0.5)  # exactly one token refilled
+        limiter.admit("a")
+        assert limiter.limited_total == 1
+
+    def test_clients_are_limited_independently(self):
+        clock = ManualClock()
+        limiter = ClientRateLimiter(1.0, clock=clock)
+        limiter.admit("a")
+        with pytest.raises(RateLimitedError):
+            limiter.admit("a")
+        limiter.admit("b")  # a fresh client has its own full bucket
+        limiter.admit(None)  # anonymous traffic is its own client
+        assert limiter.snapshot()["clients_tracked"] == 3
+
+    def test_anonymous_requests_share_one_identity(self):
+        clock = ManualClock()
+        limiter = ClientRateLimiter(1.0, clock=clock)
+        limiter.admit(None)
+        with pytest.raises(RateLimitedError):
+            limiter.admit(ANONYMOUS_CLIENT)  # same bucket as None
+
+    def test_quota_window_resets_on_the_fake_clock(self):
+        clock = ManualClock()
+        limiter = ClientRateLimiter(quota=2, quota_window_s=60.0, clock=clock)
+        limiter.admit("a")
+        clock.advance(10.0)
+        limiter.admit("a")
+        clock.advance(10.0)
+        with pytest.raises(RateLimitedError) as excinfo:
+            limiter.admit("a")
+        # retry when the window (opened at t=0) rolls over at t=60
+        assert excinfo.value.retry_after_s == pytest.approx(40.0)
+        clock.advance(40.0)
+        limiter.admit("a")  # new window
+        assert limiter.limited_total == 1
+
+    def test_paced_out_requests_do_not_consume_quota(self):
+        clock = ManualClock()
+        limiter = ClientRateLimiter(1.0, quota=2, quota_window_s=60.0, clock=clock)
+        limiter.admit("a")
+        for _ in range(5):  # all bounced by the bucket, not the quota
+            with pytest.raises(RateLimitedError, match="rate limit"):
+                limiter.admit("a")
+        clock.advance(1.0)
+        limiter.admit("a")  # second (and last) unit of quota
+        clock.advance(1.0)
+        with pytest.raises(RateLimitedError, match="quota"):
+            limiter.admit("a")
+
+    def test_client_state_is_lru_bounded(self):
+        clock = ManualClock()
+        limiter = ClientRateLimiter(1.0, clock=clock, max_clients=2)
+        limiter.admit("a")
+        limiter.admit("b")
+        limiter.admit("c")  # evicts "a"
+        assert limiter.snapshot()["clients_tracked"] == 2
+        limiter.admit("a")  # returns with a fresh (full) bucket
+
+    def test_snapshot_shape(self):
+        limiter = ClientRateLimiter(4.0, burst=8.0, quota=100, quota_window_s=30.0)
+        snapshot = limiter.snapshot()
+        assert snapshot == {
+            "max_rps": 4.0,
+            "burst": 8.0,
+            "quota": 100,
+            "quota_window_s": 30.0,
+            "clients_tracked": 0,
+            "rate_limited_total": 0,
+        }
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_rps": 0.0},
+            {"burst": 0.5},
+            {"quota": 0},
+            {"quota_window_s": 0.0},
+            {"max_clients": 0},
+        ],
+    )
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            ClientRateLimiter(**{"max_rps": 1.0, **kwargs})

@@ -7,9 +7,12 @@ import pytest
 
 from repro.serving.metrics import ServerMetrics, percentile
 from repro.serving.scheduler import (
+    PRIORITY_BATCH,
+    PRIORITY_INTERACTIVE,
     BatcherClosedError,
     MicroBatcher,
     QueueFullError,
+    resolve_priority,
 )
 
 
@@ -164,10 +167,177 @@ class TestGracefulDrain:
                 batcher.submit("x").result(timeout=10)
 
 
+class TestPriorities:
+    def test_resolve_priority(self):
+        assert resolve_priority(None) == PRIORITY_INTERACTIVE
+        assert resolve_priority("interactive") == PRIORITY_INTERACTIVE
+        assert resolve_priority("BATCH") == PRIORITY_BATCH
+        assert resolve_priority(3) == 3
+        for bad in ("urgent", True, [1], {"p": 1}):
+            with pytest.raises(ValueError):
+                resolve_priority(bad)
+
+    def test_interactive_overtakes_queued_batch_work(self):
+        """Under contention, queued interactive requests are served before
+        batch requests submitted *earlier* (and ties keep submission order)."""
+        release = threading.Event()
+        entered = threading.Event()
+        served = []
+
+        def recording_handler(payloads, info):
+            entered.set()
+            assert release.wait(timeout=10)
+            served.append(list(payloads))
+            return list(payloads)
+
+        batcher = MicroBatcher(
+            recording_handler, max_batch_size=2, max_wait_ms=0.0, max_queue=8
+        )
+        wedge = batcher.submit("wedge")  # occupies the single worker
+        assert entered.wait(timeout=10)
+        lows = [batcher.submit(f"batch-{i}", "batch") for i in range(3)]
+        highs = [batcher.submit(f"live-{i}", "interactive") for i in range(3)]
+        release.set()
+        for future in [wedge, *lows, *highs]:
+            future.result(timeout=10)
+        batcher.close()
+        order = [payload for batch in served for payload in batch]
+        assert order[0] == "wedge"
+        # every interactive request ran before every batch request
+        assert order[1:4] == ["live-0", "live-1", "live-2"]
+        assert order[4:] == ["batch-0", "batch-1", "batch-2"]
+
+    def test_full_queue_sheds_lowest_priority_for_interactive(self):
+        release = threading.Event()
+        entered = threading.Event()
+
+        def blocking_handler(payloads, info):
+            entered.set()
+            assert release.wait(timeout=10)
+            return list(payloads)
+
+        metrics = ServerMetrics()
+        batcher = MicroBatcher(
+            blocking_handler,
+            max_batch_size=1,
+            max_wait_ms=0.0,
+            max_queue=2,
+            metrics=metrics,
+        )
+        wedge = batcher.submit("wedge")
+        assert entered.wait(timeout=10)
+        lows = [batcher.submit(f"batch-{i}", "batch") for i in range(2)]
+        # queue full of batch work: an interactive submission sheds the
+        # *youngest lowest-priority* request instead of bouncing
+        high = batcher.submit("live", "interactive")
+        assert metrics.shed_total == 1
+        assert metrics.rejected_total == 0
+        with pytest.raises(QueueFullError) as excinfo:
+            lows[1].result(timeout=10)  # the shed future fails with guidance
+        assert excinfo.value.retry_after_s > 0.0
+        # a second interactive request sheds the remaining batch request...
+        high_2 = batcher.submit("live-2", "interactive")
+        assert metrics.shed_total == 2
+        with pytest.raises(QueueFullError):
+            lows[0].result(timeout=10)
+        # ...but a third finds only equal-priority work and is rejected
+        with pytest.raises(QueueFullError):
+            batcher.submit("live-3", "interactive")
+        assert metrics.rejected_total == 1
+        release.set()
+        assert wedge.result(timeout=10) == "wedge"
+        assert high.result(timeout=10) == "live"
+        assert high_2.result(timeout=10) == "live-2"
+        batcher.close()
+
+    def test_queue_full_rejection_carries_retry_after(self):
+        release = threading.Event()
+        entered = threading.Event()
+
+        def blocking_handler(payloads, info):
+            entered.set()
+            assert release.wait(timeout=10)
+            return list(payloads)
+
+        batcher = MicroBatcher(
+            blocking_handler, max_batch_size=2, max_wait_ms=0.0, max_queue=4
+        )
+        first = batcher.submit("in-flight")
+        assert entered.wait(timeout=10)
+        queued = [batcher.submit(i) for i in range(4)]
+        with pytest.raises(QueueFullError) as excinfo:
+            batcher.submit("overflow")
+        # before any batch completed, the estimate floors at the wait window
+        assert excinfo.value.retry_after_s >= 0.05
+        assert batcher.estimate_retry_after() >= 0.05
+        release.set()
+        first.result(timeout=10)
+        for future in queued:
+            future.result(timeout=10)
+        batcher.close()
+
+
+class TestWorkerPool:
+    def test_workers_drain_concurrently(self):
+        """Two workers overlap on a blocking handler: with a single worker the
+        second batch could never enter the handler while the first is stuck."""
+        barrier = threading.Barrier(2, timeout=10)
+
+        def rendezvous_handler(payloads, info):
+            barrier.wait()  # only passable when two batches run at once
+            return [(payload, info.replica) for payload in payloads]
+
+        with MicroBatcher(
+            rendezvous_handler, max_batch_size=1, max_wait_ms=0.0, num_workers=2
+        ) as batcher:
+            futures = [batcher.submit(i) for i in range(2)]
+            results = [f.result(timeout=10) for f in futures]
+        assert sorted(payload for payload, _ in results) == [0, 1]
+        assert sorted(replica for _, replica in results) == [0, 1]
+
+    def test_multi_worker_drain_resolves_every_future(self):
+        def slow_handler(payloads, info):
+            time.sleep(0.01)
+            return [(payload, info.replica) for payload in payloads]
+
+        batcher = MicroBatcher(
+            slow_handler, max_batch_size=2, max_wait_ms=5.0, num_workers=3,
+            max_queue=64,
+        )
+        futures = [batcher.submit(i) for i in range(17)]
+        batcher.close()  # graceful: every admitted future resolves
+        assert all(f.done() for f in futures)
+        results = [f.result(timeout=0) for f in futures]
+        assert sorted(payload for payload, _ in results) == list(range(17))
+        assert set(replica for _, replica in results) <= {0, 1, 2}
+
+    def test_replica_utilisation_gauge(self):
+        def busy_handler(payloads, info):
+            time.sleep(0.02)
+            return list(payloads)
+
+        batcher = MicroBatcher(
+            busy_handler, max_batch_size=1, max_wait_ms=0.0, num_workers=2
+        )
+        futures = [batcher.submit(i) for i in range(4)]
+        for future in futures:
+            future.result(timeout=10)
+        utilisation = batcher.replica_utilisation()
+        batcher.close()
+        assert len(utilisation) == 2
+        assert all(0.0 <= value <= 1.0 for value in utilisation)
+        assert sum(utilisation) > 0.0
+
+
 class TestValidationAndMetrics:
     @pytest.mark.parametrize(
         "kwargs",
-        [{"max_batch_size": 0}, {"max_wait_ms": -1.0}, {"max_queue": 0}],
+        [
+            {"max_batch_size": 0},
+            {"max_wait_ms": -1.0},
+            {"max_queue": 0},
+            {"num_workers": 0},
+        ],
     )
     def test_invalid_parameters(self, kwargs):
         with pytest.raises(ValueError):
