@@ -1,20 +1,22 @@
-"""Per-kernel seam profile of one simulation step: composed vs fused.
+"""Per-kernel seam profile of the simulation step: composed vs layer vs network.
 
 Run from the repo root with::
 
     PYTHONPATH=src python benchmarks/perf/profile_step.py
 
-Drives one step of a representative layer stack (conv → avgpool → maxpool →
-flatten → dense → output, burst thresholds) through an
-:class:`~repro.backends.instrument.InstrumentedBackend` twice — once on the
-composed per-kernel path, once on the fused step programs — and writes the
-per-primitive call counts and wall-clock seconds to
-``benchmarks/results/BENCH_step_profile.json``.
+Drives a short simulation of a representative network (conv → avgpool →
+maxpool → flatten → dense → output, burst thresholds, phase encoder) through
+an :class:`~repro.backends.instrument.InstrumentedBackend` once per program
+tier — the composed per-kernel path, the PR 6 per-layer fused programs, and
+the whole-network block programs — and writes the per-primitive call counts
+and wall-clock seconds to ``benchmarks/results/BENCH_step_profile.json``.
 
 This makes the backend-seam tax visible per primitive: the composed column
-shows where the 5–8 crossings per layer go, the fused column shows what is
-left after program compilation (GEMMs, gathers and scans still cross the
-seam; the elementwise IF/threshold chains are inlined and count zero).
+shows where the 5–8 crossings per layer go; the layer column shows what
+per-layer fusion leaves (GEMMs, gathers and scans still cross the seam, one
+``program:<layer>`` orchestration call per layer per step); the network
+column collapses the orchestration to ~one ``network_program`` call per
+block of steps.
 """
 
 from __future__ import annotations
@@ -28,11 +30,15 @@ import numpy as np
 HERE = Path(__file__).resolve().parent
 RESULTS_PATH = HERE.parent / "results" / "BENCH_step_profile.json"
 
-#: steps timed per path (per-step figures are averaged over these)
+#: simulated steps per profiled run (per-step figures are averaged over these)
 PROFILE_STEPS = 20
 
+#: the three program tiers REPRO_FUSED selects between
+MODES = ("composed", "layer", "network")
 
-def build_stack(rng: np.random.Generator):
+
+def build_network():
+    from repro.snn.encoding import make_encoder
     from repro.snn.layers import (
         OutputAccumulator,
         SpikingAvgPool2D,
@@ -41,9 +47,11 @@ def build_stack(rng: np.random.Generator):
         SpikingFlatten,
         SpikingMaxPool2D,
     )
+    from repro.snn.network import SpikingNetwork
     from repro.snn.thresholds import BurstThreshold
 
-    return [
+    rng = np.random.default_rng(0)
+    layers = [
         SpikingConv2D(
             rng.normal(scale=0.1, size=(16, 16, 3, 3)),
             rng.normal(scale=0.1, size=16),
@@ -67,82 +75,99 @@ def build_stack(rng: np.random.Generator):
             name="output",
         ),
     ]
+    encoder = make_encoder("phase", v_th=0.125)
+    return SpikingNetwork(layers, encoder, (16, 16, 16))
 
 
-def profile_path(fused: bool, batch: int = 8) -> dict:
+def profile_mode(mode: str, batch: int = 8) -> dict:
     from repro.backends import fused_scope, get_backend
     from repro.backends.instrument import InstrumentedBackend
-    from repro.utils.dtypes import simulation_dtype
+    from repro.engine.plan import SimulationPlan, recorded_step_schedule
+    from repro.engine.run import execute
+    from repro.snn.network import SimulationConfig
+    from repro.utils.dtypes import resolve_dtype, simulation_dtype
 
-    rng = np.random.default_rng(0)
+    rng = np.random.default_rng(1)
     dtype = simulation_dtype()
     backend = InstrumentedBackend(get_backend("numpy"))
-    layers = build_stack(rng)
-    x = np.asarray(
-        (rng.random((batch, 16, 16, 16)) < 0.3) * 0.125, dtype=dtype
-    )
+    network = build_network()
+    x = np.asarray(rng.random((batch, 16, 16, 16)), dtype=dtype)
+    config = SimulationConfig(time_steps=PROFILE_STEPS)
 
-    with fused_scope(fused):
-        for layer in layers:
-            layer.reset(batch, dtype=dtype, backend=backend)
-        programs = [layer.ensure_step_program() for layer in layers]
-
-        def one_step(t: int) -> None:
-            values = x
-            hint = None
-            for layer, program in zip(layers, programs):
-                layer.output_nonzero = None
-                values = program.run(values, t, hint)
-                hint = layer.output_nonzero
-
-        one_step(0)  # build lazy buffers outside the profiled region
+    with fused_scope(mode):
+        plan = SimulationPlan(
+            network=network,
+            config=config,
+            dtype=resolve_dtype(dtype),
+            backend=backend,
+            recorded_steps=recorded_step_schedule(config),
+        )
+        execute(plan.prepare(x))  # warm-up: lazy builds and calibrations
+        prepared = plan.prepare(x)
         backend.recorder.reset()
         start = time.perf_counter()
-        for t in range(1, 1 + PROFILE_STEPS):
-            one_step(t)
+        execute(prepared)
         elapsed = time.perf_counter() - start
 
     snapshot = backend.recorder.snapshot()
-    kernels = {k: v for k, v in snapshot.items() if not k.startswith("program:")}
-    program_calls = {k: v for k, v in snapshot.items() if k.startswith("program:")}
-    seam_calls = sum(entry["calls"] for entry in kernels.values())
+    kernels = {
+        k: v
+        for k, v in snapshot.items()
+        if not k.startswith("program:") and k != "network_program"
+    }
+    orchestration = {
+        k: v
+        for k, v in snapshot.items()
+        if k.startswith("program:") or k == "network_program"
+    }
+    kernel_calls = sum(entry["calls"] for entry in kernels.values())
+    orchestration_calls = sum(entry["calls"] for entry in orchestration.values())
+    layer_count = len(network.layers)
     return {
-        "fused": fused,
+        "mode": mode,
         "steps": PROFILE_STEPS,
-        "layers": len(layers),
+        "layers": layer_count,
         "seconds_total": elapsed,
-        "seam_calls_per_step": seam_calls / PROFILE_STEPS,
-        "seam_calls_per_layer_per_step": seam_calls / PROFILE_STEPS / len(layers),
+        "seam_calls_per_step": kernel_calls / PROFILE_STEPS,
+        "seam_calls_per_layer_per_step": kernel_calls / PROFILE_STEPS / layer_count,
+        "orchestration_calls_per_step": orchestration_calls / PROFILE_STEPS,
         "kernels": kernels,
-        "programs": program_calls,
+        "programs": orchestration,
     }
 
 
 def main() -> None:
-    composed = profile_path(fused=False)
-    fused = profile_path(fused=True)
+    results = {mode: profile_mode(mode) for mode in MODES}
     report = {
         "description": (
-            "per-kernel backend-seam profile of one simulation step "
-            "(composed per-kernel path vs fused step programs)"
+            "per-kernel backend-seam profile of the simulation step "
+            "(composed per-kernel path vs per-layer fused programs vs "
+            "whole-network block programs)"
         ),
-        "composed": composed,
-        "fused": fused,
+        **results,
         "seam_call_reduction": (
-            composed["seam_calls_per_step"] / max(fused["seam_calls_per_step"], 1e-9)
+            results["composed"]["seam_calls_per_step"]
+            / max(results["layer"]["seam_calls_per_step"], 1e-9)
+        ),
+        "orchestration_call_reduction": (
+            results["layer"]["orchestration_calls_per_step"]
+            / max(results["network"]["orchestration_calls_per_step"], 1e-9)
         ),
     }
     RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
     RESULTS_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    for mode in MODES:
+        row = results[mode]
+        print(
+            f"{mode:>8}: {row['seam_calls_per_step']:6.1f} kernel seam calls/step, "
+            f"{row['orchestration_calls_per_step']:5.2f} orchestration calls/step, "
+            f"{row['seconds_total']:.4f}s total"
+        )
+    print(f"kernel seam-call reduction (composed → layer): {report['seam_call_reduction']:.1f}x")
     print(
-        f"composed: {composed['seam_calls_per_step']:.1f} seam calls/step, "
-        f"{composed['seconds_total']:.4f}s total"
+        "orchestration-call reduction (layer → network): "
+        f"{report['orchestration_call_reduction']:.1f}x"
     )
-    print(
-        f"fused:    {fused['seam_calls_per_step']:.1f} seam calls/step, "
-        f"{fused['seconds_total']:.4f}s total"
-    )
-    print(f"seam-call reduction: {report['seam_call_reduction']:.1f}x")
     print(f"[BENCH_step_profile written to {RESULTS_PATH}]")
 
 

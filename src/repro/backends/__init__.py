@@ -25,16 +25,25 @@ per-step kernel sequence into one
 :class:`~repro.backends.programs.StepProgram` (``compile_step_program``) —
 one seam crossing per layer per step; backends that only implement the
 unfused primitives fall back to the composed multi-call step automatically.
-See :mod:`repro.backends.programs` and :mod:`repro.backends.instrument`.
+On top of that, ``compile_network_program`` compiles the *entire network
+step* (encoder, every layer program, spike recording) into one
+:class:`~repro.backends.programs.NetworkStepProgram` executing whole blocks
+of consecutive steps per seam crossing (``REPRO_FUSED`` selects the tier:
+``network`` / ``layer`` / ``composed``).  See
+:mod:`repro.backends.programs` and :mod:`repro.backends.instrument`.
 """
 
 from repro.backends.base import KernelBackend
 from repro.backends.instrument import InstrumentedBackend, KernelCallRecorder
 from repro.backends.programs import (
     ComposedStepProgram,
+    NetworkStepProgram,
     StepProgram,
+    compile_network_step_program,
+    fused_mode,
     fused_programs_enabled,
     fused_scope,
+    network_programs_enabled,
     set_fused_programs,
 )
 from repro.backends.registry import (
@@ -62,10 +71,14 @@ __all__ = [
     "InstrumentedBackend",
     "KernelBackend",
     "KernelCallRecorder",
+    "NetworkStepProgram",
     "StepProgram",
     "UnknownBackendError",
+    "compile_network_step_program",
+    "fused_mode",
     "fused_programs_enabled",
     "fused_scope",
+    "network_programs_enabled",
     "set_fused_programs",
     "backend_metadata",
     "backend_names",

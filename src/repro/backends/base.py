@@ -74,6 +74,21 @@ class KernelBackend:
         """
         return None
 
+    def compile_network_program(self, prepared):
+        """Compile the *whole network step* over a prepared batch into one
+        block-executing program (``run_block(t0, n)``), or return ``None``.
+
+        ``None`` — the default — keeps the engine driving the per-layer
+        programs step by step, so primitives-only third-party backends work
+        unchanged.  ``prepared`` is a :class:`~repro.engine.plan.
+        PreparedBatch`; the program may capture its records and the layers'
+        per-batch buffers — the engine recompiles it after any mid-run
+        ``shrink_batch``.  Implementations must preserve the engine loop's
+        exact step semantics (see :class:`~repro.backends.programs.
+        NetworkStepProgram`, the reference implementation).
+        """
+        return None
+
     # -- buffer allocation -------------------------------------------------
     def empty(self, shape: Tuple[int, ...], dtype: np.dtype) -> np.ndarray:
         """Allocate an uninitialised buffer the engine will fill."""

@@ -62,7 +62,8 @@ class BlockedNumpyBackend(NumpyBackend):
     name = "numpy-blocked"
     description = (
         "numpy kernels with the fused dense step chain (GEMM + IF update) "
-        "tiled over batch shards (threaded on multi-core)"
+        "tiled over batch shards (threaded on multi-core); runs whole-network "
+        "step blocks per backend call"
     )
 
     def __init__(

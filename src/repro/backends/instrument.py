@@ -96,8 +96,38 @@ class _InstrumentedProgram(StepProgram):
         finally:
             self._recorder.record(self._key, time.perf_counter() - start)
 
+    @property
+    def seam_inner(self):
+        """The wrapped program — a network program composes these directly,
+        since inside a block the layer boundary is no longer an engine seam
+        (the block call itself is counted instead)."""
+        return self._inner
+
     def describe(self) -> str:
         return self._inner.describe()
+
+
+class _InstrumentedNetworkProgram:
+    """Counts each whole-network block invocation as ``network_program``."""
+
+    fused = True
+
+    def __init__(self, inner, recorder: KernelCallRecorder) -> None:
+        self._inner = inner
+        self._recorder = recorder
+
+    def run_block(self, t0, n, **kwargs):
+        start = time.perf_counter()
+        try:
+            return self._inner.run_block(t0, n, **kwargs)
+        finally:
+            self._recorder.record("network_program", time.perf_counter() - start)
+
+    def describe(self) -> str:
+        return self._inner.describe()
+
+    def __getattr__(self, attribute):
+        return getattr(self._inner, attribute)
 
 
 class InstrumentedBackend(KernelBackend):
@@ -144,6 +174,16 @@ class InstrumentedBackend(KernelBackend):
         if program is None:
             return None
         return _InstrumentedProgram(program, self.recorder)
+
+    def compile_network_program(self, prepared):
+        # same unbound dispatch as compile_step_program: the inner backend's
+        # network compiler composes per-layer programs that already capture
+        # this proxy's counting primitives; the block driver itself is then
+        # wrapped so seam traffic is counted at block granularity
+        program = type(self._inner).compile_network_program(self, prepared)
+        if program is None:
+            return None
+        return _InstrumentedNetworkProgram(program, self.recorder)
 
     def __getattr__(self, attribute):
         # anything not wrapped above (tuning knobs like min_rows/threads,

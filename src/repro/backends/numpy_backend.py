@@ -28,8 +28,8 @@ class NumpyBackend(KernelBackend):
 
     name = "numpy"
     description = (
-        "reference numpy kernels with fused per-layer step programs "
-        "(float64 bit-identical to the seed engine)"
+        "reference numpy kernels with fused step programs and whole-network "
+        "block execution (float64 bit-identical to the seed engine)"
     )
 
     # -- fused step programs -----------------------------------------------
@@ -37,6 +37,15 @@ class NumpyBackend(KernelBackend):
         from repro.backends.programs import compile_numpy_program
 
         return compile_numpy_program(layer, self)
+
+    def compile_network_program(self, prepared):
+        """Whole-network block execution: compose the layers' compiled step
+        programs (plus encoder replay and spike recording) into one
+        ``run_block`` program.  Inherited by the blocked and torch backends,
+        whose per-layer programs slot straight into the generic driver."""
+        from repro.backends.programs import compile_network_step_program
+
+        return compile_network_step_program(prepared)
 
     # -- buffer allocation -------------------------------------------------
     def empty(self, shape: Tuple[int, ...], dtype: np.dtype) -> np.ndarray:

@@ -36,16 +36,28 @@ Contracts
 Unknown layer or threshold-dynamics subclasses are never fused (strict
 ``type(...) is`` checks), so custom components always get the composed path.
 
-Toggling: fused programs are on by default; set ``REPRO_FUSED=0`` (or use
-:func:`set_fused_programs` / the :func:`fused_scope` context manager in
-tests) to force the composed path everywhere.
+Network step programs
+---------------------
+On top of the per-layer programs, :class:`NetworkStepProgram` compiles the
+encoder step, every layer's program and spike recording into **one program
+for the entire network step** with a ``run_block(t0, n)`` driver, so the
+engine makes one seam crossing per *block* of consecutive steps instead of
+one per layer per step.  See :func:`compile_network_step_program` and the
+``compile_network_program`` backend hook.
+
+Toggling: ``REPRO_FUSED`` selects the program tier — ``network`` (default:
+whole-network blocks), ``layer`` (PR 6 per-layer programs only) or
+``composed`` (the unfused primitive-by-primitive path; ``0``/``false``/
+``off``/``no`` are aliases).  :func:`set_fused_programs` / the
+:func:`fused_scope` context manager override the environment in tests and
+accept the same mode names or plain booleans.
 """
 
 from __future__ import annotations
 
 import os
 from contextlib import contextmanager
-from typing import Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -54,46 +66,88 @@ from repro.utils.sparsity import DENSE, EMPTY, SPARSE
 __all__ = [
     "StepProgram",
     "ComposedStepProgram",
+    "NetworkStepProgram",
     "compile_numpy_program",
+    "compile_network_step_program",
+    "fused_mode",
     "fused_programs_enabled",
+    "network_programs_enabled",
     "set_fused_programs",
     "fused_scope",
 ]
 
-#: environment toggle — any of these values disables fused programs
+#: environment toggle selecting the program tier (see module docstring)
 _FUSED_ENV_VAR = "REPRO_FUSED"
 _FALSE_VALUES = ("0", "false", "off", "no")
 
+#: canonical program tiers, least to most fused
+MODE_COMPOSED = "composed"
+MODE_LAYER = "layer"
+MODE_NETWORK = "network"
+
 #: process-wide override installed by :func:`set_fused_programs` (tests)
-_fused_override: Optional[bool] = None
+_fused_override: Optional[str] = None
+
+
+def _coerce_mode(value) -> Optional[str]:
+    """Normalise a ``REPRO_FUSED`` value / override to a canonical mode.
+
+    Booleans keep their historical meaning (``True`` → fully fused, i.e.
+    network programs; ``False`` → composed), as does any truthy string that
+    is not a recognised mode name — ``REPRO_FUSED=1`` still means "fused".
+    """
+    if value is None:
+        return None
+    if value is True:
+        return MODE_NETWORK
+    if value is False:
+        return MODE_COMPOSED
+    mode = str(value).strip().lower()
+    if mode in (MODE_COMPOSED, MODE_LAYER, MODE_NETWORK):
+        return mode
+    if mode in _FALSE_VALUES:
+        return MODE_COMPOSED
+    return MODE_NETWORK
+
+
+def fused_mode() -> str:
+    """The selected program tier: ``composed``, ``layer`` or ``network``."""
+    if _fused_override is not None:
+        return _fused_override
+    mode = _coerce_mode(os.environ.get(_FUSED_ENV_VAR))
+    return MODE_NETWORK if mode is None else mode
 
 
 def fused_programs_enabled() -> bool:
     """Whether layers should ask their backend for fused step programs."""
-    if _fused_override is not None:
-        return _fused_override
-    raw = os.environ.get(_FUSED_ENV_VAR)
-    if raw is None:
-        return True
-    return raw.strip().lower() not in _FALSE_VALUES
+    return fused_mode() != MODE_COMPOSED
 
 
-def set_fused_programs(enabled: Optional[bool]) -> None:
-    """Force fused programs on/off process-wide (``None`` restores the
-    environment-driven default).  Takes effect at the next layer reset."""
+def network_programs_enabled() -> bool:
+    """Whether the plan should ask the backend for a whole-network program."""
+    return fused_mode() == MODE_NETWORK
+
+
+def set_fused_programs(enabled) -> None:
+    """Force the program tier process-wide: a mode name (``"composed"`` /
+    ``"layer"`` / ``"network"``), a boolean (historical on/off) or ``None``
+    to restore the environment-driven default.  Takes effect at the next
+    layer reset / plan preparation."""
     global _fused_override
-    _fused_override = enabled
+    _fused_override = _coerce_mode(enabled)
 
 
 @contextmanager
-def fused_scope(enabled: bool):
-    """Temporarily force fused programs on/off (tests)."""
+def fused_scope(enabled):
+    """Temporarily force the program tier (tests); accepts the same values
+    as :func:`set_fused_programs`."""
+    global _fused_override
     previous = _fused_override
     set_fused_programs(enabled)
     try:
         yield
     finally:
-        set_fused_programs(previous)
+        _fused_override = previous
 
 
 def _env_sparse_mode() -> Optional[str]:
@@ -704,3 +758,200 @@ def compile_numpy_program(layer, backend) -> Optional[StepProgram]:
             return None
         return FusedOutputProgram(layer, backend)
     return None
+
+
+# -- whole-network step programs ----------------------------------------------
+
+#: element budget of the periodic-encoder replay cache (period × batch-input
+#: copies of values and spikes); mirrors the first-layer z-cache cap
+_ENCODER_CACHE_MAX_ELEMENTS = 16_000_000
+
+
+class _PeriodicEncoderCache:
+    """Replay cache for encoders whose output repeats every ``period`` steps.
+
+    The first pass through each phase runs the real encoder step and stores a
+    private copy of the transmitted values/spikes (the encoders reuse their
+    output buffers across steps) plus the spike count; later steps replay the
+    identical arrays without re-entering the encoder — bit-exact, since the
+    cached arrays *are* the earlier results.
+    """
+
+    def __init__(self, encoder, period: int) -> None:
+        self._encoder = encoder
+        self._period = int(period)
+        self._values: List[Optional[np.ndarray]] = [None] * self._period
+        self._spikes: List[Optional[np.ndarray]] = [None] * self._period
+        self._counts: List[int] = [0] * self._period
+
+    def encode(self, t: int) -> Tuple[np.ndarray, np.ndarray, int]:
+        phase = t % self._period
+        values = self._values[phase]
+        if values is None:
+            encoded = self._encoder.step(t)
+            values = np.array(encoded.values)
+            spikes = np.array(encoded.spikes)
+            self._values[phase] = values
+            self._spikes[phase] = spikes
+            self._counts[phase] = int(np.count_nonzero(spikes))
+        return values, self._spikes[phase], self._counts[phase]
+
+
+class _LiveEncoder:
+    """Uncached encoder driver (stateful/stochastic or oversized inputs)."""
+
+    def __init__(self, encoder) -> None:
+        self._encoder = encoder
+
+    def encode(self, t: int) -> Tuple[np.ndarray, np.ndarray, int]:
+        encoded = self._encoder.step(t)
+        return encoded.values, encoded.spikes, encoded.spike_count
+
+
+class NetworkStepProgram:
+    """One compiled program for the *entire* network step.
+
+    Compiled at plan time from the encoder, every layer's
+    :class:`StepProgram` and the prepared batch's spike records;
+    ``run_block(t0, n)`` executes ``n`` consecutive steps — encoder (or its
+    periodic replay cache), the per-layer program chain with the engine's
+    exact sparsity hint-flow, spike recording into the preallocated blocks
+    and output snapshots — in a single seam crossing.
+
+    Bit-identity: every step replays exactly the statements of the engine's
+    per-step loop (:func:`repro.engine.run.execute`) over the same program
+    objects and buffers, so results are bit-identical to per-step execution
+    in every dtype.  The program captures the records and per-batch buffers
+    of one :class:`~repro.engine.plan.PreparedBatch`; the engine recompiles
+    it after any mid-run ``shrink_batch``.
+    """
+
+    fused = True
+
+    def __init__(self, prepared, programs: List[StepProgram]) -> None:
+        plan = prepared.plan
+        network = plan.network
+        layers = network.layers
+        if len(programs) != len(layers):
+            raise ValueError(
+                f"expected {len(layers)} layer programs, got {len(programs)}"
+            )
+        self.prepared = prepared
+        self._encoder = network.encoder
+        self._output_layer = network.output_layer
+        self._record = prepared.record
+        self._input_record = prepared.input_record
+        self._record_trains = bool(plan.config.record_trains)
+        self._recorded_steps = list(plan.recorded_steps)
+        self._tracks_spikes = bool(
+            getattr(network.encoder, "values_nonzero_tracks_spikes", False)
+        )
+        #: (layer, program, is_spiking, record) chain run once per step
+        self._chain = [
+            (layer, program, bool(layer.is_spiking), record)
+            for layer, program, record in zip(
+                layers, programs, prepared.layer_records
+            )
+        ]
+        period = getattr(network.encoder, "steady_period", None)
+        if period is not None and (
+            period * network.encoder.input.size * 2 <= _ENCODER_CACHE_MAX_ELEMENTS
+        ):
+            self._encode = _PeriodicEncoderCache(network.encoder, period).encode
+        else:
+            self._encode = _LiveEncoder(network.encoder).encode
+
+    def run_block(
+        self,
+        t0: int,
+        n: int,
+        output_history: Optional[np.ndarray] = None,
+        snapshot: int = 0,
+        batch_indices: Optional[np.ndarray] = None,
+    ) -> int:
+        """Execute steps ``t0 … t0+n-1`` in one call; returns the snapshot
+        cursor after the block.
+
+        ``output_history`` (with the incoming ``snapshot`` index) makes the
+        program fill the preallocated score history at the plan's recorded
+        steps; the early-exit driver passes ``None`` instead and observes
+        ``output_layer.logits`` between its single-step blocks.
+        ``batch_indices`` maps the (possibly shrunken) simulated batch back
+        to the original rows for the spike-train scatter, exactly as in
+        :meth:`~repro.snn.recording.LayerRecord.record_step`.
+        """
+        record_trains = self._record_trains
+        encode = self._encode
+        chain = self._chain
+        tracks_spikes = self._tracks_spikes
+        recorded_steps = self._recorded_steps
+        input_counts, input_trains = self._input_record.open_block(t0, n)
+        input_sampled = self._input_record.sampled_indices
+        blocks = [record.open_block(t0, n) for _, _, _, record in chain]
+        for i in range(n):
+            t = t0 + i
+            values, input_spikes, input_count = encode(t)
+            input_counts[i] = input_count
+            if record_trains and input_trains is not None:
+                flat = input_spikes.reshape(input_spikes.shape[0], -1)
+                if batch_indices is None or flat.shape[0] == input_trains.shape[1]:
+                    np.take(flat, input_sampled, axis=1, out=input_trains[i])
+                else:
+                    input_trains[i, batch_indices] = flat[:, input_sampled]
+            nonzero_hint = input_count if tracks_spikes else None
+            for (layer, program, is_spiking, record), (counts, trains) in zip(
+                chain, blocks
+            ):
+                layer.output_nonzero = None
+                values = program.run(values, t, nonzero_hint)
+                nonzero_hint = layer.output_nonzero
+                if is_spiking:
+                    spikes = layer.last_spikes
+                    counts[i] = (
+                        nonzero_hint
+                        if nonzero_hint is not None
+                        else np.count_nonzero(spikes)
+                    )
+                    if record_trains and trains is not None:
+                        flat = spikes.reshape(spikes.shape[0], -1)
+                        if batch_indices is None or flat.shape[0] == trains.shape[1]:
+                            np.take(
+                                flat, record.sampled_indices, axis=1, out=trains[i]
+                            )
+                        else:
+                            trains[i, batch_indices] = flat[:, record.sampled_indices]
+            if (
+                output_history is not None
+                and snapshot < len(recorded_steps)
+                and t + 1 == recorded_steps[snapshot]
+            ):
+                np.copyto(output_history[snapshot], self._output_layer.logits)
+                snapshot += 1
+        self._input_record.record_steps(n)
+        for _, _, _, record in chain:
+            record.record_steps(n)
+        self._record.record_steps(n)
+        return snapshot
+
+    def describe(self) -> str:
+        """One-line description (diagnostics / the step profiler)."""
+        inner = ", ".join(program.describe() for _, program, _, _ in self._chain)
+        return f"NetworkStepProgram[{inner}]"
+
+
+def compile_network_step_program(prepared) -> Optional[NetworkStepProgram]:
+    """Compile the generic whole-network step program over ``prepared``.
+
+    Composes whatever per-layer programs the layers resolve (fused or
+    composed), so it works for every backend in the numpy family — this is
+    what :meth:`NumpyBackend.compile_network_program` (and, via inheritance,
+    the blocked and torch backends) returns.  Per-layer programs wrapped by
+    the instrumentation proxy are unwrapped (``seam_inner``): inside a
+    network program the layer boundary is no longer an engine seam, and the
+    instrumented backend counts the block call itself instead.
+    """
+    programs = [
+        layer.ensure_step_program() for layer in prepared.plan.network.layers
+    ]
+    programs = [getattr(program, "seam_inner", program) for program in programs]
+    return NetworkStepProgram(prepared, programs)

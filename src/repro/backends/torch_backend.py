@@ -34,7 +34,8 @@ class TorchBackend(NumpyBackend):
     name = "torch"
     description = (
         "PyTorch kernels with fused on-device step programs "
-        "(F.conv2d convolutions, fused IF/threshold updates; requires torch)"
+        "(F.conv2d convolutions, fused IF/threshold + burst updates) "
+        "driven in whole-network step blocks; requires torch"
     )
 
     def __init__(self) -> None:

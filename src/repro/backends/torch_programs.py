@@ -32,12 +32,74 @@ from repro.backends.programs import (
     EMPTY,
     SPARSE,
     StepProgram,
+    _BurstThresholdOps,
     _env_sparse_mode,
     _resolve_forced,
     _threshold_ops_for,
 )
 
 __all__ = ["compile_torch_program"]
+
+
+class _TorchBurstOps:
+    """Burst grow/cap/commit on zero-copy tensor views of the threshold state.
+
+    The reference :class:`_BurstThresholdOps` runs the per-step threshold
+    dynamics in numpy, which made it the one remaining numpy round-trip in
+    the fused torch step.  This wrapper runs the same chain through torch
+    in-place ops over views of the *same* buffers (``torch.from_numpy`` is
+    zero-copy on CPU), so the engine, the parity suite and interleaved direct
+    ``thresholds()`` / ``update()`` calls keep observing identical state —
+    the ``_th_valid`` / ``_g_uniform`` / ``_updates`` flags stay on the
+    :class:`~repro.snn.thresholds.BurstThreshold` object.  Only the
+    ``max_burst_length`` consecutive-spike bookkeeping stays on the numpy
+    kernels (tiny boolean scans, already backend-dispatched).
+    """
+
+    def __init__(self, inner: _BurstThresholdOps) -> None:
+        self._inner = inner
+        th = inner._threshold
+        self._th = th
+        self._beta = float(inner._beta)
+        self._v_th = float(inner._v_th)
+        self._max_burst = inner._max_burst
+        self._ceiling = float(th._ceiling)
+        self._g_t = torch.from_numpy(th._g)
+        self._grown_t = torch.from_numpy(th._grown)
+        self._silent_t = torch.from_numpy(th._silent_signal)
+        self._th_buf_t = torch.from_numpy(th._th_buf)
+
+    def thresholds_t(self, t: int) -> torch.Tensor:
+        """The per-neuron threshold tensor for step ``t`` (shared memory)."""
+        th = self._th
+        if not th._th_valid:
+            torch.mul(self._g_t, self._v_th, out=self._th_buf_t)
+            th._th_valid = True
+        return self._th_buf_t
+
+    def update_t(self, spikes_np: np.ndarray, signals_t: torch.Tensor, count: int) -> None:
+        """Commit one step of burst dynamics without leaving torch."""
+        th = self._th
+        if count == 0 and th._g_uniform and self._max_burst is None:
+            th._updates += 1
+            return
+        grown_t = self._grown_t
+        torch.mul(self._g_t, self._beta, out=grown_t)
+        if th._updates >= th._clamp_after:
+            torch.clamp_(grown_t, max=self._ceiling)
+        th._updates += 1
+        if self._max_burst is not None:
+            self._inner._backend.burst_cap(
+                th._grown, th._g, spikes_np, th._consecutive,
+                th._cons_scratch, th._capped, self._max_burst,
+            )
+        grown_t *= signals_t
+        silent_t = self._silent_t
+        torch.neg(signals_t, out=silent_t)
+        silent_t += 1.0
+        torch.add(grown_t, silent_t, out=self._g_t)
+        th._th_valid = False
+        th._g_uniform = count == 0
 
 
 class _TorchNeuronProgram(StepProgram):
@@ -62,6 +124,13 @@ class _TorchNeuronProgram(StepProgram):
         self._subtract_reset = state.reset_mode.value == "subtract"
         self._v_rest = float(state.v_rest)
         self._allow_negative = state.allow_negative_membrane
+        # burst thresholds get the fully on-device dynamics; static/phase
+        # thresholds stay on their (0-d, update-free) numpy tables
+        self._burst_ops_t = (
+            _TorchBurstOps(threshold_ops)
+            if type(threshold_ops) is _BurstThresholdOps
+            else None
+        )
         state._threshold_validated = True
 
     def _forced_mode(self) -> Optional[str]:
@@ -95,8 +164,14 @@ class _TorchNeuronProgram(StepProgram):
 
     def _neuron_step(self, z_t, t: int) -> np.ndarray:
         threshold_ops = self._threshold_ops
-        threshold = threshold_ops.thresholds(t)  # numpy (0-d or burst buffer)
-        th_t = torch.from_numpy(np.ascontiguousarray(threshold, dtype=self._state.dtype))
+        burst_t = self._burst_ops_t
+        if burst_t is not None:
+            th_t = burst_t.thresholds_t(t)  # shared-memory tensor view
+        else:
+            threshold = threshold_ops.thresholds(t)  # numpy (0-d table entry)
+            th_t = torch.from_numpy(
+                np.ascontiguousarray(threshold, dtype=self._state.dtype)
+            )
         v_t = self._v_mem_t
         spikes_t = self._spikes_t
         sig_t = self._signals_t
@@ -117,9 +192,12 @@ class _TorchNeuronProgram(StepProgram):
         state = self._state
         state.last_spike_count = count
         state.total_spikes += count
-        # threshold dynamics run on the (shared-memory) numpy views — burst
-        # buffers are tiny relative to the GEMM and stay backend-portable
-        threshold_ops.update(self._spikes_np, state._spike_signals, count)
+        if burst_t is not None:
+            # grow/cap/commit in-place on the shared tensor views — the step
+            # makes no numpy round-trip for the threshold dynamics
+            burst_t.update_t(self._spikes_np, sig_t, count)
+        else:
+            threshold_ops.update(self._spikes_np, state._spike_signals, count)
         layer = self.layer
         layer.last_spikes = self._spikes_np
         layer.output_nonzero = count

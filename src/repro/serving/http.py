@@ -173,6 +173,14 @@ class _RequestHandler(BaseHTTPRequestHandler):
             self._send_json(200, result.to_dict())
 
 
+class _ThreadingHTTPServer(ThreadingHTTPServer):
+    # The socketserver default listen backlog of 5 drops (and eventually
+    # resets) connections when a burst arrives faster than the accept loop
+    # drains it; admission control must see every connection so it can
+    # answer 429 instead of the kernel answering RST.
+    request_queue_size = 128
+
+
 class ServingHTTPServer:
     """The ``repro serve`` HTTP server: an engine behind ``ThreadingHTTPServer``.
 
@@ -195,7 +203,7 @@ class ServingHTTPServer:
         default_scheme: str = "phase-burst",
     ) -> None:
         self.engine = engine
-        self._server = ThreadingHTTPServer((host, port), _RequestHandler)
+        self._server = _ThreadingHTTPServer((host, port), _RequestHandler)
         # graceful drain: wait for in-flight request threads on server_close
         self._server.daemon_threads = False
         self._server.block_on_close = True

@@ -128,6 +128,38 @@ class LayerRecord:
                 step_trains[batch_indices] = flat[:, self.sampled_indices]
                 self._train_steps.append(step_trains)
 
+    # -- block recording (whole-network step programs) -------------------
+    def open_block(self, t0: int, n: int):
+        """Views of the preallocated storage for steps ``t0 … t0+n-1``.
+
+        The network step program records a whole block of steps per seam
+        crossing: it fills the returned ``(counts, trains)`` views in place
+        (``trains`` is ``None`` when trains are not recorded for this layer)
+        and commits the cursor once with :meth:`record_steps`.  Requires
+        :meth:`preallocate`; ``t0`` must equal the current cursor.
+        """
+        if self._counts is None:
+            raise RuntimeError(
+                f"{self.name}: open_block requires preallocated storage"
+            )
+        if t0 != self._cursor:
+            raise ValueError(
+                f"{self.name}: block starts at step {t0} but the record "
+                f"cursor is at {self._cursor}"
+            )
+        if n < 0 or t0 + n > self._counts.shape[0]:
+            raise RuntimeError(
+                f"{self.name}: block [{t0}, {t0 + n}) exceeds the "
+                f"preallocated {self._counts.shape[0]} steps"
+            )
+        counts = self._counts[t0 : t0 + n]
+        trains = None if self._trains is None else self._trains[t0 : t0 + n]
+        return counts, trains
+
+    def record_steps(self, n: int) -> None:
+        """Commit ``n`` steps recorded through an :meth:`open_block` view."""
+        self._cursor += int(n)
+
     # -- views -----------------------------------------------------------
     @property
     def spike_counts(self) -> "np.ndarray | List[int]":
@@ -214,6 +246,10 @@ class SpikeRecord:
     def advance(self) -> None:
         """Mark the end of one simulation time step."""
         self.time_steps += 1
+
+    def record_steps(self, n: int) -> None:
+        """Mark the end of ``n`` simulation steps (block execution)."""
+        self.time_steps += int(n)
 
     @property
     def all_records(self) -> List[LayerRecord]:

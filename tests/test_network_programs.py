@@ -1,0 +1,362 @@
+"""Whole-network step blocks (PR 10): block execution vs per-step driving.
+
+The network program replays the engine's per-step statements exactly, so the
+contract is *bit identity*, not tolerance: every scheme, dtype and early-exit
+configuration must produce the same output history, spike counts, sampled
+trains and freeze steps whether the run is driven per step (``composed`` /
+``layer`` modes) or in multi-step blocks (``network`` mode).  The seam-budget
+test pins the point of the exercise: with early exit off the orchestration
+calls per step collapse by at least the acceptance floor of 3x.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backends import (
+    fused_mode,
+    fused_scope,
+    get_backend,
+    network_programs_enabled,
+    set_fused_programs,
+)
+from repro.backends.programs import (
+    MODE_COMPOSED,
+    MODE_LAYER,
+    MODE_NETWORK,
+    _coerce_mode,
+)
+from repro.conversion.converter import convert_to_snn
+from repro.core.hybrid import HybridCodingScheme
+from repro.engine.plan import block_schedule
+from repro.snn.network import SimulationConfig
+from repro.snn.recording import LayerRecord, SpikeRecord
+
+PARITY_SCHEMES = ("phase-burst", "real-burst")
+PARITY_DTYPES = ("float32", "float64")
+
+#: early-exit configurations of the bit-identity matrix; ``patience=2`` at 30
+#: steps makes several images freeze mid-run, exercising shrink_batch and the
+#: network-program recompile
+EXIT_CONFIGS = (
+    {},
+    {"early_exit_patience": 2},
+    {"early_exit_patience": 2, "early_exit_margin": 0.01},
+)
+
+
+@pytest.fixture(scope="module")
+def parity_snn_factory(trained_cnn, tiny_color_split):
+    """Build a converted SNN for a scheme (shared weights via the fixture)."""
+
+    def build(notation: str):
+        scheme = HybridCodingScheme.from_notation(notation, v_th=0.125)
+        return convert_to_snn(
+            trained_cnn,
+            encoder=scheme.make_encoder(seed=0),
+            threshold_factory=scheme.make_threshold_factory(),
+            calibration_x=tiny_color_split.train.x[:24],
+        )
+
+    return build
+
+
+def _assert_identical_runs(reference, candidate, context):
+    assert np.array_equal(reference.output_history, candidate.output_history), context
+    assert np.array_equal(reference.recorded_steps, candidate.recorded_steps), context
+    assert reference.record.total_spikes() == candidate.record.total_spikes(), context
+    assert np.array_equal(
+        reference.record.spikes_per_step(), candidate.record.spikes_per_step()
+    ), context
+    assert reference.record.per_layer_totals() == candidate.record.per_layer_totals(), (
+        context
+    )
+    for ref_layer, cand_layer in zip(
+        reference.record.all_records, candidate.record.all_records
+    ):
+        if ref_layer._trains is not None:
+            assert np.array_equal(
+                ref_layer.spike_trains(), cand_layer.spike_trains()
+            ), f"{context}: trains diverged in {ref_layer.name}"
+    if reference.frozen_at is None:
+        assert candidate.frozen_at is None, context
+    else:
+        assert np.array_equal(reference.frozen_at, candidate.frozen_at), context
+
+
+class TestModeParsing:
+    def test_coerce_mode_accepts_bools_names_and_none(self):
+        assert _coerce_mode(True) == MODE_NETWORK
+        assert _coerce_mode(False) == MODE_COMPOSED
+        assert _coerce_mode(None) is None
+        for name in (MODE_COMPOSED, MODE_LAYER, MODE_NETWORK):
+            assert _coerce_mode(name) == name
+            assert _coerce_mode(name.upper()) == name
+        for falsy in ("0", "false", "off", "no"):
+            assert _coerce_mode(falsy) == MODE_COMPOSED
+        # unrecognised truthy strings keep the historical REPRO_FUSED=1 meaning
+        assert _coerce_mode("1") == MODE_NETWORK
+        assert _coerce_mode("yes") == MODE_NETWORK
+
+    def test_env_parsing_and_default(self, monkeypatch):
+        set_fused_programs(None)
+        monkeypatch.delenv("REPRO_FUSED", raising=False)
+        assert fused_mode() == MODE_NETWORK  # the default tier
+        monkeypatch.setenv("REPRO_FUSED", "layer")
+        assert fused_mode() == MODE_LAYER
+        monkeypatch.setenv("REPRO_FUSED", "composed")
+        assert fused_mode() == MODE_COMPOSED
+        assert not network_programs_enabled()
+        monkeypatch.setenv("REPRO_FUSED", "network")
+        assert network_programs_enabled()
+
+    def test_scope_nests_and_restores(self):
+        set_fused_programs(None)
+        with fused_scope("layer"):
+            assert fused_mode() == MODE_LAYER
+            assert not network_programs_enabled()
+            with fused_scope(True):
+                assert fused_mode() == MODE_NETWORK
+            assert fused_mode() == MODE_LAYER
+        with fused_scope(False):
+            assert fused_mode() == MODE_COMPOSED
+
+
+class TestBlockSchedule:
+    def test_whole_horizon_without_early_exit(self):
+        config = SimulationConfig(time_steps=25)
+        assert block_schedule(config) == [(0, 25)]
+
+    def test_per_step_blocks_with_early_exit(self):
+        config = SimulationConfig(time_steps=6, early_exit_patience=3)
+        assert block_schedule(config) == [(t, 1) for t in range(6)]
+
+    def test_blocks_cover_the_horizon_exactly(self):
+        for kwargs in ({}, {"early_exit_patience": 4}):
+            config = SimulationConfig(time_steps=17, **kwargs)
+            blocks = block_schedule(config)
+            cursor = 0
+            for t0, n in blocks:
+                assert t0 == cursor and n >= 1
+                cursor += n
+            assert cursor == config.time_steps
+
+
+class TestRecordingBlocks:
+    def _record(self, steps=5, batch=3, trains=True):
+        record = LayerRecord("layer", num_neurons=40, is_spiking=True)
+        record.sampled_indices = np.arange(4)
+        record.preallocate(steps, batch, record_trains=trains)
+        return record
+
+    def test_open_block_requires_preallocation(self):
+        record = LayerRecord("layer", num_neurons=8, is_spiking=True)
+        with pytest.raises(RuntimeError):
+            record.open_block(0, 1)
+
+    def test_open_block_validates_cursor_and_bounds(self):
+        record = self._record(steps=5)
+        with pytest.raises(ValueError):
+            record.open_block(2, 1)  # cursor is still 0
+        with pytest.raises(RuntimeError):
+            record.open_block(0, 6)  # block exceeds the horizon
+        counts, trains = record.open_block(0, 3)
+        assert counts.shape == (3,) and trains.shape[0] == 3
+        record.record_steps(3)
+        with pytest.raises(ValueError):
+            record.open_block(2, 1)  # cursor moved to 3
+        counts, _ = record.open_block(3, 2)
+        assert counts.shape == (2,)
+
+    def test_record_steps_matches_per_step_cursor(self):
+        blocked, stepped = self._record(trains=False), self._record(trains=False)
+        counts, _ = blocked.open_block(0, 4)
+        counts[:] = [1, 2, 3, 4]
+        blocked.record_steps(4)
+        for t in range(4):
+            stepped.record_step(np.zeros((3, 40), dtype=bool), False, count=t + 1)
+        assert np.array_equal(
+            np.asarray(blocked.spike_counts[:4]), np.asarray(stepped.spike_counts[:4])
+        )
+
+    def test_spike_record_record_steps_bumps_time(self):
+        record = SpikeRecord()
+        record.register_input(8)
+        record.preallocate(6, 2)
+        record.record_steps(4)
+        assert record.time_steps == 4
+        record.record_steps(2)
+        assert record.time_steps == 6
+
+
+class TestNetworkBitIdentity:
+    @pytest.mark.parametrize("notation", PARITY_SCHEMES)
+    @pytest.mark.parametrize("dtype", PARITY_DTYPES)
+    @pytest.mark.parametrize(
+        "exit_config", EXIT_CONFIGS, ids=("no-exit", "patience", "patience-margin")
+    )
+    def test_block_execution_is_bit_identical(
+        self, parity_snn_factory, tiny_color_split, notation, dtype, exit_config
+    ):
+        """Network-mode block runs replay composed- and layer-mode runs bit
+        for bit in every scheme x dtype x early-exit cell (the early-exit
+        cells freeze images mid-run, covering shrink_batch + the network
+        program recompile)."""
+        x = tiny_color_split.test.x[:6]
+        snn = parity_snn_factory(notation)
+        config = SimulationConfig(
+            time_steps=30, dtype=dtype, record_trains=True, **exit_config
+        )
+        with fused_scope("composed"):
+            composed = snn.run(x, config)
+        with fused_scope("layer"):
+            layer = snn.run(x, config)
+        with fused_scope("network"):
+            network = snn.run(x, config)
+        context = f"{notation}/{dtype}/{exit_config or 'no-exit'}"
+        _assert_identical_runs(composed, layer, f"{context}: layer vs composed")
+        _assert_identical_runs(composed, network, f"{context}: network vs composed")
+        if exit_config:
+            # the early-exit cells must actually exercise a mid-run shrink
+            assert np.any(network.frozen_at >= 0), context
+
+    def test_interior_snapshots_match(self, parity_snn_factory, tiny_color_split):
+        """record_outputs_every > 1: the block program writes the interior
+        snapshots itself and they match the per-step path exactly."""
+        x = tiny_color_split.test.x[:4]
+        snn = parity_snn_factory("phase-burst")
+        config = SimulationConfig(time_steps=30, record_outputs_every=4)
+        with fused_scope("layer"):
+            stepped = snn.run(x, config)
+        with fused_scope("network"):
+            blocked = snn.run(x, config)
+        assert np.array_equal(stepped.recorded_steps, blocked.recorded_steps)
+        assert np.array_equal(stepped.output_history, blocked.output_history)
+
+
+class TestSeamBudget:
+    def _orchestration_calls(self, mode, snn, x, steps=12):
+        from repro.backends.instrument import InstrumentedBackend
+        from repro.engine.plan import SimulationPlan, recorded_step_schedule
+        from repro.engine.run import execute
+        from repro.utils.dtypes import resolve_dtype
+
+        backend = InstrumentedBackend(get_backend("numpy"))
+        config = SimulationConfig(time_steps=steps)
+        with fused_scope(mode):
+            plan = SimulationPlan(
+                network=snn,
+                config=config,
+                dtype=resolve_dtype("float32"),
+                backend=backend,
+                recorded_steps=recorded_step_schedule(config),
+            )
+            execute(plan.prepare(x))  # warm-up (lazy builds, calibrations)
+            prepared = plan.prepare(x)
+            backend.recorder.reset()
+            execute(prepared)
+        snapshot = backend.recorder.snapshot()
+        orchestration = sum(
+            entry["calls"]
+            for key, entry in snapshot.items()
+            if key.startswith("program:") or key == "network_program"
+        )
+        return orchestration / steps
+
+    def test_network_mode_cuts_orchestration_calls_3x(
+        self, parity_snn_factory, tiny_color_split
+    ):
+        """Acceptance gate: with early exit off, seam (orchestration) calls
+        per step drop >= 3x going from per-layer programs to network blocks."""
+        snn = parity_snn_factory("phase-burst")
+        x = tiny_color_split.test.x[:4]
+        per_layer = self._orchestration_calls("layer", snn, x)
+        per_network = self._orchestration_calls("network", snn, x)
+        assert per_layer >= len(snn.layers)  # one program call per layer per step
+        assert per_network <= per_layer / 3.0, (
+            f"network mode made {per_network} orchestration calls/step "
+            f"vs {per_layer} in layer mode"
+        )
+
+
+class TestCompatibilityFallbacks:
+    def test_primitives_only_backend_runs_per_step(
+        self, parity_snn_factory, tiny_color_split
+    ):
+        """A backend that declines ``compile_network_program`` (the base-class
+        ``None`` default) still runs correctly through the per-step loop."""
+        from repro.backends.base import KernelBackend
+        from repro.backends.numpy_backend import NumpyBackend
+
+        class NoBlocksBackend(NumpyBackend):
+            name = "no-blocks-test"
+            description = "declines network programs (test double)"
+
+            def compile_network_program(self, prepared):
+                return KernelBackend.compile_network_program(self, prepared)
+
+        from repro.engine.plan import SimulationPlan, recorded_step_schedule
+        from repro.engine.run import execute
+        from repro.utils.dtypes import resolve_dtype
+
+        x = tiny_color_split.test.x[:4]
+        snn = parity_snn_factory("phase-burst")
+        config = SimulationConfig(time_steps=20)
+        with fused_scope("network"):
+            reference = snn.run(x, config)
+            plan = SimulationPlan(
+                network=snn,
+                config=config,
+                dtype=resolve_dtype(config.dtype),
+                backend=NoBlocksBackend(),
+                recorded_steps=recorded_step_schedule(config),
+            )
+            prepared = plan.prepare(x)
+            assert prepared.network_program is None  # declined -> per-step loop
+            fallback = execute(prepared)
+        assert np.array_equal(reference.output_history, fallback.output_history)
+        assert reference.record.total_spikes() == fallback.record.total_spikes()
+
+    def test_prepare_skips_network_program_outside_network_mode(
+        self, parity_snn_factory, tiny_color_split
+    ):
+        from repro.engine.plan import plan_simulation
+
+        snn = parity_snn_factory("phase-burst")
+        x = tiny_color_split.test.x[:2]
+        with fused_scope("layer"):
+            prepared = plan_simulation(snn, SimulationConfig(time_steps=5)).prepare(x)
+            assert prepared.network_program is None
+        with fused_scope("network"):
+            prepared = plan_simulation(snn, SimulationConfig(time_steps=5)).prepare(x)
+            assert prepared.network_program is not None
+            assert prepared.network_program.fused
+
+    def test_recompile_falls_back_to_generic_driver(
+        self, parity_snn_factory, tiny_color_split
+    ):
+        """A backend that compiled a network program but declines the mid-run
+        recompile still gets block semantics from the generic driver."""
+        from repro.backends import NetworkStepProgram
+        from repro.engine.plan import plan_simulation
+
+        snn = parity_snn_factory("phase-burst")
+        x = tiny_color_split.test.x[:2]
+        with fused_scope("network"):
+            prepared = plan_simulation(snn, SimulationConfig(time_steps=5)).prepare(x)
+            assert prepared.network_program is not None
+            prepared.backend = _DecliningBackend(prepared.backend)
+            prepared.recompile_network_program()
+        assert type(prepared.network_program) is NetworkStepProgram
+
+
+class _DecliningBackend:
+    """Wraps a real backend but declines ``compile_network_program``."""
+
+    def __init__(self, inner):
+        self._inner = inner
+
+    def compile_network_program(self, prepared):
+        return None
+
+    def __getattr__(self, attribute):
+        return getattr(self._inner, attribute)
